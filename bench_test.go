@@ -1,0 +1,227 @@
+// Package repro's root benchmark suite: one testing.B family per experiment
+// of DESIGN.md §4 (B1–B7), runnable with
+//
+//	go test -bench=. -benchmem
+//
+// Each family compares the naive nested-loop execution against the
+// set-oriented plans the paper's rewriting enables; cmd/adlbench prints the
+// same comparisons as paper-style tables with correctness verification.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+)
+
+// run executes f once per benchmark iteration, failing on error.
+func run(b *testing.B, f func() error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkB1 — EQ5 (existential nesting over a base table): nested loop vs
+// the Rule 1 semijoin, logical-only (NL execution) and hash-executed.
+func BenchmarkB1(b *testing.B) {
+	for _, sc := range [][2]int{{100, 200}, {400, 800}} {
+		w := experiments.NewEQ5(sc[0], sc[1], 94)
+		name := fmt.Sprintf("S%d_P%d", sc[0], sc[1])
+		b.Run("nested_loop/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunNaive(); return err })
+		})
+		b.Run("semijoin_nl/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunOptNL(); return err })
+		})
+		b.Run("semijoin_hash/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunOpt(); return err })
+		})
+	}
+}
+
+// BenchmarkB2 — EQ4 (referential integrity, ¬∃): nested loop vs μ+antijoin.
+func BenchmarkB2(b *testing.B) {
+	for _, sc := range [][2]int{{100, 200}, {400, 800}} {
+		w := experiments.NewEQ4(sc[0], sc[1], 94)
+		name := fmt.Sprintf("S%d_P%d", sc[0], sc[1])
+		b.Run("nested_loop/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunNaive(); return err })
+		})
+		b.Run("unnest_antijoin/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunOpt(); return err })
+		})
+	}
+}
+
+// BenchmarkB3 — the grouping scenario (subset between blocks): nested loop
+// vs nestjoin vs the buggy [GaWo87] join+nest (timed for completeness; its
+// results silently drop dangling tuples).
+func BenchmarkB3(b *testing.B) {
+	w := experiments.NewSubset(200, 150, 0.1, 94)
+	grouped, ok := w.GroupedPlan()
+	if !ok {
+		b.Fatal("grouping plan not derivable")
+	}
+	b.Run("nested_loop", func(b *testing.B) {
+		run(b, func() error { _, err := w.RunNaive(); return err })
+	})
+	b.Run("nestjoin", func(b *testing.B) {
+		run(b, func() error { _, err := w.RunOpt(); return err })
+	})
+	b.Run("join_nest_buggy", func(b *testing.B) {
+		run(b, func() error { _, err := eval.EvalSet(grouped, nil, w.Store); return err })
+	})
+}
+
+// BenchmarkB4 — materializing a set-valued attribute: naive loop,
+// unnest-join-nest, set-probe nestjoin, and PNHL across memory budgets.
+func BenchmarkB4(b *testing.B) {
+	m := experiments.NewMaterialize(400, 1000, 16, 94)
+	b.Run("nested_loop", func(b *testing.B) {
+		run(b, func() error { _, err := m.RunNaive(); return err })
+	})
+	b.Run("nestjoin_setprobe", func(b *testing.B) {
+		run(b, func() error { _, err := m.RunNestjoin(); return err })
+	})
+	b.Run("unnest_join_nest", func(b *testing.B) {
+		run(b, func() error { _, err := m.RunUnnestJoinNest(); return err })
+	})
+	for _, budget := range []int{0, 500, 125} {
+		b.Run(fmt.Sprintf("pnhl_budget%d", budget), func(b *testing.B) {
+			run(b, func() error { _, _, err := m.RunPNHL(budget); return err })
+		})
+	}
+}
+
+// BenchmarkB5 — pointer-based materialize (assembly) vs value hash join.
+func BenchmarkB5(b *testing.B) {
+	p := experiments.NewPointerJoin(2000, 2000, 94)
+	b.Run("value_hash_join", func(b *testing.B) {
+		run(b, func() error { _, err := p.RunHashJoin(); return err })
+	})
+	b.Run("assembly", func(b *testing.B) {
+		run(b, func() error { _, err := p.RunAssembly(); return err })
+	})
+}
+
+// BenchmarkB6 — quantifier exchange (RE3): nested ∀⊇ vs exchanged antijoin.
+func BenchmarkB6(b *testing.B) {
+	db, naive, opt := experiments.NewForallExchange(400, 400, 94)
+	b.Run("nested_loop", func(b *testing.B) {
+		run(b, func() error { _, err := eval.EvalSet(naive, nil, db); return err })
+	})
+	b.Run("antijoin", func(b *testing.B) {
+		run(b, func() error { _, err := eval.EvalSet(opt, nil, db); return err })
+	})
+}
+
+// BenchmarkB7 — the end-to-end §4 strategy on the paper's example queries.
+func BenchmarkB7(b *testing.B) {
+	workloads := []*experiments.Workload{
+		experiments.NewEQ5(300, 500, 94),
+		experiments.NewEQ4(300, 500, 94),
+		experiments.NewEQ6(80, 500, 94),
+		experiments.NewSubset(300, 200, 0.1, 94),
+	}
+	for _, w := range workloads {
+		b.Run("nested_loop/"+w.Name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunNaive(); return err })
+		})
+		b.Run("optimized/"+w.Name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunOpt(); return err })
+		})
+	}
+}
+
+// BenchmarkNestjoinAblation compares the three nestjoin implementations the
+// paper names in §6.1 ("common join implementation methods like the
+// sort-merge join, or the hash join can be adapted") on the same equi-key
+// grouping join.
+func BenchmarkNestjoinAblation(b *testing.B) {
+	// Nest each supplier's deliveries: SUPPLIER ⊣(s.eid = d.supplier) DELIVERY,
+	// a natural equi-key grouping join all three implementations support.
+	lk := exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")
+	rk := exec.NewScalar(adl.Dot(adl.V("d"), "supplier"), "d")
+	pred := exec.NewScalar(adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")), "s", "d")
+	st2 := experiments.NewPointerJoin(400, 2000, 94).Store
+	ctx := &exec.Ctx{DB: st2}
+	mk := map[string]func() exec.Operator{
+		"nl": func() exec.Operator {
+			return &exec.NLJoin{Kind: adl.NestJ, LVar: "s", RVar: "d", Pred: pred, As: "ds",
+				L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"}}
+		},
+		"hash": func() exec.Operator {
+			return &exec.HashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d", LKey: lk, RKey: rk, As: "ds",
+				L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"}}
+		},
+		"sortmerge": func() exec.Operator {
+			return &exec.SortMergeJoin{Kind: adl.NestJ, LVar: "s", RVar: "d", LKey: lk, RKey: rk, As: "ds",
+				L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"}}
+		},
+	}
+	// All three agree before timing.
+	var ref interface{ Len() int }
+	for _, name := range []string{"nl", "hash", "sortmerge"} {
+		res, err := exec.Collect(mk[name](), ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+		} else if res.Len() != ref.Len() {
+			b.Fatalf("%s nestjoin diverges: %d vs %d", name, res.Len(), ref.Len())
+		}
+	}
+	for _, name := range []string{"nl", "hash", "sortmerge"} {
+		op := mk[name]()
+		b.Run(name, func(b *testing.B) {
+			run(b, func() error { _, err := exec.Collect(op, ctx); return err })
+		})
+	}
+}
+
+// BenchmarkJoinAblation compares physical join implementations on the same
+// logical semijoin — the paper's motivation for join operators: "a choice
+// can be made between various efficient join implementations" (§1).
+func BenchmarkJoinAblation(b *testing.B) {
+	w := experiments.NewEQ5(400, 800, 94)
+	join, ok := w.Opt.(*adl.Join)
+	if !ok {
+		b.Fatalf("EQ5 optimized form is %T", w.Opt)
+	}
+	ctx := &exec.Ctx{DB: w.Store}
+	b.Run("nl_semijoin", func(b *testing.B) {
+		op := &exec.NLJoin{Kind: adl.Semi,
+			L: &exec.Scan{Table: "SUPPLIER"}, R: exec_compile(join.R),
+			LVar: join.LVar, RVar: join.RVar,
+			Pred: exec.NewScalar(join.On, join.LVar, join.RVar)}
+		run(b, func() error { _, err := exec.Collect(op, ctx); return err })
+	})
+	b.Run("set_probe_semijoin", func(b *testing.B) {
+		run(b, func() error { _, err := w.RunOpt(); return err })
+	})
+}
+
+// exec_compile lowers a join operand (possibly σ over a table) for the
+// ablation arm.
+func exec_compile(e adl.Expr) exec.Operator {
+	if s, ok := e.(*adl.Select); ok {
+		if t, ok := s.Src.(*adl.Table); ok {
+			return &exec.Filter{Child: &exec.Scan{Table: t.Name}, Var: s.Var,
+				Pred: exec.NewScalar(s.Pred, s.Var)}
+		}
+	}
+	if t, ok := e.(*adl.Table); ok {
+		return &exec.Scan{Table: t.Name}
+	}
+	return &exec.ExprScan{Expr: e}
+}

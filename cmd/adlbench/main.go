@@ -1,0 +1,96 @@
+// Command adlbench runs the performance experiment suite B1–B7 (see
+// DESIGN.md §4) and prints paper-style result tables. Every optimized arm is
+// verified against the nested-loop reference before its time is reported.
+//
+// Usage:
+//
+//	adlbench            # the full suite at default scales
+//	adlbench -exp B3    # one experiment
+//	adlbench -quick     # smaller scales (used by CI-style runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (B1..B7); empty = all")
+		quick = flag.Bool("quick", false, "smaller scales")
+	)
+	flag.Parse()
+
+	scale := func(full, small int) int {
+		if *quick {
+			return small
+		}
+		return full
+	}
+	seed := int64(94)
+
+	runs := []struct {
+		name string
+		run  func() (*bench.Table, error)
+	}{
+		{"B1", func() (*bench.Table, error) {
+			return experiments.B1([][2]int{
+				{scale(200, 50), scale(400, 100)},
+				{scale(800, 100), scale(1600, 200)},
+				{scale(3200, 200), scale(6400, 400)},
+			}, seed)
+		}},
+		{"B2", func() (*bench.Table, error) {
+			return experiments.B2([][2]int{
+				{scale(200, 50), scale(400, 100)},
+				{scale(800, 100), scale(1600, 200)},
+				{scale(3200, 200), scale(6400, 400)},
+			}, seed)
+		}},
+		{"B3", func() (*bench.Table, error) {
+			return experiments.B3(scale(600, 100), scale(300, 60),
+				[]float64{0, 0.1, 0.5}, seed)
+		}},
+		{"B4", func() (*bench.Table, error) {
+			return experiments.B4(scale(800, 100), scale(2000, 200), scale(16, 8),
+				[]int{0, scale(1024, 128), scale(256, 64), scale(64, 16)}, seed)
+		}},
+		{"B5", func() (*bench.Table, error) {
+			return experiments.B5([][2]int{
+				{scale(1000, 100), scale(1000, 100)},
+				{scale(10000, 400), scale(5000, 400)},
+			}, seed)
+		}},
+		{"B6", func() (*bench.Table, error) {
+			return experiments.B6([][2]int{
+				{scale(200, 50), scale(200, 50)},
+				{scale(800, 100), scale(800, 100)},
+			}, seed)
+		}},
+		{"B7", func() (*bench.Table, error) {
+			return experiments.B7(scale(500, 80), scale(1000, 120), seed)
+		}},
+	}
+
+	ran := false
+	for _, r := range runs {
+		if *exp != "" && r.name != *exp {
+			continue
+		}
+		ran = true
+		t, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adlbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "adlbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

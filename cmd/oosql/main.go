@@ -1,0 +1,129 @@
+// Command oosql runs OOSQL queries against a generated supplier-part
+// database through the full pipeline of the paper: parse → translate to ADL
+// → rewrite into join queries (§4 strategy) → plan → execute.
+//
+// Usage:
+//
+//	oosql [flags] "select s from s in SUPPLIER where ..."
+//	echo "query" | oosql [flags]
+//
+// Flags:
+//
+//	-suppliers N   size of the SUPPLIER extent (default 50)
+//	-parts N       size of the PART extent (default 100)
+//	-deliveries N  size of the DELIVERY extent (default 20)
+//	-seed N        generator seed (default 94)
+//	-explain       print every pipeline stage instead of just the result
+//	-naive         execute tuple-at-a-time (nested loops), skipping rewriting
+//	-schema        print the schema and exit
+//	-load FILE     load the database from a JSON snapshot instead of generating
+//	-dump FILE     write the database as a JSON snapshot (after generating)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		suppliers  = flag.Int("suppliers", 50, "size of the SUPPLIER extent")
+		parts      = flag.Int("parts", 100, "size of the PART extent")
+		deliveries = flag.Int("deliveries", 20, "size of the DELIVERY extent")
+		seed       = flag.Int64("seed", 94, "generator seed")
+		explain    = flag.Bool("explain", false, "print every pipeline stage")
+		naive      = flag.Bool("naive", false, "execute by nested loops (no rewriting)")
+		schemaOnly = flag.Bool("schema", false, "print the schema and exit")
+		loadPath   = flag.String("load", "", "load the database from a JSON snapshot")
+		dumpPath   = flag.String("dump", "", "write the database as a JSON snapshot")
+	)
+	flag.Parse()
+
+	if *schemaOnly {
+		out, err := experiments.SchemaArtifact()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	var st *storage.Store
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		st, err = storage.LoadJSON(schema.SupplierPart(), f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		st = bench.Generate(bench.Config{
+			Suppliers: *suppliers, Parts: *parts, Deliveries: *deliveries, Seed: *seed,
+		})
+	}
+	if *dumpPath != "" {
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.SaveJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *dumpPath)
+	}
+
+	src := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(src) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	if strings.TrimSpace(src) == "" {
+		if *dumpPath != "" {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "usage: oosql [flags] \"<query>\"  (or pipe a query on stdin)")
+		os.Exit(2)
+	}
+	q, err := core.Prepare(src, st.Catalog())
+	if err != nil {
+		fatal(err)
+	}
+	if *explain {
+		fmt.Println(q.Explain())
+	}
+	run := q.Execute
+	if *naive {
+		run = q.ExecuteNaive
+	}
+	res, err := run(st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("-- %d tuples\n", res.Len())
+	for _, el := range res.Sorted() {
+		fmt.Println(el)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oosql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command paperrepro regenerates every table and figure of Steenhagen et
+// al., "From Nested-Loop to Join Queries in OODB" (VLDB 1994), by running
+// the implementation — nothing is hard-coded:
+//
+//	T1  Table 1: set comparison ⇒ quantifier expressions
+//	T2  Table 2: predicate ⇒ quantifier expressions
+//	T3  Table 3: the static value of P(x, ∅) per comparator
+//	F1  Figure 1: nesting involving a set-valued attribute
+//	F2  Figure 2: the Complex Object bug (with intermediate results)
+//	F3  Figure 3: the nestjoin example
+//	RE1 Rewriting Example 1: set membership ⇒ semijoin
+//	RE2 Rewriting Example 2: set inclusion ⇒ antijoin
+//	RE3 Rewriting Example 3: exchanging quantifiers
+//	EQ  Example Queries 1–6 through the full pipeline
+//
+// Usage:
+//
+//	paperrepro                 # all artifacts
+//	paperrepro -artifact T3    # a single artifact
+//	paperrepro -schema         # the §2 schema and its ADL mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		artifact   = flag.String("artifact", "", "artifact to regenerate (T1 T2 T3 F1 F2 F3 RE1 RE2 RE3 EQ); empty = all")
+		schemaOnly = flag.Bool("schema", false, "print the §2 schema and its ADL mapping")
+	)
+	flag.Parse()
+
+	if *schemaOnly {
+		out, err := experiments.SchemaArtifact()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	arts := experiments.Artifacts()
+	keys := experiments.ArtifactKeys()
+	if *artifact != "" {
+		gen, ok := arts[*artifact]
+		if !ok {
+			fatal(fmt.Errorf("unknown artifact %q (have %s)", *artifact, strings.Join(keys, " ")))
+		}
+		out, err := gen()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Println(strings.Repeat("─", 72))
+		}
+		out, err := arts[k]()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", k, err))
+		}
+		fmt.Print(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	os.Exit(1)
+}

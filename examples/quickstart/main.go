@@ -1,0 +1,73 @@
+// Quickstart: define the paper's supplier-part schema, store a few complex
+// objects, and run a nested OOSQL query through the full pipeline — parse,
+// translate to the ADL algebra, rewrite from nested loops to joins, plan,
+// execute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func main() {
+	// The §2 schema: Supplier, Part, Delivery with their extensions.
+	cat := schema.SupplierPart()
+	st := storage.New(cat)
+
+	// Insert parts; Insert allocates oids and adds the identity field.
+	bolt := mustInsert(st, "PART", value.NewTuple(
+		"pname", value.String("bolt"), "price", value.Int(10), "color", value.String("red")))
+	nut := mustInsert(st, "PART", value.NewTuple(
+		"pname", value.String("nut"), "price", value.Int(5), "color", value.String("blue")))
+	gear := mustInsert(st, "PART", value.NewTuple(
+		"pname", value.String("gear"), "price", value.Int(25), "color", value.String("red")))
+
+	// Suppliers hold set-valued reference attributes, stored clustered.
+	refs := func(oids ...value.OID) *value.Set {
+		s := value.EmptySet()
+		for _, o := range oids {
+			s.Add(value.NewTuple("pid", o))
+		}
+		return s
+	}
+	mustInsert(st, "SUPPLIER", value.NewTuple(
+		"sname", value.String("acme"), "parts", refs(bolt, nut)))
+	mustInsert(st, "SUPPLIER", value.NewTuple(
+		"sname", value.String("globex"), "parts", refs(nut)))
+	mustInsert(st, "SUPPLIER", value.NewTuple(
+		"sname", value.String("initech"), "parts", refs(bolt, gear)))
+
+	// Example Query 5: suppliers supplying red parts — a nested query the
+	// rewriter turns into the paper's semijoin.
+	q, err := core.Prepare(`
+		select s.sname from s in SUPPLIER
+		where exists x in s.parts_supplied :
+		      exists p in PART : x = p and p.color = "red"`, cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(q.Explain())
+
+	res, err := q.Execute(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:")
+	for _, el := range res.Sorted() {
+		fmt.Println(" ", el)
+	}
+}
+
+func mustInsert(st *storage.Store, extent string, t *value.Tuple) value.OID {
+	oid, err := st.Insert(extent, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return oid
+}

@@ -1,0 +1,156 @@
+// Package bench provides deterministic workload generators and fixtures for
+// the experiment suite: scalable supplier-part databases (the paper's §2
+// schema), the paper's Figure 1/2/3 example tables, and small helpers for
+// printing paper-style result tables.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Config parameterizes the supplier-part generator. Zero values get
+// sensible defaults from Defaults.
+type Config struct {
+	Suppliers int // number of Supplier objects
+	Parts     int // number of Part objects
+	Fanout    int // parts referenced per supplier (before dedup)
+	// RedFrac is the fraction of parts colored "red"; the rest split evenly
+	// between "green" and "blue".
+	RedFrac float64
+	// EmptyFrac is the fraction of suppliers with an empty parts set —
+	// the dangling tuples of the Complex Object bug experiments.
+	EmptyFrac float64
+	// DanglingFrac is the fraction of suppliers holding one reference to a
+	// non-existing part (violating referential integrity, Example Query 4).
+	DanglingFrac float64
+	Deliveries   int // number of Delivery objects
+	SupplySize   int // parts per delivery
+	Seed         int64
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Suppliers == 0 {
+		c.Suppliers = 100
+	}
+	if c.Parts == 0 {
+		c.Parts = 200
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 8
+	}
+	if c.RedFrac == 0 {
+		c.RedFrac = 0.3
+	}
+	if c.SupplySize == 0 {
+		c.SupplySize = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 94
+	}
+	return c
+}
+
+// Generate builds a deterministic supplier-part database.
+func Generate(cfg Config) *storage.Store {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := storage.New(schema.SupplierPart())
+
+	colors := []string{"green", "blue"}
+	partOIDs := make([]value.OID, cfg.Parts)
+	for i := 0; i < cfg.Parts; i++ {
+		color := colors[i%2]
+		if rng.Float64() < cfg.RedFrac {
+			color = "red"
+		}
+		oid, err := st.Insert("PART", value.NewTuple(
+			"pname", value.String(fmt.Sprintf("part-%d", i)),
+			"price", value.Int(int64(rng.Intn(100)+1)),
+			"color", value.String(color),
+		))
+		if err != nil {
+			panic(err)
+		}
+		partOIDs[i] = oid
+	}
+
+	for i := 0; i < cfg.Suppliers; i++ {
+		parts := value.EmptySet()
+		if rng.Float64() >= cfg.EmptyFrac {
+			for j := 0; j < cfg.Fanout; j++ {
+				parts.Add(value.NewTuple("pid", partOIDs[rng.Intn(len(partOIDs))]))
+			}
+		}
+		if rng.Float64() < cfg.DanglingFrac {
+			// An oid that is never allocated to a part: beyond every real one.
+			parts.Add(value.NewTuple("pid", value.OID(1<<40)+value.OID(i)))
+		}
+		if _, err := st.Insert("SUPPLIER", value.NewTuple(
+			"sname", value.String(fmt.Sprintf("supplier-%d", i)),
+			"parts", parts,
+		)); err != nil {
+			panic(err)
+		}
+	}
+
+	supplierOIDs := st.OIDs("SUPPLIER")
+	for i := 0; i < cfg.Deliveries; i++ {
+		supply := value.EmptySet()
+		for j := 0; j < cfg.SupplySize; j++ {
+			supply.Add(value.NewTuple(
+				"part", partOIDs[rng.Intn(len(partOIDs))],
+				"quantity", value.Int(int64(rng.Intn(50)+1)),
+			))
+		}
+		if _, err := st.Insert("DELIVERY", value.NewTuple(
+			"supplier", supplierOIDs[rng.Intn(len(supplierOIDs))],
+			"supply", supply,
+			"date", value.Date(int32(940101+i%28)),
+		)); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}
+
+// Figure2DB returns the paper's Figure 2 example tables:
+//
+//	X = {⟨a=1, c={⟨d=1,e=1⟩, ⟨d=1,e=2⟩}⟩, ⟨a=2, c=∅⟩, ⟨a=3, c={⟨d=2,e=3⟩}⟩}
+//	Y = {⟨d=1,e=1⟩, ⟨d=1,e=2⟩, ⟨d=1,e=3⟩, ⟨d=3,e=3⟩}
+//
+// The tuple ⟨a=2, c=∅⟩ is the dangling tuple the unnesting-by-grouping
+// technique loses.
+func Figure2DB() *storage.MemDB {
+	de := func(d, e int64) *value.Tuple {
+		return value.NewTuple("d", value.Int(d), "e", value.Int(e))
+	}
+	x := value.NewSet(
+		value.NewTuple("a", value.Int(1), "c", value.NewSet(de(1, 1), de(1, 2))),
+		value.NewTuple("a", value.Int(2), "c", value.EmptySet()),
+		value.NewTuple("a", value.Int(3), "c", value.NewSet(de(2, 3))),
+	)
+	y := value.NewSet(de(1, 1), de(1, 2), de(1, 3), de(3, 3))
+	return storage.NewMemDB("X", x, "Y", y)
+}
+
+// Figure3DB returns the nestjoin example tables of Figure 3: X and Y
+// equijoined on X.b = Y.d, with one dangling X tuple.
+func Figure3DB() *storage.MemDB {
+	x := value.NewSet(
+		value.NewTuple("a", value.Int(1), "b", value.Int(1)),
+		value.NewTuple("a", value.Int(2), "b", value.Int(1)),
+		value.NewTuple("a", value.Int(3), "b", value.Int(3)),
+	)
+	y := value.NewSet(
+		value.NewTuple("c", value.Int(1), "d", value.Int(1)),
+		value.NewTuple("c", value.Int(2), "d", value.Int(1)),
+		value.NewTuple("c", value.Int(3), "d", value.Int(2)),
+	)
+	return storage.NewMemDB("X", x, "Y", y)
+}

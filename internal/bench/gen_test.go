@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Suppliers: 20, Parts: 30, Fanout: 4, EmptyFrac: 0.2,
+		DanglingFrac: 0.1, Deliveries: 5, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for _, ext := range []string{"SUPPLIER", "PART", "DELIVERY"} {
+		ta, err := a.Table(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.Table(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(ta, tb) {
+			t.Errorf("%s differs across runs with the same seed", ext)
+		}
+	}
+	c := Generate(Config{Suppliers: 20, Parts: 30, Fanout: 4, EmptyFrac: 0.2,
+		DanglingFrac: 0.1, Deliveries: 5, Seed: 43})
+	ta, _ := a.Table("SUPPLIER")
+	tc, _ := c.Table("SUPPLIER")
+	if value.Equal(ta, tc) {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	st := Generate(Config{Suppliers: 17, Parts: 23, Deliveries: 7, Seed: 1})
+	if st.Size("SUPPLIER") != 17 || st.Size("PART") != 23 || st.Size("DELIVERY") != 7 {
+		t.Errorf("sizes = %d/%d/%d", st.Size("SUPPLIER"), st.Size("PART"), st.Size("DELIVERY"))
+	}
+}
+
+func TestGenerateEmptyFrac(t *testing.T) {
+	st := Generate(Config{Suppliers: 200, Parts: 20, Fanout: 3, EmptyFrac: 0.5, Seed: 5})
+	sup, _ := st.Table("SUPPLIER")
+	empty := 0
+	for _, el := range sup.Elems() {
+		if el.(*value.Tuple).MustGet("parts").(*value.Set).Len() == 0 {
+			empty++
+		}
+	}
+	if empty < 60 || empty > 140 {
+		t.Errorf("empty suppliers = %d of 200, want ≈100", empty)
+	}
+}
+
+func TestGenerateDanglingRefsDontCollide(t *testing.T) {
+	st := Generate(Config{Suppliers: 50, Parts: 10, DanglingFrac: 1.0, Seed: 3})
+	sup, _ := st.Table("SUPPLIER")
+	part, _ := st.Table("PART")
+	validPids := value.EmptySet()
+	for _, p := range part.Elems() {
+		validPids.Add(p.(*value.Tuple).MustGet("pid"))
+	}
+	dangling := 0
+	for _, s := range sup.Elems() {
+		for _, ref := range s.(*value.Tuple).MustGet("parts").(*value.Set).Elems() {
+			if !validPids.Contains(ref.(*value.Tuple).MustGet("pid")) {
+				dangling++
+			}
+		}
+	}
+	if dangling != 50 {
+		t.Errorf("dangling refs = %d, want one per supplier", dangling)
+	}
+}
+
+func TestGenerateRedFrac(t *testing.T) {
+	st := Generate(Config{Suppliers: 1, Parts: 1000, RedFrac: 0.3, Seed: 9})
+	part, _ := st.Table("PART")
+	red := 0
+	for _, p := range part.Elems() {
+		if value.Equal(p.(*value.Tuple).MustGet("color"), value.String("red")) {
+			red++
+		}
+	}
+	if red < 200 || red > 400 {
+		t.Errorf("red parts = %d of 1000, want ≈300", red)
+	}
+}
+
+func TestFigureDBs(t *testing.T) {
+	f2 := Figure2DB()
+	x, err := f2.Table("X")
+	if err != nil || x.Len() != 3 {
+		t.Fatalf("Figure2 X = %v, %v", x, err)
+	}
+	if !x.Contains(value.NewTuple("a", value.Int(2), "c", value.EmptySet())) {
+		t.Errorf("Figure2 X must contain the dangling tuple ⟨a=2, c=∅⟩")
+	}
+	y, _ := f2.Table("Y")
+	if y.Len() != 4 {
+		t.Errorf("Figure2 Y = %v", y)
+	}
+	f3 := Figure3DB()
+	x3, _ := f3.Table("X")
+	y3, _ := f3.Table("Y")
+	if x3.Len() != 3 || y3.Len() != 3 {
+		t.Errorf("Figure3 sizes = %d, %d", x3.Len(), y3.Len())
+	}
+}
+
+func TestTablePrinter(t *testing.T) {
+	tab := &Table{
+		Title: "demo",
+		Cols:  []string{"name", "n", "ratio"},
+		Notes: []string{"a note"},
+	}
+	tab.AddRow("alpha", 1, 2.5)
+	tab.AddRow("beta-longer", 100, 0.125)
+	out := tab.String()
+	for _, want := range []string{"demo", "name", "alpha", "beta-longer", "2.50", "0.12", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the same prefix width up to col 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Suppliers == 0 || c.Parts == 0 || c.Fanout == 0 || c.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/bench"
+	"repro/internal/value"
+)
+
+// TestUniversalQuantificationViaDivision cross-validates the two classical
+// routes the paper mentions for universal quantification: the antijoin
+// (Rule 1 after negation pushing) and relational division [Codd72].
+//
+// Query: suppliers that supply ALL red parts —
+//
+//	σ[s : RED ⊆ s.parts](SUPPLIER)   with RED = π_pid(σ[color=red](PART))
+//
+// Division route: μ_parts(SUPPLIER) ÷ RED yields the supplier part of every
+// supplier whose unnested (pid, …) rows cover RED. Note the division route
+// inherits μ's dangling-tuple loss: suppliers with empty part sets vanish,
+// which is only correct because RED ≠ ∅ here — the same safety condition
+// the attribute-unnest option checks.
+func TestUniversalQuantificationViaDivision(t *testing.T) {
+	st := bench.Generate(bench.Config{Suppliers: 60, Parts: 12, Fanout: 9,
+		RedFrac: 0.2, Seed: 31})
+	red := adl.Proj(adl.Sel("p",
+		adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART")), "pid")
+
+	// Ground truth by nested loops: RED ⊆ s.parts, with RED's unary (pid)
+	// tuples compared against the parts elements directly.
+	spec := adl.Sel("s", adl.CmpE(adl.SubEq, red, adl.Dot(adl.V("s"), "parts")), adl.T("SUPPLIER"))
+	wantFull, err := Collect(&ExprScan{Expr: spec}, &Ctx{DB: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project to eid for comparison (division returns the non-divisor part).
+	wantIDs := value.EmptySet()
+	for _, el := range wantFull.Elems() {
+		wantIDs.Add(el.(*value.Tuple).MustGet("eid"))
+	}
+
+	// Division route: μ then ÷, then project the id.
+	div := &DivideOp{
+		L: &UnnestOp{Child: &Scan{Table: "SUPPLIER"}, Attr: "parts"},
+		R: &ExprScan{Expr: red},
+	}
+	quot, err := Collect(&ProjectOp{Child: div, Attrs: []string{"eid"}}, &Ctx{DB: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs := value.EmptySet()
+	for _, el := range quot.Elems() {
+		gotIDs.Add(el.(*value.Tuple).MustGet("eid"))
+	}
+	if !value.Equal(gotIDs, wantIDs) {
+		t.Fatalf("division route = %v, want %v", gotIDs, wantIDs)
+	}
+	if red, err := Collect(&ExprScan{Expr: red}, &Ctx{DB: st}); err != nil || red.Len() == 0 {
+		t.Fatalf("fixture must have red parts (safety condition): %v %v", red, err)
+	}
+}

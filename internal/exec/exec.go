@@ -1,0 +1,337 @@
+// Package exec implements the physical algebra: Volcano-style iterator
+// operators realizing the logical ADL operators. It contains the set-
+// oriented implementations whose availability is the whole point of the
+// paper's rewriting — hash joins, hash semijoins/antijoins, the hash and
+// sort-merge nestjoin (grouping during join, §6.1), the PNHL algorithm of
+// [DeLa92] for joining a set-valued attribute with a base table (§6.2), and
+// the assembly operator implementing materialize via oid pointers
+// ([BlMG93], §6.2) — alongside naive nested-loop counterparts used as
+// baselines.
+//
+// Rows are value.Value (usually *value.Tuple); duplicate elimination happens
+// when a result is collected into a set, matching the algebra's set
+// semantics.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/eval"
+	"repro/internal/value"
+)
+
+// Ctx is the runtime context of a plan: the database and the environment of
+// outer (correlated) variable bindings.
+type Ctx struct {
+	DB  eval.DB
+	Env *eval.Env
+}
+
+// Operator is a Volcano-style iterator.
+type Operator interface {
+	// Open prepares the operator for iteration.
+	Open(ctx *Ctx) error
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row value.Value, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Scalar is a compiled scalar expression evaluated against operator rows:
+// Vars name the positional bindings supplied at call time, on top of the
+// plan context's outer environment.
+type Scalar struct {
+	Vars []string
+	Expr adl.Expr
+}
+
+// NewScalar builds a scalar over the given variables.
+func NewScalar(e adl.Expr, vars ...string) Scalar {
+	return Scalar{Vars: vars, Expr: e}
+}
+
+// Eval evaluates the scalar with the given variable values.
+func (s Scalar) Eval(ctx *Ctx, vals ...value.Value) (value.Value, error) {
+	if len(vals) != len(s.Vars) {
+		return nil, fmt.Errorf("exec: scalar arity mismatch: %d vars, %d values", len(s.Vars), len(vals))
+	}
+	env := ctx.Env
+	for i, v := range s.Vars {
+		env = env.Bind(v, vals[i])
+	}
+	return eval.Eval(s.Expr, env, ctx.DB)
+}
+
+// Bool evaluates the scalar as a predicate.
+func (s Scalar) Bool(ctx *Ctx, vals ...value.Value) (bool, error) {
+	v, err := s.Eval(ctx, vals...)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(value.Bool)
+	if !ok {
+		return false, fmt.Errorf("exec: predicate returned %s", v.Kind())
+	}
+	return bool(b), nil
+}
+
+// Collect drains an operator into a set (deduplicating, per set semantics).
+func Collect(op Operator, ctx *Ctx) (*value.Set, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := value.EmptySet()
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Add(row)
+	}
+}
+
+// drain materializes an operator's rows into a slice.
+func drain(op Operator, ctx *Ctx) ([]value.Value, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows []value.Value
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+// asTuple asserts a row is a tuple.
+func asTuple(row value.Value, op string) (*value.Tuple, error) {
+	t, ok := row.(*value.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("exec: %s over non-tuple row %s", op, row.Kind())
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Leaf operators
+// ---------------------------------------------------------------------------
+
+// Scan iterates a base table.
+type Scan struct {
+	Table string
+
+	rows []value.Value
+	pos  int
+}
+
+// Open materializes the extent.
+func (s *Scan) Open(ctx *Ctx) error {
+	set, err := ctx.DB.Table(s.Table)
+	if err != nil {
+		return err
+	}
+	s.rows = set.Elems()
+	s.pos = 0
+	return nil
+}
+
+// Next yields the next object.
+func (s *Scan) Next() (value.Value, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close releases the scan.
+func (s *Scan) Close() error { s.rows = nil; return nil }
+
+// SetScan iterates an in-memory set.
+type SetScan struct {
+	Set *value.Set
+
+	pos int
+}
+
+// Open resets the iterator.
+func (s *SetScan) Open(*Ctx) error { s.pos = 0; return nil }
+
+// Next yields the next element.
+func (s *SetScan) Next() (value.Value, bool, error) {
+	if s.pos >= s.Set.Len() {
+		return nil, false, nil
+	}
+	row := s.Set.Elems()[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close is a no-op.
+func (s *SetScan) Close() error { return nil }
+
+// ExprScan evaluates an arbitrary ADL expression to a set with the
+// reference interpreter and iterates it — the nested-loop fallback for plan
+// fragments without a dedicated physical operator.
+type ExprScan struct {
+	Expr adl.Expr
+
+	rows []value.Value
+	pos  int
+}
+
+// Open evaluates the expression.
+func (s *ExprScan) Open(ctx *Ctx) error {
+	set, err := eval.EvalSet(s.Expr, ctx.Env, ctx.DB)
+	if err != nil {
+		return err
+	}
+	s.rows = set.Elems()
+	s.pos = 0
+	return nil
+}
+
+// Next yields the next element.
+func (s *ExprScan) Next() (value.Value, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close releases the buffer.
+func (s *ExprScan) Close() error { s.rows = nil; return nil }
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time operators
+// ---------------------------------------------------------------------------
+
+// Filter implements σ with a compiled predicate.
+type Filter struct {
+	Child Operator
+	Var   string
+	Pred  Scalar
+
+	ctx *Ctx
+}
+
+// Open opens the child.
+func (f *Filter) Open(ctx *Ctx) error { f.ctx = ctx; return f.Child.Open(ctx) }
+
+// Next yields the next row satisfying the predicate.
+func (f *Filter) Next() (value.Value, bool, error) {
+	for {
+		row, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := f.Pred.Bool(f.ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// MapOp implements α with a compiled body.
+type MapOp struct {
+	Child Operator
+	Var   string
+	Body  Scalar
+
+	ctx *Ctx
+}
+
+// Open opens the child.
+func (m *MapOp) Open(ctx *Ctx) error { m.ctx = ctx; return m.Child.Open(ctx) }
+
+// Next yields the image of the next row.
+func (m *MapOp) Next() (value.Value, bool, error) {
+	row, ok, err := m.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, err := m.Body.Eval(m.ctx, row)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Close closes the child.
+func (m *MapOp) Close() error { return m.Child.Close() }
+
+// LetOp implements a with-binding: the (typically constant) value expression
+// is evaluated once at Open and bound into the environment the child's
+// scalars see — the physical form of "uncorrelated subqueries are constants"
+// (§3).
+type LetOp struct {
+	Var   string
+	Val   adl.Expr
+	Child Operator
+}
+
+// Open evaluates the binding and opens the child under the extended
+// environment.
+func (l *LetOp) Open(ctx *Ctx) error {
+	v, err := eval.Eval(l.Val, ctx.Env, ctx.DB)
+	if err != nil {
+		return err
+	}
+	child := &Ctx{DB: ctx.DB, Env: ctx.Env.Bind(l.Var, v)}
+	return l.Child.Open(child)
+}
+
+// Next forwards to the child.
+func (l *LetOp) Next() (value.Value, bool, error) { return l.Child.Next() }
+
+// Close closes the child.
+func (l *LetOp) Close() error { return l.Child.Close() }
+
+// ProjectOp implements π.
+type ProjectOp struct {
+	Child Operator
+	Attrs []string
+}
+
+// Open opens the child.
+func (p *ProjectOp) Open(ctx *Ctx) error { return p.Child.Open(ctx) }
+
+// Next yields the projection of the next row.
+func (p *ProjectOp) Next() (value.Value, bool, error) {
+	row, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	t, err := asTuple(row, "π")
+	if err != nil {
+		return nil, false, err
+	}
+	sub, err := t.Subscript(p.Attrs)
+	if err != nil {
+		return nil, false, err
+	}
+	return sub, true, nil
+}
+
+// Close closes the child.
+func (p *ProjectOp) Close() error { return p.Child.Close() }

@@ -1,0 +1,406 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/value"
+)
+
+// NLJoin is the tuple-oriented nested-loop join family — the baseline
+// execution model the paper's rewrites escape from. It supports every join
+// kind (inner, semi, anti, nestjoin, outer) with an arbitrary predicate.
+type NLJoin struct {
+	Kind       adl.JoinKind
+	L, R       Operator
+	LVar, RVar string
+	Pred       Scalar
+	As         string // nestjoin result attribute
+	RFun       *Scalar
+
+	ctx   *Ctx
+	right []value.Value
+	out   []value.Value
+	pos   int
+}
+
+// Open materializes the right operand and computes the join eagerly (the
+// result is bounded by the inputs; eager evaluation keeps Next trivial and
+// the timing honest for benchmarks).
+func (j *NLJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	var err error
+	j.right, err = drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	lrows, err := drain(j.L, ctx)
+	if err != nil {
+		return err
+	}
+	j.out = j.out[:0]
+	j.pos = 0
+	nullPad := outerNullPad(j.Kind, j.right)
+	for _, lrow := range lrows {
+		lt, err := asTuple(lrow, "join")
+		if err != nil {
+			return err
+		}
+		matched := false
+		var nest *value.Set
+		if j.Kind == adl.NestJ {
+			nest = value.EmptySet()
+		}
+		for _, rrow := range j.right {
+			ok, err := j.Pred.Bool(ctx, lrow, rrow)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			switch j.Kind {
+			case adl.Inner, adl.Outer:
+				rt, err := asTuple(rrow, "join")
+				if err != nil {
+					return err
+				}
+				cat, err := lt.Concat(rt)
+				if err != nil {
+					return err
+				}
+				j.out = append(j.out, cat)
+			case adl.NestJ:
+				member := rrow
+				if j.RFun != nil {
+					member, err = j.RFun.Eval(ctx, lrow, rrow)
+					if err != nil {
+						return err
+					}
+				}
+				nest.Add(member)
+			}
+			if j.Kind == adl.Semi {
+				break
+			}
+		}
+		switch j.Kind {
+		case adl.Semi:
+			if matched {
+				j.out = append(j.out, lrow)
+			}
+		case adl.Anti:
+			if !matched {
+				j.out = append(j.out, lrow)
+			}
+		case adl.NestJ:
+			j.out = append(j.out, lt.With(j.As, nest))
+		case adl.Outer:
+			if !matched {
+				cat, err := lt.Concat(nullPad)
+				if err != nil {
+					return err
+				}
+				j.out = append(j.out, cat)
+			}
+		}
+	}
+	return nil
+}
+
+// Next yields the next joined row.
+func (j *NLJoin) Next() (value.Value, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (j *NLJoin) Close() error {
+	j.right, j.out = nil, nil
+	return nil
+}
+
+// outerNullPad builds the null tuple over the right schema for outer joins.
+func outerNullPad(kind adl.JoinKind, right []value.Value) *value.Tuple {
+	pad := value.EmptyTuple()
+	if kind != adl.Outer || len(right) == 0 {
+		return pad
+	}
+	if rt, ok := right[0].(*value.Tuple); ok {
+		for _, name := range rt.Names() {
+			pad = pad.With(name, value.Null{})
+		}
+	}
+	return pad
+}
+
+// HashJoin is the set-oriented join family on equi-keys: it builds a hash
+// table on the right operand keyed by RKey and probes it with LKey,
+// applying an optional residual predicate. All join kinds are supported;
+// for the nestjoin this is the paper's "common join implementation methods
+// like the hash join can be adapted" (§6.1).
+type HashJoin struct {
+	Kind       adl.JoinKind
+	L, R       Operator
+	LVar, RVar string
+	LKey, RKey Scalar
+	// Residual is an optional extra predicate over both variables.
+	Residual *Scalar
+	As       string
+	RFun     *Scalar
+
+	ctx   *Ctx
+	table map[uint64][]value.Value
+	right []value.Value // retained for outer-join null padding
+	out   []value.Value
+	pos   int
+}
+
+// Open builds and probes.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	var err error
+	j.right, err = drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[uint64][]value.Value, len(j.right))
+	keys := make(map[uint64][]value.Value, len(j.right))
+	for _, rrow := range j.right {
+		k, err := j.RKey.Eval(ctx, rrow)
+		if err != nil {
+			return err
+		}
+		h := value.Hash(k)
+		j.table[h] = append(j.table[h], rrow)
+		keys[h] = append(keys[h], k)
+	}
+	lrows, err := drain(j.L, ctx)
+	if err != nil {
+		return err
+	}
+	j.out = j.out[:0]
+	j.pos = 0
+	nullPad := outerNullPad(j.Kind, j.right)
+	for _, lrow := range lrows {
+		lt, err := asTuple(lrow, "hash join")
+		if err != nil {
+			return err
+		}
+		lk, err := j.LKey.Eval(ctx, lrow)
+		if err != nil {
+			return err
+		}
+		h := value.Hash(lk)
+		matched := false
+		var nest *value.Set
+		if j.Kind == adl.NestJ {
+			nest = value.EmptySet()
+		}
+		bucket := j.table[h]
+		bkeys := keys[h]
+		for i, rrow := range bucket {
+			if !value.Equal(bkeys[i], lk) {
+				continue
+			}
+			if j.Residual != nil {
+				ok, err := j.Residual.Bool(ctx, lrow, rrow)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			switch j.Kind {
+			case adl.Inner, adl.Outer:
+				rt, err := asTuple(rrow, "hash join")
+				if err != nil {
+					return err
+				}
+				cat, err := lt.Concat(rt)
+				if err != nil {
+					return err
+				}
+				j.out = append(j.out, cat)
+			case adl.NestJ:
+				member := rrow
+				if j.RFun != nil {
+					member, err = j.RFun.Eval(ctx, lrow, rrow)
+					if err != nil {
+						return err
+					}
+				}
+				nest.Add(member)
+			}
+			if j.Kind == adl.Semi {
+				break
+			}
+		}
+		switch j.Kind {
+		case adl.Semi:
+			if matched {
+				j.out = append(j.out, lrow)
+			}
+		case adl.Anti:
+			if !matched {
+				j.out = append(j.out, lrow)
+			}
+		case adl.NestJ:
+			j.out = append(j.out, lt.With(j.As, nest))
+		case adl.Outer:
+			if !matched {
+				cat, err := lt.Concat(nullPad)
+				if err != nil {
+					return err
+				}
+				j.out = append(j.out, cat)
+			}
+		}
+	}
+	return nil
+}
+
+// Next yields the next joined row.
+func (j *HashJoin) Next() (value.Value, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (j *HashJoin) Close() error {
+	j.table, j.right, j.out = nil, nil, nil
+	return nil
+}
+
+// SetProbeJoin is the set-oriented implementation of joins whose predicate
+// is a membership test against a set-valued attribute of the left operand:
+//
+//	L ⋉/▷/⊣ (x,y : key(y) ∈ x.attr) R
+//
+// — exactly the predicate shape the paper's Example Queries 5 and 6 reach
+// after rewriting (p[pid] ∈ s.parts). The right operand is hashed once by
+// key; each left tuple probes with the elements of its set-valued attribute.
+// This is the single-segment core of the PNHL idea: the flat table is the
+// build input, the nested operand probes.
+type SetProbeJoin struct {
+	Kind adl.JoinKind
+	L, R Operator
+	// Attr is the set-valued attribute of left tuples whose elements are
+	// probe keys.
+	Attr string
+	// RKey computes the build key of right rows (e.g. p[pid]).
+	RKey Scalar
+	As   string
+	RFun *Scalar
+
+	ctx *Ctx
+	out []value.Value
+	pos int
+}
+
+// Open builds and probes.
+func (j *SetProbeJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	rrows, err := drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	table := make(map[uint64][]int, len(rrows))
+	keys := make([]value.Value, len(rrows))
+	for i, rrow := range rrows {
+		k, err := j.RKey.Eval(ctx, rrow)
+		if err != nil {
+			return err
+		}
+		keys[i] = k
+		h := value.Hash(k)
+		table[h] = append(table[h], i)
+	}
+	lrows, err := drain(j.L, ctx)
+	if err != nil {
+		return err
+	}
+	j.out = j.out[:0]
+	j.pos = 0
+	for _, lrow := range lrows {
+		lt, err := asTuple(lrow, "set-probe join")
+		if err != nil {
+			return err
+		}
+		av, ok := lt.Get(j.Attr)
+		if !ok {
+			return fmt.Errorf("exec: set-probe join on missing attribute %q", j.Attr)
+		}
+		as, ok := av.(*value.Set)
+		if !ok {
+			return fmt.Errorf("exec: set-probe join on non-set attribute %q", j.Attr)
+		}
+		matched := false
+		var nest *value.Set
+		if j.Kind == adl.NestJ {
+			nest = value.EmptySet()
+		}
+	probe:
+		for _, elem := range as.Elems() {
+			h := value.Hash(elem)
+			for _, ri := range table[h] {
+				if !value.Equal(keys[ri], elem) {
+					continue
+				}
+				matched = true
+				switch j.Kind {
+				case adl.Semi:
+					break probe
+				case adl.NestJ:
+					member := rrows[ri]
+					if j.RFun != nil {
+						member, err = j.RFun.Eval(ctx, lrow, rrows[ri])
+						if err != nil {
+							return err
+						}
+					}
+					nest.Add(member)
+				}
+			}
+		}
+		switch j.Kind {
+		case adl.Semi:
+			if matched {
+				j.out = append(j.out, lrow)
+			}
+		case adl.Anti:
+			if !matched {
+				j.out = append(j.out, lrow)
+			}
+		case adl.NestJ:
+			j.out = append(j.out, lt.With(j.As, nest))
+		default:
+			return fmt.Errorf("exec: set-probe join does not support kind %v", j.Kind)
+		}
+	}
+	return nil
+}
+
+// Next yields the next row.
+func (j *SetProbeJoin) Next() (value.Value, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (j *SetProbeJoin) Close() error { j.out = nil; return nil }

@@ -1,0 +1,503 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adl"
+	"repro/internal/bench"
+	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/rewrite"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Artifacts regenerates the paper's tables, figures, rewriting examples and
+// example queries, each by running the implementation (no hard-coded
+// outputs). Keys: T1 T2 T3 F1 F2 F3 RE1 RE2 RE3 EQ.
+func Artifacts() map[string]func() (string, error) {
+	return map[string]func() (string, error){
+		"T1":  Table1,
+		"T2":  Table2,
+		"T3":  Table3,
+		"F1":  Figure1,
+		"F2":  Figure2,
+		"F3":  Figure3,
+		"RE1": RewritingExample1,
+		"RE2": RewritingExample2,
+		"RE3": RewritingExample3,
+		"EQ":  ExampleQueries,
+	}
+}
+
+// ArtifactKeys lists the artifact identifiers in presentation order.
+func ArtifactKeys() []string {
+	return []string{"T1", "T2", "T3", "F1", "F2", "F3", "RE1", "RE2", "RE3", "EQ"}
+}
+
+// abstractCtx types the symbolic tables used in Table 1/2 derivations:
+// X : {(a: int, c: {int})} (or set-of-sets where needed) and Y' : {int}-ish.
+// The free variable x is bound to X's element type so the set-typedness
+// checks of the = expansion can see it.
+func abstractCtx(setOfSets bool) *rewrite.Context {
+	var c types.Type = types.NewSet(types.IntType)
+	if setOfSets {
+		c = types.NewSet(types.NewSet(types.IntType))
+	}
+	xt := types.NewTuple("a", types.IntType, "c", c)
+	ctx := rewrite.NewStaticContext(map[string]*types.Tuple{
+		"X":  xt,
+		"Y'": types.NewTuple("d", types.IntType),
+	})
+	ctx.Env["x"] = xt
+	return ctx
+}
+
+// notForallAny is the unrestricted ¬∀ ⇒ ∃¬ used only for presenting
+// Table 1 in the paper's mixed ∀/∃ style (the optimizer's restricted
+// variants are table-driven).
+var notForallAny = rewrite.Rule{
+	Name: "not-forall",
+	Apply: func(e adl.Expr, _ *rewrite.Context) (adl.Expr, bool) {
+		n, ok := e.(*adl.Not)
+		if !ok {
+			return e, false
+		}
+		q, ok := n.X.(*adl.Quant)
+		if !ok || q.Kind != adl.Forall {
+			return e, false
+		}
+		return adl.Ex(q.Var, q.Src, adl.NotE(q.Pred)), true
+	},
+}
+
+// notNotRule folds double negation for presentation.
+var notNotRule = rewrite.Rule{
+	Name: "not-not",
+	Apply: func(e adl.Expr, _ *rewrite.Context) (adl.Expr, bool) {
+		if n, ok := e.(*adl.Not); ok {
+			if inner, ok := n.X.(*adl.Not); ok {
+				return inner.X, true
+			}
+		}
+		return e, false
+	},
+}
+
+// expandTable1 derives a Table 1 row: comparison expansion plus the
+// presentation-level negation folding, keeping universal quantifiers in the
+// paper's style. For the ∋ row the paper stops at ∃z ∈ x.c • z = Y′, so the
+// set-equality expansion is withheld there.
+func expandTable1(p adl.Expr, setOfSets bool) adl.Expr {
+	var rules []rewrite.Rule
+	for _, r := range rewrite.ExpandRules() {
+		if setOfSets && r.Name == "expand-seteq" {
+			continue
+		}
+		rules = append(rules, r)
+	}
+	rules = append(rules, notForallAny, notNotRule)
+	en := rewrite.NewEngine(rules)
+	return en.Run(p, abstractCtx(setOfSets))
+}
+
+// expandFully runs the full expansion, quantifier-exchange and negation
+// machinery to a fixpoint — the Table 2 derivations, which end in the
+// (negated) existential forms suitable for unnesting.
+func expandFully(p adl.Expr, setOfSets bool) adl.Expr {
+	rules := append(rewrite.ExpandRules(), rewrite.QuantRules()...)
+	rules = append(rules, rewrite.NegationRules()...)
+	en := rewrite.NewEngine(rules)
+	return en.Run(p, abstractCtx(setOfSets))
+}
+
+// Table1 regenerates the paper's Table 1: rewriting set comparison
+// operations into quantifier expressions. Each row is derived by the
+// rewrite engine from the comparison template.
+func Table1() (string, error) {
+	xc := adl.Dot(adl.V("x"), "c")
+	yp := adl.T("Y'")
+	rows := []struct {
+		template adl.Expr
+		setOfSet bool
+	}{
+		{adl.CmpE(adl.In, xc, yp), false},    // here x.c is atomic-ish; In expands regardless
+		{adl.CmpE(adl.Sub, xc, yp), false},   // ⊂
+		{adl.CmpE(adl.SubEq, xc, yp), false}, // ⊆
+		{adl.EqE(xc, yp), false},             // = (sets)
+		{adl.CmpE(adl.SupEq, xc, yp), false}, // ⊇
+		{adl.CmpE(adl.Sup, xc, yp), false},   // ⊃
+		{adl.CmpE(adl.Has, xc, yp), true},    // ∋ (x.c has set-of-set type)
+	}
+	var b strings.Builder
+	b.WriteString("Table 1 — Rewriting Set Comparison Operations\n")
+	b.WriteString("(each quantifier expression is derived mechanically by the rewrite engine)\n\n")
+	for _, r := range rows {
+		got := expandTable1(r.template, r.setOfSet)
+		fmt.Fprintf(&b, "  %-12s ≡  %s\n", r.template.String(), got.String())
+	}
+	b.WriteString("\nNegating the operator negates the quantifier expression; antijoins are\nused instead of semijoins and vice versa (§5.2.1).\n")
+	return b.String(), nil
+}
+
+// Table2 regenerates the paper's Table 2: further predicates rewritable
+// into (negated) existential quantification.
+func Table2() (string, error) {
+	xc := adl.Dot(adl.V("x"), "c")
+	yp := adl.T("Y'")
+	rows := []struct {
+		template adl.Expr
+		setOfSet bool
+	}{
+		{adl.EqE(yp, adl.SetOf()), false},
+		{adl.EqE(adl.AggE(adl.Count, yp), adl.CInt(0)), false},
+		{adl.EqE(&adl.SetOp{Op: adl.Intersect, L: xc, R: yp}, adl.SetOf()), false},
+		{adl.All("z", xc, adl.CmpE(adl.SupEq, adl.V("z"), yp)), true},
+	}
+	var b strings.Builder
+	b.WriteString("Table 2 — Rewriting Predicates\n")
+	b.WriteString("(derived mechanically by the rewrite engine)\n\n")
+	for _, r := range rows {
+		got := expandFully(r.template, r.setOfSet)
+		fmt.Fprintf(&b, "  %-24s ≡  %s\n", r.template.String(), got.String())
+	}
+	return b.String(), nil
+}
+
+// Table3 regenerates the paper's Table 3: the static value of P(x, ∅) per
+// set comparison operator, computed by the ReduceWithEmpty analysis.
+func Table3() (string, error) {
+	xc := adl.Dot(adl.V("x"), "c")
+	sub := adl.Sel("y", adl.CBool(true), adl.T("Y'"))
+	rows := []adl.CmpOp{adl.Sub, adl.SubEq, adl.Eq, adl.SupEq, adl.Sup, adl.Has}
+	var b strings.Builder
+	b.WriteString("Table 3 — Set Comparison Operators And Bugs\n")
+	b.WriteString("(P(x, ∅) computed by the static reduction; '?' = run-time dependent)\n\n")
+	fmt.Fprintf(&b, "  %-12s %s\n", "P(x, Y')", "P(x, ∅)")
+	for _, op := range rows {
+		p := adl.CmpE(op, xc, sub)
+		tv := rewrite.ReduceWithEmpty(p, sub)
+		fmt.Fprintf(&b, "  x.c %-8s %s\n", op.String()+" Y'", tv)
+	}
+	b.WriteString("\nUnnesting by grouping is guaranteed correct only if P(x, ∅) reduces\nstatically to false (§5.2.2); the guard in rewrite.UnnestByGrouping\nenforces exactly this table.\n")
+	return b.String(), nil
+}
+
+// renderSet prints a set one element per line, sorted canonically.
+func renderSet(name string, s *value.Set) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s =\n", name)
+	for _, el := range s.Sorted() {
+		fmt.Fprintf(&b, "    %s\n", el)
+	}
+	if s.Len() == 0 {
+		b.WriteString("    (empty)\n")
+	}
+	return b.String()
+}
+
+// figureQuery is the Figure 1/2 nested query σ[x : x.c ⊆ σ[y : x.a = y.d](Y)](X).
+func figureQuery() adl.Expr {
+	sub := adl.Sel("y", adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
+	return adl.Sel("x", adl.CmpE(adl.SubEq, adl.Dot(adl.V("x"), "c"), sub), adl.T("X"))
+}
+
+func figureCtxTypes() *rewrite.Context {
+	de := types.NewTuple("d", types.IntType, "e", types.IntType)
+	return rewrite.NewStaticContext(map[string]*types.Tuple{
+		"X": types.NewTuple("a", types.IntType, "c", types.NewSet(de)),
+		"Y": de,
+	})
+}
+
+// Figure1 regenerates Figure 1: the nested query involving a set-valued
+// attribute, with its example tables and nested-loop result.
+func Figure1() (string, error) {
+	db := bench.Figure2DB()
+	q := figureQuery()
+	res, err := eval.EvalSet(q, nil, db)
+	if err != nil {
+		return "", err
+	}
+	x, _ := db.Table("X")
+	y, _ := db.Table("Y")
+	var b strings.Builder
+	b.WriteString("Figure 1 — Nesting Involving Set-Valued Attribute\n\n")
+	fmt.Fprintf(&b, "  query: %s\n\n", q)
+	b.WriteString(renderSet("X", x))
+	b.WriteString(renderSet("Y", y))
+	b.WriteString(renderSet("result (nested-loop semantics)", res))
+	return b.String(), nil
+}
+
+// Figure2 regenerates Figure 2: the Complex Object bug. The intermediate
+// join, nest and select/project results of the [GaWo87] plan are shown, and
+// the dangling tuple the join loses is identified.
+func Figure2() (string, error) {
+	db := bench.Figure2DB()
+	q := figureQuery()
+	ctx := figureCtxTypes()
+
+	correct, err := eval.EvalSet(q, nil, db)
+	if err != nil {
+		return "", err
+	}
+	buggy, ok := rewrite.UnnestByGrouping(q, ctx, true)
+	if !ok {
+		return "", fmt.Errorf("grouping rewrite did not apply")
+	}
+	buggyRes, err := eval.EvalSet(buggy, nil, db)
+	if err != nil {
+		return "", err
+	}
+
+	// Intermediate results of the flat join query.
+	join := adl.JoinE(adl.T("X"), "x", "y",
+		adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
+	joinRes, err := eval.EvalSet(join, nil, db)
+	if err != nil {
+		return "", err
+	}
+	nest := adl.Nu(join, "ys", "d", "e")
+	nestRes, err := eval.EvalSet(nest, nil, db)
+	if err != nil {
+		return "", err
+	}
+
+	x, _ := db.Table("X")
+	y, _ := db.Table("Y")
+	var b strings.Builder
+	b.WriteString("Figure 2 — The Complex Object Bug\n\n")
+	fmt.Fprintf(&b, "  nested query:   %s\n", q)
+	fmt.Fprintf(&b, "  [GaWo87] plan:  %s\n\n", buggy)
+	b.WriteString(renderSet("X", x))
+	b.WriteString(renderSet("Y", y))
+	b.WriteString(renderSet("join X ⋈(x.a = y.d) Y", joinRes))
+	b.WriteString(renderSet("nest ν[{d,e}→ys](join)", nestRes))
+	b.WriteString(renderSet("project/select (buggy result)", buggyRes))
+	b.WriteString(renderSet("correct result (nested-loop)", correct))
+	lost := correct.Diff(buggyRes)
+	b.WriteString(renderSet("LOST dangling tuples", lost))
+	b.WriteString("\nThe tuple ⟨a=2, c=∅⟩ is not matched by any y ∈ Y, so the subquery result\nis empty; ∅ ⊆ ∅ is true and the tuple belongs in the result, but the join\nloses it — the Complex Object bug. The Table 3 guard refuses this plan:\n")
+	sub := adl.Sel("y", adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
+	tv := rewrite.ReduceWithEmpty(adl.CmpE(adl.SubEq, adl.Dot(adl.V("x"), "c"), sub), sub)
+	fmt.Fprintf(&b, "  P(x, ∅) = x.c ⊆ ∅ reduces to %q (not false), so grouping is rejected.\n", tv.String())
+
+	res := rewrite.Optimize(q, ctx)
+	fmt.Fprintf(&b, "\nThe nestjoin strategy (§6.1) avoids the bug:\n  %s\n", res.Expr)
+	njRes, err := eval.EvalSet(res.Expr, nil, db)
+	if err != nil {
+		return "", err
+	}
+	if !value.Equal(njRes, correct) {
+		return "", fmt.Errorf("nestjoin plan diverges from ground truth")
+	}
+	b.WriteString("  (verified equal to the nested-loop result)\n")
+
+	// The [GaWo87] outer-join repair the paper sketches in §5.2.2.
+	repaired, ok := rewrite.UnnestByGroupingOuter(q, ctx)
+	if !ok {
+		return "", fmt.Errorf("outer repair did not apply")
+	}
+	fmt.Fprintf(&b, "\nThe [GaWo87] outerjoin repair (nulls represent the empty set) also works:\n  %s\n", repaired)
+	repRes, err := eval.EvalSet(repaired, nil, db)
+	if err != nil {
+		return "", err
+	}
+	if !value.Equal(repRes, correct) {
+		return "", fmt.Errorf("outer repair diverges from ground truth")
+	}
+	b.WriteString("  (verified equal to the nested-loop result)\n")
+	return b.String(), nil
+}
+
+// Figure3 regenerates Figure 3: the nestjoin example.
+func Figure3() (string, error) {
+	db := bench.Figure3DB()
+	q := adl.NestJoin(adl.T("X"), "x", "y",
+		adl.EqE(adl.Dot(adl.V("x"), "b"), adl.Dot(adl.V("y"), "d")), "ys", adl.T("Y"))
+	res, err := eval.EvalSet(q, nil, db)
+	if err != nil {
+		return "", err
+	}
+	x, _ := db.Table("X")
+	y, _ := db.Table("Y")
+	var b strings.Builder
+	b.WriteString("Figure 3 — Nestjoin Example\n\n")
+	fmt.Fprintf(&b, "  query: %s\n\n", q)
+	b.WriteString(renderSet("X", x))
+	b.WriteString(renderSet("Y", y))
+	b.WriteString(renderSet("X ⊣(x.b = y.d ; ys) Y", res))
+	b.WriteString("\nEach left operand tuple is concatenated with the set of matching right\noperand tuples; dangling tuples (a=3) keep the empty set instead of being\nlost (Definition 1, §6.1).\n")
+	return b.String(), nil
+}
+
+// traceArtifact runs the relational rules on a query and renders the paper-
+// style derivation chain.
+func traceArtifact(title string, q adl.Expr, ctx *rewrite.Context) (string, error) {
+	rules := append(rewrite.NormalizeRules(), rewrite.ExpandRules()...)
+	rules = append(rules, rewrite.QuantRules()...)
+	rules = append(rules, rewrite.NegationRules()...)
+	rules = append(rules, rewrite.JoinRules()...)
+	en := rewrite.NewEngine(rules)
+	out := en.Run(q, ctx)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", title)
+	fmt.Fprintf(&b, "     %s\n", q)
+	for _, s := range en.Trace {
+		fmt.Fprintf(&b, "  ≡  %s    [%s]\n", s.After, s.Rule)
+	}
+	fmt.Fprintf(&b, "\n  final: %s\n", out)
+	return b.String(), nil
+}
+
+// RewritingExample1 regenerates §5.2.1 Rewriting Example 1 (SET MEMBERSHIP).
+func RewritingExample1() (string, error) {
+	// σ[x : x.a ∈ α[y : y.d](σ[y : q](Y))](X) with q ≡ y.e ≥ x.a.
+	q := adl.CmpE(adl.Ge, adl.Dot(adl.V("y"), "e"), adl.Dot(adl.V("x"), "a"))
+	e := adl.Sel("x",
+		adl.CmpE(adl.In, adl.Dot(adl.V("x"), "a"),
+			adl.MapE("y", adl.Dot(adl.V("y"), "d"), adl.Sel("y", q, adl.T("Y")))),
+		adl.T("X"))
+	return traceArtifact("Rewriting Example 1 — SET MEMBERSHIP (x.c ∈ Y′ ⇒ semijoin)", e, figureCtxTypes())
+}
+
+// RewritingExample2 regenerates Rewriting Example 2 (SET INCLUSION).
+func RewritingExample2() (string, error) {
+	q := adl.EqE(adl.Dot(adl.V("y"), "d"), adl.Dot(adl.V("x"), "a"))
+	e := adl.Sel("x",
+		adl.CmpE(adl.SubEq, adl.Sel("y", q, adl.T("Y")), adl.Dot(adl.V("x"), "c")),
+		adl.T("X"))
+	return traceArtifact("Rewriting Example 2 — SET INCLUSION (Y′ ⊆ x.c ⇒ antijoin)", e, figureCtxTypes())
+}
+
+// RewritingExample3 regenerates Rewriting Example 3 (EXCHANGING QUANTIFIERS).
+func RewritingExample3() (string, error) {
+	ctx := rewrite.NewStaticContext(map[string]*types.Tuple{
+		"X": types.NewTuple("a", types.IntType, "c", types.NewSet(types.NewSet(types.IntType))),
+		"Y": types.NewTuple("d", types.IntType),
+	})
+	q := adl.CmpE(adl.Le, adl.Dot(adl.V("y"), "d"), adl.CInt(2))
+	sub := adl.MapE("y", adl.Dot(adl.V("y"), "d"), adl.Sel("y", q, adl.T("Y")))
+	e := adl.Sel("x",
+		adl.All("z", adl.Dot(adl.V("x"), "c"), adl.CmpE(adl.SupEq, adl.V("z"), sub)),
+		adl.T("X"))
+	return traceArtifact("Rewriting Example 3 — EXCHANGING QUANTIFIERS (∀z∈x.c • z ⊇ Y′ ⇒ antijoin)", e, ctx)
+}
+
+// paperQueries are the OOSQL sources of Example Queries 1–6 (§2, §4). EQ3's
+// first query is reproduced with an explicit flatten: the verbatim form
+// compares a set of parts with a set of sets of parts and is rejected by the
+// typechecker (the paper is informal here).
+func paperQueries() []struct{ Name, Src, Comment string } {
+	return []struct{ Name, Src, Comment string }{
+		{"EQ1", `select (sname = s.sname,
+        pnames = select p.pname from p in s.parts_supplied where p.color = "red")
+ from s in SUPPLIER`,
+			"nesting in the select-clause over a set-valued attribute: stays nested-loop (no base table inside the iterator, §3)"},
+		{"EQ2", `select d
+ from d in (select e from e in DELIVERY where e.supplier.sname = "supplier-1")
+ where d.date = 940101`,
+			"nesting in the from-clause: removed by composing selections"},
+		{"EQ3a", `select s.sname from s in SUPPLIER
+ where s.parts_supplied superset
+       flatten(select t.parts_supplied from t in SUPPLIER where t.sname = "supplier-1")`,
+			"set comparison between blocks (⊇ row of Table 1 ⇒ quantifiers ⇒ join)"},
+		{"EQ3b", `select d from d in DELIVERY
+ where exists x in (select s from s in d.supply where s.part.color = "red")`,
+			"quantifier over a subquery on a set-valued attribute: stays nested-loop"},
+		{"EQ4", `select s.eid from s in SUPPLIER
+ where exists z in s.parts_supplied : not exists p in PART : z = p`,
+			"attribute-unnest option: μ exposes the ¬∃, Rule 1 gives the antijoin"},
+		{"EQ5", `select s from s in SUPPLIER
+ where exists x in s.parts_supplied : exists p in PART : x = p and p.color = "red"`,
+			"quantifier exchange + Rule 1: the paper's semijoin"},
+		{"EQ6", `select (sname = s.sname,
+        parts_suppl = select p from p in PART where p in s.parts_supplied)
+ from s in SUPPLIER`,
+			"select-clause nesting over a base table: the nestjoin"},
+	}
+}
+
+// ExampleQueries regenerates Example Queries 1–6 end to end: parse,
+// translate, optimize (with option report), plan, and run on a small
+// generated database.
+func ExampleQueries() (string, error) {
+	st := bench.Generate(bench.Config{Suppliers: 6, Parts: 8, Fanout: 3,
+		Deliveries: 4, DanglingFrac: 0.3, Seed: 94})
+	var b strings.Builder
+	b.WriteString("Example Queries 1–6 (§2, §4) — full pipeline\n")
+	b.WriteString(strings.Repeat("=", 72) + "\n")
+	for _, pq := range paperQueries() {
+		fmt.Fprintf(&b, "\n%s — %s\n", pq.Name, pq.Comment)
+		fmt.Fprintf(&b, "  OOSQL:     %s\n", strings.Join(strings.Fields(pq.Src), " "))
+		e, _, err := translate.Parse(pq.Src, st.Catalog())
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", pq.Name, err)
+		}
+		fmt.Fprintf(&b, "  ADL:       %s\n", e)
+		res := rewrite.Optimize(e, rewrite.NewContext(st.Catalog()))
+		fmt.Fprintf(&b, "  optimized: %s\n", res.Expr)
+		opts := "none (nested-loop)"
+		if len(res.OptionsUsed) > 0 {
+			opts = strings.Join(res.OptionsUsed, ", ")
+		}
+		fmt.Fprintf(&b, "  options:   %s; nested base tables %d → %d\n",
+			opts, res.NestedBefore, res.NestedAfter)
+
+		// EQ1/EQ3b navigate references; the fixture's dangling refs would
+		// fail them, so run those on the dangling-free variant.
+		runStore := st
+		if pq.Name == "EQ1" || pq.Name == "EQ3b" {
+			runStore = bench.Generate(bench.Config{Suppliers: 6, Parts: 8, Fanout: 3,
+				Deliveries: 4, Seed: 94})
+		}
+		want, err := eval.EvalSet(e, nil, runStore)
+		if err != nil {
+			return "", fmt.Errorf("%s eval: %w", pq.Name, err)
+		}
+		got, err := plan.Run(res.Expr, runStore)
+		if err != nil {
+			return "", fmt.Errorf("%s plan: %w", pq.Name, err)
+		}
+		if !value.Equal(want, got) {
+			return "", fmt.Errorf("%s: physical result diverges", pq.Name)
+		}
+		fmt.Fprintf(&b, "  result:    %d tuples (physical plan ≡ nested-loop reference)\n", got.Len())
+	}
+
+	// The verbatim EQ3 is ill-typed; show the diagnostic.
+	b.WriteString("\nEQ3 (verbatim) — the paper compares {(pid)} with {{(pid)}}:\n")
+	_, _, err := translate.Parse(`select s.sname from s in SUPPLIER
+		where s.parts_supplied superset
+		(select t.parts_supplied from t in SUPPLIER where t.sname = "supplier-1")`, st.Catalog())
+	if err == nil {
+		return "", fmt.Errorf("verbatim EQ3 unexpectedly typechecked")
+	}
+	fmt.Fprintf(&b, "  typechecker: %v\n", err)
+	return b.String(), nil
+}
+
+// SchemaArtifact prints the §2 schema and its §4 ADL types, derived from the
+// catalog.
+func SchemaArtifact() (string, error) {
+	cat := schema.SupplierPart()
+	var b strings.Builder
+	b.WriteString("§2 schema and its §3/§4 logical design\n\n")
+	b.WriteString(cat.String())
+	b.WriteString("\nADL table types (class references erased to oid):\n")
+	names := cat.Extents()
+	sort.Strings(names)
+	for _, ext := range names {
+		tt, err := cat.ExtentType(ext)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %s : %s\n", ext, tt)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment drivers verify result equality internally and fail loudly;
+// running them at tiny scales keeps the whole suite under test.
+
+func TestB1(t *testing.T) {
+	tab, err := B1([][2]int{{20, 30}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "semijoin") {
+		t.Errorf("table lacks arms:\n%s", tab)
+	}
+}
+
+func TestB2(t *testing.T) {
+	tab, err := B2([][2]int{{20, 30}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestB3LostTuplesGrowWithEmptyFraction(t *testing.T) {
+	tab, err := B3(60, 40, []float64{0, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Column 4 is "lost tuples": zero when nothing dangles, positive at 50%.
+	if tab.Rows[0][4] != "0" {
+		t.Errorf("no-danging row lost %s tuples", tab.Rows[0][4])
+	}
+	if tab.Rows[1][4] == "0" {
+		t.Errorf("50%% empty row lost no tuples — bug not reproduced")
+	}
+}
+
+func TestB4BudgetsIncreaseSegments(t *testing.T) {
+	tab, err := B4(40, 60, 4, []int{0, 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last two rows are PNHL at budgets 0 (1 segment) and 10 (≥2 segments).
+	n := len(tab.Rows)
+	if tab.Rows[n-2][2] != "1" {
+		t.Errorf("unlimited budget used %s segments", tab.Rows[n-2][2])
+	}
+	if tab.Rows[n-1][2] == "1" {
+		t.Errorf("tight budget should need multiple segments")
+	}
+	// unnest-join-nest (row 2) loses the empty suppliers: its size is below
+	// the naive result size (row 0).
+	if tab.Rows[2][4] >= tab.Rows[0][4] {
+		t.Errorf("unnest-join-nest did not lose dangling suppliers: %v vs %v",
+			tab.Rows[2][4], tab.Rows[0][4])
+	}
+}
+
+func TestB5(t *testing.T) {
+	tab, err := B5([][2]int{{50, 50}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object reads equal the delivery count (one deref per reference).
+	if tab.Rows[0][5] != "50" {
+		t.Errorf("object reads = %s, want 50", tab.Rows[0][5])
+	}
+}
+
+func TestB6(t *testing.T) {
+	if _, err := B6([][2]int{{20, 20}}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestB7ReportsOptions(t *testing.T) {
+	tab, err := B7(24, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"relational-join", "attribute-unnest", "nestjoin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B7 table missing option %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadArmsAgree(t *testing.T) {
+	w := NewEQ5(15, 20, 2)
+	a, err := w.RunNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.RunOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.RunOptNL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || b.Len() != c.Len() {
+		t.Errorf("arm sizes differ: %d %d %d", a.Len(), b.Len(), c.Len())
+	}
+}
+
+func TestGroupedPlanDerivable(t *testing.T) {
+	w := NewSubset(20, 15, 0.2, 3)
+	if _, ok := w.GroupedPlan(); !ok {
+		t.Fatalf("grouped plan must be derivable for the subset workload")
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adl"
+	"repro/internal/bench"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Workload bundles one experiment's database, its naive (nested-loop) query
+// and the optimized form produced by the §4 strategy.
+type Workload struct {
+	Name  string
+	Store *storage.Store
+	// Naive is the nested ADL expression as translated from OOSQL.
+	Naive adl.Expr
+	// Opt is the rewritten join query.
+	Opt adl.Expr
+	// Result of rewriting for inspection (trace, options used).
+	Rewrite *rewrite.Result
+}
+
+// RunNaive executes the nested form tuple-at-a-time (reference interpreter).
+func (w *Workload) RunNaive() (*value.Set, error) {
+	return eval.EvalSet(w.Naive, nil, w.Store)
+}
+
+// RunOpt executes the optimized form through the physical planner.
+func (w *Workload) RunOpt() (*value.Set, error) {
+	return plan.Run(w.Opt, w.Store)
+}
+
+// RunOptNL executes the optimized logical form with nested-loop physical
+// operators only (isolates the logical rewrite from the physical win).
+func (w *Workload) RunOptNL() (*value.Set, error) {
+	return eval.EvalSet(w.Opt, nil, w.Store)
+}
+
+func optimize(name string, st *storage.Store, naive adl.Expr) *Workload {
+	res := rewrite.Optimize(naive, rewrite.NewContext(st.Catalog()))
+	return &Workload{Name: name, Store: st, Naive: naive, Opt: res.Expr, Rewrite: res}
+}
+
+// eq5Expr is Example Query 5: suppliers supplying red parts.
+func eq5Expr() adl.Expr {
+	return adl.Sel("s",
+		adl.Ex("x", adl.Dot(adl.V("s"), "parts"),
+			adl.Ex("p", adl.T("PART"),
+				adl.AndE(adl.EqE(adl.V("x"), adl.SubT(adl.V("p"), "pid")),
+					adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red"))))),
+		adl.T("SUPPLIER"))
+}
+
+// NewEQ5 builds the B1 workload (nested quantifiers vs semijoin) at a scale.
+func NewEQ5(suppliers, parts int, seed int64) *Workload {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: parts, Seed: seed})
+	return optimize(fmt.Sprintf("EQ5[%dx%d]", suppliers, parts), st, eq5Expr())
+}
+
+// eq4Expr is Example Query 4: referential integrity violations.
+func eq4Expr() adl.Expr {
+	return adl.MapE("s", adl.Dot(adl.V("s"), "eid"),
+		adl.Sel("s",
+			adl.Ex("z", adl.Dot(adl.V("s"), "parts"),
+				adl.NotE(adl.Ex("p", adl.T("PART"),
+					adl.EqE(adl.V("z"), adl.SubT(adl.V("p"), "pid"))))),
+			adl.T("SUPPLIER")))
+}
+
+// NewEQ4 builds the B2 workload (universal/negated-existential vs
+// unnest + antijoin).
+func NewEQ4(suppliers, parts int, seed int64) *Workload {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: parts, DanglingFrac: 0.01, Seed: seed})
+	return optimize(fmt.Sprintf("EQ4[%dx%d]", suppliers, parts), st, eq4Expr())
+}
+
+// eq6Expr is Example Query 6: supplier names with the parts supplied.
+func eq6Expr() adl.Expr {
+	return adl.MapE("s",
+		adl.Tup("sname", adl.Dot(adl.V("s"), "sname"),
+			"parts_suppl", adl.Sel("p",
+				adl.CmpE(adl.In, adl.SubT(adl.V("p"), "pid"), adl.Dot(adl.V("s"), "parts")),
+				adl.T("PART"))),
+		adl.T("SUPPLIER"))
+}
+
+// NewEQ6 builds the B3 nestjoin workload (nesting in the select-clause).
+func NewEQ6(suppliers, parts int, seed int64) *Workload {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: parts, Seed: seed})
+	return optimize(fmt.Sprintf("EQ6[%dx%d]", suppliers, parts), st, eq6Expr())
+}
+
+// subsetExpr is the Figure 1/2 query shape against the supplier-part
+// schema: suppliers all of whose parts are cheap — s.parts ⊆ Y′ with the
+// correlated block Y′ = {⟨pid⟩ | p ∈ PART, p[pid] ∈ s.parts, p.price < 60}.
+// P(x, ∅) = (s.parts ⊆ ∅) is run-time dependent, so grouping is buggy
+// (suppliers with empty part sets vacuously qualify but are lost by the
+// join) and the strategy must use the nestjoin.
+func subsetExpr() adl.Expr {
+	sub := adl.MapE("p", adl.Tup("pid", adl.Dot(adl.V("p"), "pid")),
+		adl.Sel("p", adl.AndE(
+			adl.CmpE(adl.In, adl.SubT(adl.V("p"), "pid"), adl.Dot(adl.V("s"), "parts")),
+			adl.CmpE(adl.Lt, adl.Dot(adl.V("p"), "price"), adl.CInt(60))),
+			adl.T("PART")))
+	return adl.Sel("s",
+		adl.CmpE(adl.SubEq, adl.Dot(adl.V("s"), "parts"), sub),
+		adl.T("SUPPLIER"))
+}
+
+// NewSubset builds the B3 bug workload with a tunable fraction of suppliers
+// with empty part sets (the dangling tuples grouping loses).
+func NewSubset(suppliers, parts int, emptyFrac float64, seed int64) *Workload {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: parts, EmptyFrac: emptyFrac, Seed: seed})
+	return optimize(fmt.Sprintf("subset[%dx%d,empty=%.0f%%]", suppliers, parts, emptyFrac*100), st, subsetExpr())
+}
+
+// GroupedPlan returns the [GaWo87] join+nest plan for the workload's naive
+// query, forced past the Table 3 guard (the buggy plan of Figure 2).
+func (w *Workload) GroupedPlan() (adl.Expr, bool) {
+	// Normalize first so the with-bindings and from-compositions are gone.
+	norm := rewrite.NewEngine(rewrite.NormalizeRules())
+	base := norm.Run(w.Naive, rewrite.NewContext(w.Store.Catalog()))
+	return rewrite.UnnestByGrouping(base, rewrite.NewContext(w.Store.Catalog()), true)
+}
+
+// OuterRepairPlan returns the [GaWo87] outer-join repair of the grouping
+// plan — correct for every predicate, at the cost of the wider join.
+func (w *Workload) OuterRepairPlan() (adl.Expr, bool) {
+	norm := rewrite.NewEngine(rewrite.NormalizeRules())
+	base := norm.Run(w.Naive, rewrite.NewContext(w.Store.Catalog()))
+	return rewrite.UnnestByGroupingOuter(base, rewrite.NewContext(w.Store.Catalog()))
+}
+
+// MaterializeArms builds the B4 experiment: attach to every supplier the set
+// of Part objects it references, four ways. The returned runners each
+// produce the same-shaped result (supplier tuple with parts replaced by the
+// set of part objects) except unnest-join-nest, which loses suppliers with
+// empty part sets — its runner also reports the result cardinality so the
+// loss is visible.
+type MaterializeArms struct {
+	Store *storage.Store
+	// NaiveExpr is evaluated tuple-at-a-time.
+	NaiveExpr adl.Expr
+}
+
+// NewMaterialize builds the B4 workload.
+func NewMaterialize(suppliers, parts, fanout int, seed int64) *MaterializeArms {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: parts, Fanout: fanout, EmptyFrac: 0.05, Seed: seed})
+	naive := adl.MapE("s",
+		adl.Exc(adl.V("s"), "parts",
+			adl.Sel("p",
+				adl.CmpE(adl.In, adl.SubT(adl.V("p"), "pid"), adl.Dot(adl.V("s"), "parts")),
+				adl.T("PART"))),
+		adl.T("SUPPLIER"))
+	return &MaterializeArms{Store: st, NaiveExpr: naive}
+}
+
+// RunNaive executes the per-tuple nested loop.
+func (m *MaterializeArms) RunNaive() (*value.Set, error) {
+	return eval.EvalSet(m.NaiveExpr, nil, m.Store)
+}
+
+// RunNestjoin executes the set-probe nestjoin plan.
+func (m *MaterializeArms) RunNestjoin() (*value.Set, error) {
+	join := &exec.SetProbeJoin{
+		Kind: adl.NestJ,
+		L:    &exec.Scan{Table: "SUPPLIER"},
+		R:    &exec.Scan{Table: "PART"},
+		Attr: "parts",
+		RKey: exec.NewScalar(adl.SubT(adl.V("p"), "pid"), "p"),
+		As:   "ys",
+	}
+	// Reshape (eid, sname, parts, ys) to parts := ys.
+	body := adl.Exc(adl.SubT(adl.V("z"), "eid", "sname"),
+		"parts", adl.Dot(adl.V("z"), "ys"))
+	op := &exec.MapOp{Child: join, Var: "z", Body: exec.NewScalar(body, "z")}
+	return exec.Collect(op, &exec.Ctx{DB: m.Store})
+}
+
+// RunPNHL executes the partitioned nested-hashed-loops algorithm with the
+// given build-side memory budget (rows per segment; 0 = unlimited).
+func (m *MaterializeArms) RunPNHL(budgetRows int) (*value.Set, int, error) {
+	member := exec.NewScalar(adl.V("y"), "e", "y")
+	op := &exec.PNHL{
+		L:          &exec.Scan{Table: "SUPPLIER"},
+		R:          &exec.Scan{Table: "PART"},
+		Attr:       "parts",
+		ElemKey:    exec.NewScalar(adl.Dot(adl.V("e"), "pid"), "e"),
+		BuildKey:   exec.NewScalar(adl.Dot(adl.V("y"), "pid"), "y"),
+		BudgetRows: budgetRows,
+		Member:     &member,
+	}
+	set, err := exec.Collect(op, &exec.Ctx{DB: m.Store})
+	return set, op.SegmentsUsed, err
+}
+
+// RunUnnestJoinNest executes the μ → hash join → ν alternative the paper
+// compares PNHL against. It returns its result cardinality: suppliers with
+// empty part sets are lost by μ and never regrouped (the restructuring
+// overhead plus the PNF caveat of §4).
+func (m *MaterializeArms) RunUnnestJoinNest() (int, error) {
+	// μ_parts(SUPPLIER): (pid, eid, sname); join part objects wrapped as
+	// (pobj = p, jpid = p.pid) to avoid the pid concat conflict; nest the
+	// pobj/jpid/pid attributes away.
+	rshape := adl.Tup("pobj", adl.V("p"), "jpid", adl.Dot(adl.V("p"), "pid"))
+	rop := &exec.MapOp{Child: &exec.Scan{Table: "PART"}, Var: "p", Body: exec.NewScalar(rshape, "p")}
+	join := &exec.HashJoin{
+		Kind: adl.Inner,
+		L:    &exec.UnnestOp{Child: &exec.Scan{Table: "SUPPLIER"}, Attr: "parts"},
+		R:    rop,
+		LVar: "l", RVar: "r",
+		LKey: exec.NewScalar(adl.Dot(adl.V("l"), "pid"), "l"),
+		RKey: exec.NewScalar(adl.Dot(adl.V("r"), "jpid"), "r"),
+	}
+	nest := &exec.NestOp{Child: join, Attrs: []string{"pid", "pobj", "jpid"}, As: "parts"}
+	set, err := exec.Collect(nest, &exec.Ctx{DB: m.Store})
+	if err != nil {
+		return 0, err
+	}
+	return set.Len(), nil
+}
+
+// PointerJoinArms is the B5 experiment: materialize each delivery's supplier
+// object, by value-based hash join versus pointer-based assembly.
+type PointerJoinArms struct {
+	Store *storage.Store
+}
+
+// NewPointerJoin builds the B5 workload.
+func NewPointerJoin(suppliers, deliveries int, seed int64) *PointerJoinArms {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: 10, Fanout: 2,
+		Deliveries: deliveries, Seed: seed})
+	return &PointerJoinArms{Store: st}
+}
+
+// RunHashJoin materializes via a value-based hash join on the oid.
+func (p *PointerJoinArms) RunHashJoin() (*value.Set, error) {
+	rshape := adl.Tup("sobj", adl.V("s"), "seid", adl.Dot(adl.V("s"), "eid"))
+	rop := &exec.MapOp{Child: &exec.Scan{Table: "SUPPLIER"}, Var: "s", Body: exec.NewScalar(rshape, "s")}
+	join := &exec.HashJoin{
+		Kind: adl.Inner,
+		L:    &exec.Scan{Table: "DELIVERY"},
+		R:    rop,
+		LVar: "d", RVar: "r",
+		LKey: exec.NewScalar(adl.Dot(adl.V("d"), "supplier"), "d"),
+		RKey: exec.NewScalar(adl.Dot(adl.V("r"), "seid"), "r"),
+	}
+	body := adl.Exc(adl.SubT(adl.V("z"), "did", "supplier", "supply", "date"),
+		"sup", adl.Dot(adl.V("z"), "sobj"))
+	op := &exec.MapOp{Child: join, Var: "z", Body: exec.NewScalar(body, "z")}
+	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+}
+
+// RunAssembly materializes via pointer dereferencing.
+func (p *PointerJoinArms) RunAssembly() (*value.Set, error) {
+	op := &exec.Assembly{Child: &exec.Scan{Table: "DELIVERY"}, Attr: "supplier", As: "sup"}
+	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+}
+
+// NewForallExchange builds the B6 workload (Rewriting Example 3 shape) on a
+// synthetic set-of-sets database of the given size.
+func NewForallExchange(nx, ny int, seed int64) (*storage.MemDB, adl.Expr, adl.Expr) {
+	rng := newRng(seed)
+	x := value.EmptySet()
+	for i := 0; i < nx; i++ {
+		c := value.EmptySet()
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			inner := value.EmptySet()
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				inner.Add(value.Int(int64(rng.Intn(ny))))
+			}
+			c.Add(inner)
+		}
+		x.Add(value.NewTuple("a", value.Int(int64(i)), "c", c))
+	}
+	y := value.EmptySet()
+	for i := 0; i < ny; i++ {
+		y.Add(value.NewTuple("d", value.Int(int64(i))))
+	}
+	db := storage.NewMemDB("XX", x, "YY", y)
+
+	q := adl.CmpE(adl.Le, adl.Dot(adl.V("y"), "d"), adl.CInt(2))
+	sub := adl.MapE("y", adl.Dot(adl.V("y"), "d"), adl.Sel("y", q, adl.T("YY")))
+	naive := adl.Sel("x",
+		adl.All("z", adl.Dot(adl.V("x"), "c"), adl.CmpE(adl.SupEq, adl.V("z"), sub)),
+		adl.T("XX"))
+
+	ctx := rewrite.NewStaticContext(map[string]*types.Tuple{
+		"XX": types.NewTuple("a", types.IntType, "c", types.NewSet(types.NewSet(types.IntType))),
+		"YY": types.NewTuple("d", types.IntType),
+	})
+	res := rewrite.Optimize(naive, ctx)
+	return db, naive, res.Expr
+}
+
+// newRng is a deterministic rand source helper.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,218 @@
+package oosql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Expr is an OOSQL abstract syntax tree node.
+type Expr interface {
+	Pos() Pos
+	String() string
+	node()
+}
+
+// Lit is a literal (int, float, string, bool).
+type Lit struct {
+	Val value.Value
+	At  Pos
+}
+
+// Ident is an unresolved name: an iteration variable, a with-binding, or a
+// base table; resolution happens during translation.
+type Ident struct {
+	Name string
+	At   Pos
+}
+
+// FieldAcc is a path step x.name. Paths over reference attributes navigate
+// implicitly (d.supplier.sname).
+type FieldAcc struct {
+	X    Expr
+	Name string
+	At   Pos
+}
+
+// TupleCtor is the tuple constructor (a1 = e1, ..., an = en) used for
+// nesting in the select-clause (Example Query 1).
+type TupleCtor struct {
+	Names []string
+	Elems []Expr
+	At    Pos
+}
+
+// SetCtor is the set constructor {e1, ..., en}.
+type SetCtor struct {
+	Elems []Expr
+	At    Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp string
+
+// Binary operators.
+const (
+	OpEq        BinOp = "="
+	OpNe        BinOp = "<>"
+	OpLt        BinOp = "<"
+	OpLe        BinOp = "<="
+	OpGt        BinOp = ">"
+	OpGe        BinOp = ">="
+	OpIn        BinOp = "in"
+	OpNotIn     BinOp = "not in"
+	OpSubset    BinOp = "subset"    // ⊆
+	OpPSubset   BinOp = "psubset"   // ⊂
+	OpSuperset  BinOp = "superset"  // ⊇
+	OpPSuperset BinOp = "psuperset" // ⊃
+	OpContains  BinOp = "contains"  // ∋
+	OpAnd       BinOp = "and"
+	OpOr        BinOp = "or"
+	OpUnion     BinOp = "union"
+	OpIntersect BinOp = "intersect"
+	OpMinus     BinOp = "minus"
+	OpAdd       BinOp = "+"
+	OpSub       BinOp = "-"
+	OpMul       BinOp = "*"
+	OpDiv       BinOp = "/"
+)
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	At   Pos
+}
+
+// Unary is "not e" or "-e".
+type Unary struct {
+	Op string // "not" or "-"
+	X  Expr
+	At Pos
+}
+
+// WithBinding is one "with name = expr" local definition attached to an SFW
+// block (the paper's with construct, §5.1).
+type WithBinding struct {
+	Name string
+	Val  Expr
+}
+
+// SFW is a select-from-where block. Where == nil means no where-clause.
+type SFW struct {
+	Sel   Expr
+	Var   string
+	From  Expr
+	Where Expr
+	Withs []WithBinding
+	At    Pos
+}
+
+// QuantKind enumerates OOSQL quantifiers.
+type QuantKind uint8
+
+// Quantifier kinds.
+const (
+	QExists QuantKind = iota
+	QForall
+)
+
+// Quant is "exists x in e [: p]" or "forall x in e : p". A missing predicate
+// defaults to true (Example Query 3.2 tests bare non-emptiness).
+type Quant struct {
+	Kind QuantKind
+	Var  string
+	Src  Expr
+	Pred Expr // nil ⇒ true
+	At   Pos
+}
+
+// Call is an aggregate or builtin application: count, sum, min, max, avg,
+// flatten.
+type Call struct {
+	Fn   string
+	Args []Expr
+	At   Pos
+}
+
+func (e *Lit) node()       {}
+func (e *Ident) node()     {}
+func (e *FieldAcc) node()  {}
+func (e *TupleCtor) node() {}
+func (e *SetCtor) node()   {}
+func (e *Binary) node()    {}
+func (e *Unary) node()     {}
+func (e *SFW) node()       {}
+func (e *Quant) node()     {}
+func (e *Call) node()      {}
+
+func (e *Lit) Pos() Pos       { return e.At }
+func (e *Ident) Pos() Pos     { return e.At }
+func (e *FieldAcc) Pos() Pos  { return e.At }
+func (e *TupleCtor) Pos() Pos { return e.At }
+func (e *SetCtor) Pos() Pos   { return e.At }
+func (e *Binary) Pos() Pos    { return e.At }
+func (e *Unary) Pos() Pos     { return e.At }
+func (e *SFW) Pos() Pos       { return e.At }
+func (e *Quant) Pos() Pos     { return e.At }
+func (e *Call) Pos() Pos      { return e.At }
+
+func (e *Lit) String() string   { return e.Val.String() }
+func (e *Ident) String() string { return e.Name }
+func (e *FieldAcc) String() string {
+	return fmt.Sprintf("%s.%s", e.X, e.Name)
+}
+
+func (e *TupleCtor) String() string {
+	parts := make([]string, len(e.Elems))
+	for i := range e.Elems {
+		parts[i] = e.Names[i] + " = " + e.Elems[i].String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *SetCtor) String() string {
+	parts := make([]string, len(e.Elems))
+	for i := range e.Elems {
+		parts[i] = e.Elems[i].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+func (e *Unary) String() string { return fmt.Sprintf("%s %s", e.Op, e.X) }
+
+func (e *SFW) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "select %s from %s in %s", e.Sel, e.Var, e.From)
+	if e.Where != nil {
+		fmt.Fprintf(&b, " where %s", e.Where)
+	}
+	for _, w := range e.Withs {
+		fmt.Fprintf(&b, " with %s = %s", w.Name, w.Val)
+	}
+	return b.String()
+}
+
+func (e *Quant) String() string {
+	kw := "exists"
+	if e.Kind == QForall {
+		kw = "forall"
+	}
+	if e.Pred == nil {
+		return fmt.Sprintf("%s %s in %s", kw, e.Var, e.Src)
+	}
+	return fmt.Sprintf("%s %s in %s : %s", kw, e.Var, e.Src, e.Pred)
+}
+
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i := range e.Args {
+		parts[i] = e.Args[i].String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Fn, strings.Join(parts, ", "))
+}

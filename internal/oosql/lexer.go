@@ -1,0 +1,182 @@
+package oosql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns OOSQL source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(start)
+	case c == '"':
+		return lx.lexString(start)
+	}
+	// Symbols, longest match first.
+	for _, sym := range []string{"<=", ">=", "<>", "(", ")", "{", "}", ",", ".", "=", "<", ">", "+", "-", "*", "/", ":"} {
+		if strings.HasPrefix(lx.src[lx.off:], sym) {
+			for range sym {
+				lx.advance()
+			}
+			return Token{Kind: TokSym, Text: sym, Pos: start}, nil
+		}
+	}
+	return Token{}, errf(start, "unexpected character %q", string(c))
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '-' && lx.peek2() == '-':
+			// SQL-style line comment.
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '\'' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// lexIdent scans an identifier or keyword. Trailing primes are allowed so
+// the paper's subquery names (Y′ written Y') work verbatim.
+func (lx *Lexer) lexIdent(start Pos) Token {
+	from := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[from:lx.off]
+	if keywords[text] {
+		return Token{Kind: TokKeyword, Text: text, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (lx *Lexer) lexNumber(start Pos) (Token, error) {
+	from := lx.off
+	for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+		lx.advance()
+	}
+	isFloat := false
+	if lx.peek() == '.' && lx.peek2() >= '0' && lx.peek2() <= '9' {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+			lx.advance()
+		}
+	}
+	text := lx.src[from:lx.off]
+	if isFloat {
+		return Token{Kind: TokFloat, Text: text, Pos: start}, nil
+	}
+	return Token{Kind: TokInt, Text: text, Pos: start}, nil
+}
+
+func (lx *Lexer) lexString(start Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(start, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		if c == '\\' {
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(start, "unterminated string escape")
+			}
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(esc)
+			default:
+				return Token{}, errf(start, "unknown string escape \\%s", string(esc))
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+}

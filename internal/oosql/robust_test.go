@@ -1,0 +1,89 @@
+package oosql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics feeds the parser random byte soup and random
+// mutations of valid queries: it must return a value or an error, never
+// panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`select s from s in SUPPLIER where exists x in s.parts : x = 1`,
+		`select (a = 1, b = {1, 2}) from x in X where x.a subset y union z`,
+		`count(S) = 0 or not x in y and forall z in w : true`,
+	}
+	alphabet := `select from where in with exists forall and or not () {} ,.=<>+-*/: "str" 123 4.5 ident Y'`
+	words := strings.Fields(alphabet)
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src string
+		switch rng.Intn(3) {
+		case 0:
+			// Pure word soup.
+			n := rng.Intn(30)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = words[rng.Intn(len(words))]
+			}
+			src = strings.Join(parts, " ")
+		case 1:
+			// Truncated valid query.
+			s := seeds[rng.Intn(len(seeds))]
+			src = s[:rng.Intn(len(s)+1)]
+		default:
+			// Valid query with random byte edits.
+			b := []byte(seeds[rng.Intn(len(seeds))])
+			for i := 0; i < 3; i++ {
+				if len(b) == 0 {
+					break
+				}
+				b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+			}
+			src = string(b)
+		}
+		// Must not panic; errors are fine.
+		_, _ = Parse(src)
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepNestingParses guards against recursion blowups on deeply nested
+// input.
+func TestDeepNestingParses(t *testing.T) {
+	depth := 200
+	src := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("deep parens: %v", err)
+	}
+	if _, ok := e.(*Lit); !ok {
+		t.Fatalf("deep parens = %T", e)
+	}
+	// Deep sfw nesting in the from-clause.
+	q := "S"
+	for i := 0; i < 50; i++ {
+		q = "(select x from x in " + q + ")"
+	}
+	if _, err := Parse("select y from y in " + q); err != nil {
+		t.Fatalf("deep sfw: %v", err)
+	}
+}
+
+// TestWithBindingChains: multiple with-bindings see each other in order.
+func TestWithBindingChains(t *testing.T) {
+	e, err := Parse(`select x from x in X where x in B with A = {1, 2} with B = A union {3}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfw := e.(*SFW)
+	if len(sfw.Withs) != 2 || sfw.Withs[0].Name != "A" || sfw.Withs[1].Name != "B" {
+		t.Fatalf("withs = %v", sfw.Withs)
+	}
+}

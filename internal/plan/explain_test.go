@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/bench"
+	"repro/internal/exec"
+	"repro/internal/value"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	st := bench.Generate(bench.Config{Suppliers: 6, Parts: 8, Seed: 3})
+	got, err := Run(adl.Sel("p",
+		adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART")), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range got.Elems() {
+		if !value.Equal(el.(*value.Tuple).MustGet("color"), value.String("red")) {
+			t.Errorf("Run returned non-red part: %v", el)
+		}
+	}
+	if _, err := Run(adl.T("NOPE"), st); err == nil {
+		t.Errorf("Run must surface execution errors")
+	}
+}
+
+// TestExplainCoversEveryOperator drives Explain over one instance of each
+// physical operator and checks each renders a recognizable line.
+func TestExplainCoversEveryOperator(t *testing.T) {
+	key := exec.NewScalar(adl.Dot(adl.V("x"), "a"), "x")
+	rkey := exec.NewScalar(adl.Dot(adl.V("y"), "d"), "y")
+	pred := exec.NewScalar(adl.CBool(true), "x", "y")
+	scanL := func() exec.Operator { return &exec.Scan{Table: "L"} }
+	scanR := func() exec.Operator { return &exec.Scan{Table: "R"} }
+	cases := []struct {
+		op   exec.Operator
+		want string
+	}{
+		{scanL(), "Scan(L)"},
+		{&exec.SetScan{Set: value.NewSet(value.Int(1))}, "SetScan(1 elems)"},
+		{&exec.ExprScan{Expr: adl.T("L")}, "interpreter fallback"},
+		{&exec.Filter{Child: scanL(), Var: "x", Pred: exec.NewScalar(adl.CBool(true), "x")}, "Filter[x"},
+		{&exec.MapOp{Child: scanL(), Var: "x", Body: key}, "Map[x"},
+		{&exec.ProjectOp{Child: scanL(), Attrs: []string{"a"}}, "Project[a]"},
+		{&exec.UnnestOp{Child: scanL(), Attr: "c"}, "Unnest[c]"},
+		{&exec.NestOp{Child: scanL(), Attrs: []string{"a"}, As: "g"}, "Nest[{a} -> g]"},
+		{&exec.FlattenOp{Child: scanL()}, "Flatten"},
+		{&exec.Assembly{Child: scanL(), Attr: "r", As: "o"}, "Assembly[r -> o]"},
+		{&exec.RenameOp{Child: scanL(), From: "a", To: "b"}, "RenameOp"},
+		{&exec.LetOp{Var: "v", Val: adl.T("R"), Child: scanL()}, "Let[v = R]"},
+		{&exec.HashJoin{Kind: adl.Inner, L: scanL(), R: scanR(), LKey: key, RKey: rkey}, "HashJoin[⋈"},
+		{&exec.SetProbeJoin{Kind: adl.Semi, L: scanL(), R: scanR(), Attr: "c", RKey: rkey}, "SetProbeJoin[⋉"},
+		{&exec.SortMergeJoin{Kind: adl.Inner, L: scanL(), R: scanR(), LKey: key, RKey: rkey}, "SortMergeJoin[⋈"},
+		{&exec.NLJoin{Kind: adl.Anti, L: scanL(), R: scanR(), Pred: pred}, "NLJoin[▷"},
+		{&exec.PNHL{L: scanL(), R: scanR(), Attr: "c", ElemKey: key, BuildKey: rkey, BudgetRows: 7}, "PNHL[.c with budget 7"},
+		{&exec.DivideOp{L: scanL(), R: scanR()}, "DivideOp"},
+	}
+	for _, c := range cases {
+		out := Explain(c.op)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("Explain(%T) = %q, want contains %q", c.op, out, c.want)
+		}
+	}
+	// Children are rendered, indented.
+	nested := Explain(&exec.Filter{Child: &exec.Scan{Table: "L"}, Var: "x",
+		Pred: exec.NewScalar(adl.CBool(true), "x")})
+	if !strings.Contains(nested, "  Scan(L)") {
+		t.Errorf("child not indented:\n%s", nested)
+	}
+}

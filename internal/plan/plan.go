@@ -1,0 +1,247 @@
+// Package plan lowers logical ADL expressions to physical operator trees.
+// The planner is rule-based, in the spirit of the paper's motivation: once
+// the rewriter has produced join operators, "the optimizer may choose from a
+// number of different join processing strategies" (§5.1). Equi-predicates
+// select hash joins, membership-in-attribute predicates select the
+// set-probe join (the single-segment PNHL core), materialize becomes the
+// pointer-based assembly, and everything else falls back to nested loops —
+// or, for fragments with no physical counterpart, to the reference
+// interpreter.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adl"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/value"
+)
+
+// Compile builds a physical operator tree for a (set-valued) ADL expression.
+func Compile(e adl.Expr) exec.Operator {
+	switch n := e.(type) {
+	case *adl.Table:
+		return &exec.Scan{Table: n.Name}
+
+	case *adl.Select:
+		return &exec.Filter{
+			Child: Compile(n.Src),
+			Var:   n.Var,
+			Pred:  exec.NewScalar(n.Pred, n.Var),
+		}
+
+	case *adl.Map:
+		return &exec.MapOp{
+			Child: Compile(n.Src),
+			Var:   n.Var,
+			Body:  exec.NewScalar(n.Body, n.Var),
+		}
+
+	case *adl.Project:
+		return &exec.ProjectOp{Child: Compile(n.X), Attrs: n.Attrs}
+
+	case *adl.Unnest:
+		return &exec.UnnestOp{Child: Compile(n.X), Attr: n.Attr}
+
+	case *adl.Nest:
+		return &exec.NestOp{Child: Compile(n.X), Attrs: n.Attrs, As: n.As}
+
+	case *adl.Flatten:
+		return &exec.FlattenOp{Child: Compile(n.X)}
+
+	case *adl.Materialize:
+		return &exec.Assembly{Child: Compile(n.X), Attr: n.Attr, As: n.As}
+
+	case *adl.Rename:
+		return &exec.RenameOp{Child: Compile(n.X), From: n.From, To: n.To}
+
+	case *adl.Divide:
+		return &exec.DivideOp{L: Compile(n.L), R: Compile(n.R)}
+
+	case *adl.Let:
+		return &exec.LetOp{Var: n.Var, Val: n.Val, Child: Compile(n.Body)}
+
+	case *adl.Join:
+		return compileJoin(n)
+	}
+	// Fallback: evaluate the fragment with the reference interpreter.
+	return &exec.ExprScan{Expr: e}
+}
+
+// Run compiles and executes a set-valued expression.
+func Run(e adl.Expr, db eval.DB) (*value.Set, error) {
+	op := Compile(e)
+	return exec.Collect(op, &exec.Ctx{DB: db})
+}
+
+// compileJoin chooses a join implementation from the predicate shape.
+func compileJoin(j *adl.Join) exec.Operator {
+	l, r := Compile(j.L), Compile(j.R)
+	var rfun *exec.Scalar
+	if j.RFun != nil {
+		s := exec.NewScalar(j.RFun, j.LVar, j.RVar)
+		rfun = &s
+	}
+
+	cs := conjuncts(j.On)
+
+	// Membership-in-attribute shape: key(y) ∈ x.attr as the sole conjunct
+	// (the paper's p[pid] ∈ s.parts), for the filtering/grouping kinds.
+	if len(cs) == 1 && (j.Kind == adl.Semi || j.Kind == adl.Anti || j.Kind == adl.NestJ) {
+		if cmp, ok := cs[0].(*adl.Cmp); ok && cmp.Op == adl.In {
+			if fa, ok := cmp.R.(*adl.Field); ok {
+				if v, ok := fa.X.(*adl.Var); ok && v.Name == j.LVar &&
+					!adl.HasFree(cmp.L, j.LVar) {
+					return &exec.SetProbeJoin{
+						Kind: j.Kind, L: l, R: r,
+						Attr: fa.Name,
+						RKey: exec.NewScalar(cmp.L, j.RVar),
+						As:   j.As, RFun: rfun,
+					}
+				}
+			}
+		}
+	}
+
+	// Equi-key extraction: conjuncts f(x) = g(y).
+	var lkeys, rkeys []adl.Expr
+	var residual []adl.Expr
+	for _, c := range cs {
+		cmp, ok := c.(*adl.Cmp)
+		if !ok || cmp.Op != adl.Eq {
+			residual = append(residual, c)
+			continue
+		}
+		lSide, rSide := cmp.L, cmp.R
+		if adl.HasFree(lSide, j.RVar) || adl.HasFree(rSide, j.LVar) {
+			lSide, rSide = rSide, lSide
+		}
+		if adl.HasFree(lSide, j.RVar) || adl.HasFree(rSide, j.LVar) {
+			residual = append(residual, c)
+			continue
+		}
+		// A usable key pair references each side's variable (constant-only
+		// sides are legal but belong in the residual).
+		if !adl.HasFree(lSide, j.LVar) || !adl.HasFree(rSide, j.RVar) {
+			residual = append(residual, c)
+			continue
+		}
+		lkeys = append(lkeys, lSide)
+		rkeys = append(rkeys, rSide)
+	}
+
+	if len(lkeys) > 0 {
+		var res *exec.Scalar
+		if len(residual) > 0 {
+			s := exec.NewScalar(adl.AndE(residual...), j.LVar, j.RVar)
+			res = &s
+		}
+		return &exec.HashJoin{
+			Kind: j.Kind, L: l, R: r,
+			LVar: j.LVar, RVar: j.RVar,
+			LKey:     keyScalar(lkeys, j.LVar),
+			RKey:     keyScalar(rkeys, j.RVar),
+			Residual: res,
+			As:       j.As, RFun: rfun,
+		}
+	}
+
+	return &exec.NLJoin{
+		Kind: j.Kind, L: l, R: r,
+		LVar: j.LVar, RVar: j.RVar,
+		Pred: exec.NewScalar(j.On, j.LVar, j.RVar),
+		As:   j.As, RFun: rfun,
+	}
+}
+
+// keyScalar packs key expressions into a composite tuple key.
+func keyScalar(keys []adl.Expr, v string) exec.Scalar {
+	if len(keys) == 1 {
+		return exec.NewScalar(keys[0], v)
+	}
+	t := &adl.TupleExpr{}
+	for i, k := range keys {
+		t.Names = append(t.Names, fmt.Sprintf("k%d", i))
+		t.Elems = append(t.Elems, k)
+	}
+	return exec.NewScalar(t, v)
+}
+
+func conjuncts(e adl.Expr) []adl.Expr {
+	if a, ok := e.(*adl.And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	if c, ok := e.(*adl.Const); ok {
+		if b, isB := c.Val.(value.Bool); isB && bool(b) {
+			return nil
+		}
+	}
+	return []adl.Expr{e}
+}
+
+// Explain renders the physical plan tree.
+func Explain(op exec.Operator) string {
+	var b strings.Builder
+	explain(&b, op, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, op exec.Operator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch o := op.(type) {
+	case *exec.Scan:
+		fmt.Fprintf(b, "%sScan(%s)\n", indent, o.Table)
+	case *exec.SetScan:
+		fmt.Fprintf(b, "%sSetScan(%d elems)\n", indent, o.Set.Len())
+	case *exec.ExprScan:
+		fmt.Fprintf(b, "%sExprScan(%s)  -- interpreter fallback\n", indent, o.Expr)
+	case *exec.Filter:
+		fmt.Fprintf(b, "%sFilter[%s: %s]\n", indent, o.Var, o.Pred.Expr)
+		explain(b, o.Child, depth+1)
+	case *exec.MapOp:
+		fmt.Fprintf(b, "%sMap[%s: %s]\n", indent, o.Var, o.Body.Expr)
+		explain(b, o.Child, depth+1)
+	case *exec.ProjectOp:
+		fmt.Fprintf(b, "%sProject[%s]\n", indent, strings.Join(o.Attrs, ", "))
+		explain(b, o.Child, depth+1)
+	case *exec.UnnestOp:
+		fmt.Fprintf(b, "%sUnnest[%s]\n", indent, o.Attr)
+		explain(b, o.Child, depth+1)
+	case *exec.NestOp:
+		fmt.Fprintf(b, "%sNest[{%s} -> %s]\n", indent, strings.Join(o.Attrs, ", "), o.As)
+		explain(b, o.Child, depth+1)
+	case *exec.FlattenOp:
+		fmt.Fprintf(b, "%sFlatten\n", indent)
+		explain(b, o.Child, depth+1)
+	case *exec.Assembly:
+		fmt.Fprintf(b, "%sAssembly[%s -> %s]  -- pointer-based materialize\n", indent, o.Attr, o.As)
+		explain(b, o.Child, depth+1)
+	case *exec.LetOp:
+		fmt.Fprintf(b, "%sLet[%s = %s]  -- constant, evaluated once\n", indent, o.Var, o.Val)
+		explain(b, o.Child, depth+1)
+	case *exec.HashJoin:
+		fmt.Fprintf(b, "%sHashJoin[%v on %s = %s]\n", indent, o.Kind, o.LKey.Expr, o.RKey.Expr)
+		explain(b, o.L, depth+1)
+		explain(b, o.R, depth+1)
+	case *exec.SetProbeJoin:
+		fmt.Fprintf(b, "%sSetProbeJoin[%v on %s ∈ .%s]\n", indent, o.Kind, o.RKey.Expr, o.Attr)
+		explain(b, o.L, depth+1)
+		explain(b, o.R, depth+1)
+	case *exec.SortMergeJoin:
+		fmt.Fprintf(b, "%sSortMergeJoin[%v on %s = %s]\n", indent, o.Kind, o.LKey.Expr, o.RKey.Expr)
+		explain(b, o.L, depth+1)
+		explain(b, o.R, depth+1)
+	case *exec.NLJoin:
+		fmt.Fprintf(b, "%sNLJoin[%v on %s]\n", indent, o.Kind, o.Pred.Expr)
+		explain(b, o.L, depth+1)
+		explain(b, o.R, depth+1)
+	case *exec.PNHL:
+		fmt.Fprintf(b, "%sPNHL[.%s with budget %d rows]\n", indent, o.Attr, o.BudgetRows)
+		explain(b, o.L, depth+1)
+		explain(b, o.R, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, op)
+	}
+}

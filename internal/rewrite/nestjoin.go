@@ -1,0 +1,86 @@
+package rewrite
+
+import (
+	"repro/internal/adl"
+)
+
+// NestjoinRules implement the paper's third optimization option (§6.1): use
+// the nestjoin operator ⊣ — grouping during join, without losing dangling
+// left operand tuples — for nested queries that cannot be rewritten into
+// flat relational join operations. The two-block select query
+//
+//	σ[x : P(x, Y′)](X)  with Y′ = σ[y : Q(x,y)](Y)
+//
+// becomes
+//
+//	π_SCH(X)(σ[x : P′](X ⊣(x,y : Q ; ys) Y))
+//
+// with P′ = P[Y′ := x.ys, x := x[SCH(X)]], and the map version (nesting in
+// the select-clause)
+//
+//	α[x : F(x, Y′)](X)  becomes  α[x : F′](X ⊣(x,y : Q ; ys) Y).
+//
+// When the block carries a map layer Y′ = α[y : G](σ[y : Q](Y)), the
+// extended nestjoin with right-tuple function G is produced ([StAB94]).
+func NestjoinRules() []Rule {
+	return []Rule{
+		{Name: "nestjoin-select", Apply: nestjoinSelect},
+		{Name: "nestjoin-map", Apply: nestjoinMap},
+	}
+}
+
+func nestjoinSelect(e adl.Expr, ctx *Context) (adl.Expr, bool) {
+	sel, ok := e.(*adl.Select)
+	if !ok {
+		return e, false
+	}
+	sch, ok := ctx.schOf(sel.Src)
+	if !ok {
+		return e, false
+	}
+	sq := findSubquery(sel.Pred, sel.Var, adl.FreeVars(e))
+	if sq == nil {
+		return e, false
+	}
+	join, repl := buildNestJoin(sel.Var, sel.Src, sq, sch)
+	p := replaceExpr(sel.Pred, sq.S, repl)
+	p = wrapWholeVar(p, sel.Var, sch)
+	return adl.Proj(adl.Sel(sel.Var, p, join), sch...), true
+}
+
+func nestjoinMap(e adl.Expr, ctx *Context) (adl.Expr, bool) {
+	m, ok := e.(*adl.Map)
+	if !ok {
+		return e, false
+	}
+	sch, ok := ctx.schOf(m.Src)
+	if !ok {
+		return e, false
+	}
+	sq := findSubquery(m.Body, m.Var, adl.FreeVars(e))
+	if sq == nil {
+		return e, false
+	}
+	join, repl := buildNestJoin(m.Var, m.Src, sq, sch)
+	body := replaceExpr(m.Body, sq.S, repl)
+	body = wrapWholeVar(body, m.Var, sch)
+	return adl.MapE(m.Var, body, join), true
+}
+
+// buildNestJoin constructs X ⊣(x,y : Q ; [y→G ;] ys) Y and the replacement
+// expression x.ys for the subquery occurrence.
+func buildNestJoin(x string, src adl.Expr, sq *subquery, sch []string) (adl.Expr, adl.Expr) {
+	as := freshAttr("ys", sch)
+	yv, q, g := sq.YVar, sq.Q, sq.G
+	if yv == x {
+		nv := adl.Fresh(yv, sq.Q, sq.Y, src)
+		q = adl.Subst(q, yv, adl.V(nv))
+		if g != nil {
+			g = adl.Subst(g, yv, adl.V(nv))
+		}
+		yv = nv
+	}
+	join := &adl.Join{Kind: adl.NestJ, LVar: x, RVar: yv, On: q, As: as,
+		RFun: g, L: src, R: sq.Y}
+	return join, adl.Dot(adl.V(x), as)
+}

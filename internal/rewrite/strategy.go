@@ -1,0 +1,185 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Result is the outcome of Optimize: the rewritten expression, the full rule
+// trace, and which of the §4 options contributed.
+type Result struct {
+	Expr adl.Expr
+	// Trace lists every rule firing in order.
+	Trace []Step
+	// OptionsUsed names the §4 options that fired, in priority order, among
+	// "relational-join", "attribute-unnest", "nestjoin".
+	OptionsUsed []string
+	// NestedBefore/NestedAfter are the optimization objective (base tables
+	// nested in iterator parameters) before and after.
+	NestedBefore, NestedAfter int
+}
+
+// relationalRules is the rule set of optimization option "transformation
+// into join queries": normalization, Table 1/2 expansion, quantifier range
+// simplification and exchange, negation pushing, and Rules 1 and 2.
+func relationalRules() []Rule {
+	var rules []Rule
+	rules = append(rules, NormalizeRules()...)
+	rules = append(rules, ExpandRules()...)
+	rules = append(rules, QuantRules()...)
+	rules = append(rules, NegationRules()...)
+	rules = append(rules, JoinRules()...)
+	return rules
+}
+
+// Optimize applies the paper's §4 rewrite strategy:
+//
+//  1. try to rewrite to the relational join operators (join, semijoin,
+//     antijoin);
+//  2. if nesting over base tables remains, try to flatten set-valued
+//     attributes (when the nesting phase can be skipped);
+//  3. if nesting still remains, rewrite to the nestjoin operator, which was
+//     introduced to beat nested-loop processing;
+//  4. whatever remains is left as is — executed by nested loops.
+//
+// The options are tried as alternatives starting from the normalized input,
+// in priority order (relational transformations can dissolve the query-block
+// structure the nestjoin needs, so the nestjoin option is attempted both on
+// the relational residue and on the normalized original). The first
+// candidate that removes all nested base tables wins; otherwise the
+// candidate with the fewest remaining nested tables, earliest option first.
+func Optimize(e adl.Expr, ctx *Context) *Result {
+	res := &Result{NestedBefore: NestedTableCount(e)}
+
+	norm := NewEngine(NormalizeRules())
+	base := norm.Run(e, ctx)
+	normTrace := norm.Trace
+
+	type candidate struct {
+		expr    adl.Expr
+		trace   []Step
+		options []string
+	}
+	var cands []candidate
+
+	// Option 1: relational join rewriting.
+	rel := NewEngine(relationalRules())
+	c1 := rel.Run(base, ctx)
+	cands = append(cands, candidate{c1, rel.Trace, []string{"relational-join"}})
+
+	if NestedTableCount(c1) > 0 {
+		// Option 2: attribute unnesting (then relational rules again to
+		// consume the exposed quantifiers).
+		au := NewEngine(append(AttrUnnestRules(), relationalRules()...))
+		c2 := au.Run(base, ctx)
+		if NestedTableCount(c2) < NestedTableCount(c1) {
+			cands = append(cands, candidate{c2, au.Trace, []string{"attribute-unnest", "relational-join"}})
+		}
+
+		// Option 3a: nestjoin on the relational residue (subquery shapes
+		// that survived expansion, e.g. aggregates between blocks).
+		nj1 := NewEngine(NestjoinRules())
+		c3 := nj1.Run(c1, ctx)
+		if !adl.Equal(c3, c1) {
+			rel3 := NewEngine(relationalRules())
+			c3 = rel3.Run(c3, ctx)
+			tr := append(append([]Step{}, rel.Trace...), nj1.Trace...)
+			tr = append(tr, rel3.Trace...)
+			cands = append(cands, candidate{c3, tr, []string{"relational-join", "nestjoin"}})
+		}
+
+		// Option 3b: nestjoin first, on the normalized original — for
+		// queries whose block structure the expansion rules would dissolve
+		// (set comparisons between blocks, §5.2.2).
+		nj2 := NewEngine(NestjoinRules())
+		c4 := nj2.Run(base, ctx)
+		if !adl.Equal(c4, base) {
+			rel4 := NewEngine(relationalRules())
+			c4 = rel4.Run(c4, ctx)
+			tr := append(append([]Step{}, nj2.Trace...), rel4.Trace...)
+			cands = append(cands, candidate{c4, tr, []string{"nestjoin", "relational-join"}})
+		}
+	}
+
+	best := cands[0]
+	bestCount := NestedTableCount(best.expr)
+	for _, c := range cands[1:] {
+		if n := NestedTableCount(c.expr); n < bestCount {
+			best, bestCount = c, n
+		}
+	}
+
+	res.Expr = best.expr
+	res.Trace = append(normTrace, best.trace...)
+	if len(best.trace) > 0 {
+		res.OptionsUsed = best.options
+	}
+
+	// Last resort before nested loops: uncorrelated subqueries are
+	// constants — hoist them into with-bindings evaluated once (§3).
+	if bestCount > 0 {
+		hoist := NewEngine([]Rule{{Name: "hoist-constant", Apply: hoistConstant}})
+		hoisted := hoist.Run(res.Expr, ctx)
+		if NestedTableCount(hoisted) < bestCount {
+			res.Expr = hoisted
+			res.Trace = append(res.Trace, hoist.Trace...)
+			res.OptionsUsed = append(res.OptionsUsed, "constant-hoist")
+		}
+	}
+
+	res.NestedAfter = NestedTableCount(res.Expr)
+	return res
+}
+
+// CatalogResolver adapts a schema catalog to the adl.TypeResolver interface
+// used by type-dependent rules.
+type CatalogResolver struct{ Cat *schema.Catalog }
+
+// TableElem returns the reference-annotated element type of an extent.
+func (r CatalogResolver) TableElem(name string) (*types.Tuple, error) {
+	cl, ok := r.Cat.ByExtent(name)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: unknown base table %q", name)
+	}
+	return r.Cat.ObjectType(cl)
+}
+
+// ClassTuple returns the reference-annotated object type of a class.
+func (r CatalogResolver) ClassTuple(class string) (*types.Tuple, error) {
+	cl, ok := r.Cat.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: unknown class %q", class)
+	}
+	return r.Cat.ObjectType(cl)
+}
+
+// NewContext builds a rewrite context over a catalog.
+func NewContext(cat *schema.Catalog) *Context {
+	return &Context{Resolver: CatalogResolver{Cat: cat}, Env: adl.TypeEnv{}}
+}
+
+// StaticResolver resolves table types from an explicit map; used for
+// catalog-less databases such as the paper's figure examples.
+type StaticResolver struct{ Tables map[string]*types.Tuple }
+
+// TableElem returns the element type of a table.
+func (r StaticResolver) TableElem(name string) (*types.Tuple, error) {
+	t, ok := r.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("rewrite: unknown base table %q", name)
+	}
+	return t, nil
+}
+
+// ClassTuple always fails: static resolvers carry no class schema.
+func (r StaticResolver) ClassTuple(class string) (*types.Tuple, error) {
+	return nil, fmt.Errorf("rewrite: unknown class %q", class)
+}
+
+// NewStaticContext builds a rewrite context over explicit table types.
+func NewStaticContext(tables map[string]*types.Tuple) *Context {
+	return &Context{Resolver: StaticResolver{Tables: tables}, Env: adl.TypeEnv{}}
+}

@@ -1,0 +1,77 @@
+package rewrite
+
+import (
+	"repro/internal/adl"
+)
+
+// subquery describes a correlated query block found inside a parameter
+// expression: an optional map layer over an optional selection over a
+// base-table-rooted operand Y, i.e. the algebraic image of
+//
+//	Y′ = select G(x, y) from y in Y where Q(x, y)
+//
+// from the paper's general two-block format (§5.1).
+type subquery struct {
+	S    adl.Expr // the whole matched subexpression, for replacement
+	YVar string   // the iteration variable y
+	Q    adl.Expr // the selection predicate (true if no selection layer)
+	G    adl.Expr // the map body (nil for identity)
+	Y    adl.Expr // the operand, mentioning a base table
+}
+
+// matchSubquery recognizes the three shapes α∘σ, α, σ over an operand.
+func matchSubquery(e adl.Expr) *subquery {
+	switch n := e.(type) {
+	case *adl.Select:
+		return &subquery{S: e, YVar: n.Var, Q: n.Pred, Y: n.Src}
+	case *adl.Map:
+		if sel, ok := n.Src.(*adl.Select); ok {
+			// Normalize the selection variable to the map variable.
+			q := sel.Pred
+			if sel.Var != n.Var {
+				q = adl.Subst(q, sel.Var, adl.V(n.Var))
+			}
+			return &subquery{S: e, YVar: n.Var, Q: q, G: n.Body, Y: sel.Src}
+		}
+		return &subquery{S: e, YVar: n.Var, Q: adl.CBool(true), G: n.Body, Y: n.Src}
+	}
+	return nil
+}
+
+// findSubquery locates the first (outermost, left-to-right) subquery inside
+// the parameter expression P of an iterator binding x, such that:
+//
+//   - the operand Y mentions a base table (the §3 optimization goal) and does
+//     not depend on x,
+//   - the block is correlated with x (uncorrelated subqueries are constants
+//     and "treated as such"),
+//   - every free variable of the block is available at the iterator level
+//     (it uses nothing bound by quantifiers between the iterator and itself),
+//     outerFree being the free variables of the whole iterator expression.
+func findSubquery(P adl.Expr, x string, outerFree map[string]bool) *subquery {
+	var found *subquery
+	var visit func(e adl.Expr) bool
+	visit = func(e adl.Expr) bool {
+		if found != nil {
+			return false
+		}
+		if sq := matchSubquery(e); sq != nil {
+			if ContainsTable(sq.Y) && !adl.HasFree(sq.Y, x) && adl.HasFree(sq.S, x) {
+				ok := true
+				for v := range adl.FreeVars(sq.S) {
+					if v != x && !outerFree[v] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					found = sq
+					return false
+				}
+			}
+		}
+		return true
+	}
+	adl.Walk(P, visit)
+	return found
+}

@@ -1,0 +1,203 @@
+package rewrite
+
+import (
+	"repro/internal/adl"
+	"repro/internal/types"
+)
+
+// ExpandRules rewrite set comparison operations into quantifier expressions,
+// the preprocessing step of §5.2.1 ([CeGo85]); the equivalences are the
+// paper's Table 1, plus the Table 2 predicate forms (emptiness tests, count
+// comparisons with zero, and empty intersections). Expansion is targeted:
+// a comparison is expanded only when one of its operands mentions a base
+// table, because only then can the resulting quantifier expression be
+// unnested into a join — expanding comparisons between set-valued
+// attributes would be a pessimization (§5.2.1).
+func ExpandRules() []Rule {
+	return []Rule{
+		{Name: "expand-in", Apply: expandIn},
+		{Name: "expand-has", Apply: expandHas},
+		{Name: "expand-subseteq", Apply: expandSubEq},
+		{Name: "expand-supseteq", Apply: expandSupEq},
+		{Name: "expand-subset", Apply: expandSub},
+		{Name: "expand-supset", Apply: expandSup},
+		{Name: "expand-seteq", Apply: expandSetEq},
+		// The intersect-empty form must be matched before the generic
+		// emptiness test, which would otherwise swallow it.
+		{Name: "expand-intersect-empty", Apply: expandIntersectEmpty},
+		{Name: "expand-empty-eq", Apply: expandEmptyEq},
+		{Name: "expand-count-zero", Apply: expandCountZero},
+	}
+}
+
+// worthExpanding gates expansion on the presence of a base table in either
+// operand.
+func worthExpanding(l, r adl.Expr) bool {
+	return ContainsTable(l) || ContainsTable(r)
+}
+
+// expandIn: x.c ∈ Y′ ⇒ ∃y ∈ Y′ • y = x.c  (Table 1, row 1).
+func expandIn(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.In || !ContainsTable(n.R) {
+		return e, false
+	}
+	y := adl.Fresh("y", n.L, n.R)
+	return adl.Ex(y, n.R, adl.EqE(adl.V(y), n.L)), true
+}
+
+// expandHas: x.c ∋ Y′ ⇒ ∃z ∈ x.c • z = Y′  (Table 1, last row).
+func expandHas(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Has || !worthExpanding(n.L, n.R) {
+		return e, false
+	}
+	z := adl.Fresh("z", n.L, n.R)
+	return adl.Ex(z, n.L, adl.EqE(adl.V(z), n.R)), true
+}
+
+// expandSubEq: x.c ⊆ Y′ ⇒ ∀z ∈ x.c • z ∈ Y′  (Table 1; the inner ∈ expands
+// further when Y′ mentions a base table).
+func expandSubEq(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.SubEq || !worthExpanding(n.L, n.R) {
+		return e, false
+	}
+	z := adl.Fresh("z", n.L, n.R)
+	return adl.All(z, n.L, adl.CmpE(adl.In, adl.V(z), n.R)), true
+}
+
+// expandSupEq: x.c ⊇ Y′ ⇒ ∀y ∈ Y′ • y ∈ x.c  (Table 1, row 7).
+func expandSupEq(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.SupEq || !worthExpanding(n.L, n.R) {
+		return e, false
+	}
+	y := adl.Fresh("y", n.L, n.R)
+	return adl.All(y, n.R, adl.CmpE(adl.In, adl.V(y), n.L)), true
+}
+
+// expandSub: x.c ⊂ Y′ ⇒ x.c ⊆ Y′ ∧ ¬(x.c ⊇ Y′)  (Table 1, row 2: the
+// conjunction of a universal and a negated universal, which continue to
+// expand).
+func expandSub(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Sub || !worthExpanding(n.L, n.R) {
+		return e, false
+	}
+	return adl.AndE(
+		adl.CmpE(adl.SubEq, n.L, n.R),
+		adl.NotE(adl.CmpE(adl.SupEq, n.L, n.R)),
+	), true
+}
+
+// expandSup: x.c ⊃ Y′ ⇒ x.c ⊇ Y′ ∧ ¬(x.c ⊆ Y′)  (Table 1, row 8).
+func expandSup(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Sup || !worthExpanding(n.L, n.R) {
+		return e, false
+	}
+	return adl.AndE(
+		adl.CmpE(adl.SupEq, n.L, n.R),
+		adl.NotE(adl.CmpE(adl.SubEq, n.L, n.R)),
+	), true
+}
+
+// expandSetEq: x.c = Y′ ⇒ x.c ⊆ Y′ ∧ x.c ⊇ Y′  (Table 1, row 5) — only when
+// both operands are statically set-typed (equality is overloaded).
+func expandSetEq(e adl.Expr, ctx *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Eq || !worthExpanding(n.L, n.R) {
+		return e, false
+	}
+	if staticallyEmptySet(n.L) || staticallyEmptySet(n.R) {
+		return e, false // handled by expand-empty-eq
+	}
+	lt, err := ctx.typeOf(n.L)
+	if err != nil {
+		return e, false
+	}
+	rt, err := ctx.typeOf(n.R)
+	if err != nil {
+		return e, false
+	}
+	if _, isSet := lt.(*types.Set); !isSet {
+		return e, false
+	}
+	if _, isSet := rt.(*types.Set); !isSet {
+		return e, false
+	}
+	return adl.AndE(
+		adl.CmpE(adl.SubEq, n.L, n.R),
+		adl.CmpE(adl.SupEq, n.L, n.R),
+	), true
+}
+
+// expandEmptyEq: Y′ = ∅ ⇒ ¬∃y ∈ Y′ • true  (Table 2, row 1).
+func expandEmptyEq(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Eq {
+		return e, false
+	}
+	var target adl.Expr
+	switch {
+	case staticallyEmptySet(n.R) && ContainsTable(n.L):
+		target = n.L
+	case staticallyEmptySet(n.L) && ContainsTable(n.R):
+		target = n.R
+	default:
+		return e, false
+	}
+	y := adl.Fresh("y", target)
+	return adl.NotE(adl.Ex(y, target, adl.CBool(true))), true
+}
+
+// expandCountZero: count(Y′) = 0 ⇒ ¬∃y ∈ Y′ • true  (Table 2, row 2).
+func expandCountZero(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Eq {
+		return e, false
+	}
+	agg, zero := n.L, n.R
+	if _, isAgg := agg.(*adl.Agg); !isAgg {
+		agg, zero = n.R, n.L
+	}
+	a, ok := agg.(*adl.Agg)
+	if !ok || a.Op != adl.Count || !ContainsTable(a.X) {
+		return e, false
+	}
+	if c, ok := zero.(*adl.Const); !ok || c.Val.String() != "0" {
+		return e, false
+	}
+	y := adl.Fresh("y", a.X)
+	return adl.NotE(adl.Ex(y, a.X, adl.CBool(true))), true
+}
+
+// expandIntersectEmpty: x.c ∩ Y′ = ∅ ⇒ ¬∃y ∈ Y′ • y ∈ x.c  (Table 2, row 3).
+// The quantifier ranges over the operand that mentions a base table.
+func expandIntersectEmpty(e adl.Expr, _ *Context) (adl.Expr, bool) {
+	n, ok := e.(*adl.Cmp)
+	if !ok || n.Op != adl.Eq {
+		return e, false
+	}
+	setop, empty := n.L, n.R
+	if !staticallyEmptySet(empty) {
+		setop, empty = n.R, n.L
+	}
+	if !staticallyEmptySet(empty) {
+		return e, false
+	}
+	so, ok := setop.(*adl.SetOp)
+	if !ok || so.Op != adl.Intersect {
+		return e, false
+	}
+	rng, other := so.R, so.L
+	if !ContainsTable(rng) {
+		rng, other = so.L, so.R
+	}
+	if !ContainsTable(rng) {
+		return e, false
+	}
+	y := adl.Fresh("y", so.L, so.R)
+	return adl.NotE(adl.Ex(y, rng, adl.CmpE(adl.In, adl.V(y), other))), true
+}

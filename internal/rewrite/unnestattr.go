@@ -1,0 +1,154 @@
+package rewrite
+
+import (
+	"repro/internal/adl"
+	"repro/internal/types"
+)
+
+// AttrUnnestRules implement the paper's first optimization option (§4,
+// "Unnesting Of Attributes"): if nesting is caused by iteration over a
+// set-valued attribute, the attribute can be unnested with μ. The paper
+// restricts the option to queries where the final nesting is not required
+// and empty set-valued attributes cause no problem; the rule therefore
+// matches
+//
+//	α[x : B](σ[x : ∃z ∈ x.c • p](X))        (B independent of c)
+//	π_A(σ[x : ∃z ∈ x.c • p](X))             (c ∉ A)
+//
+// and rewrites to
+//
+//	α[x : B](σ[x : p′](μ_c(X)))   /   π_A(σ[x : p′](μ_c(X)))
+//
+// with p′ = p[z := x[SCH(c)]]. Because the quantifier is existential,
+// tuples with empty c — dropped by μ — would fail the predicate anyway, and
+// because the result drops c (and set semantics collapse duplicate images),
+// no nest operation is needed afterwards. Example Query 4 is the paper's
+// use case: the inner ¬∃ over PART subsequently becomes an antijoin via
+// Rule 1.
+func AttrUnnestRules() []Rule {
+	return []Rule{
+		{Name: "unnest-attr-map", Apply: unnestAttrMap},
+		{Name: "unnest-attr-project", Apply: unnestAttrProject},
+	}
+}
+
+func unnestAttrMap(e adl.Expr, ctx *Context) (adl.Expr, bool) {
+	m, ok := e.(*adl.Map)
+	if !ok {
+		return e, false
+	}
+	sel, ok := m.Src.(*adl.Select)
+	if !ok {
+		return e, false
+	}
+	// Normalize the two binder names.
+	body := m.Body
+	if m.Var != sel.Var {
+		if adl.HasFree(body, sel.Var) {
+			return e, false
+		}
+		body = adl.Subst(body, m.Var, adl.V(sel.Var))
+	}
+	out, _, ok := unnestAttrSelect(sel, ctx, body)
+	if !ok {
+		return e, false
+	}
+	return out, true
+}
+
+func unnestAttrProject(e adl.Expr, ctx *Context) (adl.Expr, bool) {
+	pr, ok := e.(*adl.Project)
+	if !ok {
+		return e, false
+	}
+	sel, ok := pr.X.(*adl.Select)
+	if !ok {
+		return e, false
+	}
+	out, attr, ok := unnestAttrSelect(sel, ctx, nil)
+	if !ok {
+		return e, false
+	}
+	// The projection must drop the unnested attribute.
+	for _, a := range pr.Attrs {
+		if a == attr {
+			return e, false
+		}
+	}
+	return adl.Proj(out, pr.Attrs...), true
+}
+
+// unnestAttrSelect does the common work: match σ[x : ∃z ∈ x.c • p](X),
+// validate the conditions, and build σ[x : p′](μ_c(X)). For the map form it
+// returns the rewritten α as well. It reports the unnested attribute name.
+func unnestAttrSelect(sel *adl.Select, ctx *Context, mapBody adl.Expr) (adl.Expr, string, bool) {
+	q, ok := sel.Pred.(*adl.Quant)
+	if !ok || q.Kind != adl.Exists {
+		return nil, "", false
+	}
+	fa, ok := q.Src.(*adl.Field)
+	if !ok {
+		return nil, "", false
+	}
+	v, ok := fa.X.(*adl.Var)
+	if !ok || v.Name != sel.Var {
+		return nil, "", false
+	}
+	attr := fa.Name
+	// Only worthwhile when the predicate still nests a base table — the
+	// whole point is to expose it to Rule 1 afterwards.
+	if !ContainsTable(q.Pred) {
+		return nil, "", false
+	}
+	// Static schema checks: c is a set of tuples on X, no field conflicts.
+	elemT, ok := ctx.elemOf(sel.Src)
+	if !ok {
+		return nil, "", false
+	}
+	et, ok := types.Erase(elemT).(*types.Tuple)
+	if !ok {
+		return nil, "", false
+	}
+	ct, ok := et.Field(attr)
+	if !ok {
+		return nil, "", false
+	}
+	cset, ok := ct.(*types.Set)
+	if !ok {
+		return nil, "", false
+	}
+	ctup, ok := cset.Elem.(*types.Tuple)
+	if !ok {
+		return nil, "", false
+	}
+	for _, f := range ctup.Fields {
+		if _, clash := et.Field(f.Name); clash {
+			return nil, "", false
+		}
+	}
+	// The inner predicate may use z and x's other attributes, but not x.c
+	// (gone after μ) and not x as a whole tuple.
+	if containsField(q.Pred, sel.Var, attr) || usesWholeVar(q.Pred, sel.Var) {
+		return nil, "", false
+	}
+	// The outer consumer must not need c either.
+	if mapBody != nil {
+		if containsField(mapBody, sel.Var, attr) || usesWholeVar(mapBody, sel.Var) {
+			return nil, "", false
+		}
+	}
+
+	// p′ = p[z := x[SCH(c-elem)]] — after μ, z's attributes live directly on
+	// the unnested tuple.
+	elemAttrs := make([]string, len(ctup.Fields))
+	for i, f := range ctup.Fields {
+		elemAttrs[i] = f.Name
+	}
+	zRepl := adl.SubT(adl.V(sel.Var), elemAttrs...)
+	p := adl.Subst(q.Pred, q.Var, zRepl)
+	inner := adl.Sel(sel.Var, p, adl.Mu(attr, sel.Src))
+	if mapBody != nil {
+		return adl.MapE(sel.Var, mapBody, inner), attr, true
+	}
+	return inner, attr, true
+}

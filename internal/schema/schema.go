@@ -1,0 +1,229 @@
+// Package schema models the logical database design phase of the paper (§3):
+// OOSQL class definitions with extensions are mapped to ADL table types. Each
+// class extension becomes a table of (possibly complex) objects; a field of
+// type oid is added to represent object identity, and class references are
+// implemented by oid-valued pointers — a reference-valued attribute becomes
+// an oid attribute, and a set-of-references attribute becomes a set of unary
+// tuples holding oids (the paper's parts: {(pid: oid)} mapping for
+// parts_supplied: {Part}).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// AttrKind distinguishes how an OOSQL attribute type maps to ADL.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	// Plain attributes keep their declared ADL type.
+	Plain AttrKind = iota
+	// Ref attributes reference a single object of class RefClass; they map
+	// to an oid-typed attribute.
+	Ref
+	// RefSet attributes hold a set of references to RefClass objects; they
+	// map to a set of unary tuples {(idField: oid)}.
+	RefSet
+)
+
+// Attr declares one attribute of a class.
+type Attr struct {
+	Name string
+	Kind AttrKind
+	// Type is the declared type for Plain attributes (possibly complex).
+	// Class references inside plain types are declared with types.Ref
+	// (e.g. Delivery.supply = {(part: Ref(Part), quantity: int)}); the ADL
+	// mapping erases them to oid.
+	Type types.Type
+	// RefClass names the referenced class for Ref and RefSet attributes.
+	RefClass string
+	// Surface is the OOSQL-level attribute name when it differs from the
+	// ADL name (the paper abbreviates parts_supplied to parts in §4's ADL
+	// types; queries may use either).
+	Surface string
+}
+
+// Class is an OOSQL class with an extension ("base table").
+type Class struct {
+	// Name of the class, e.g. "Supplier".
+	Name string
+	// Extent is the base table name, e.g. "SUPPLIER".
+	Extent string
+	// IDField is the oid attribute added by the logical design; the paper
+	// uses eid for Supplier and pid for Part.
+	IDField string
+	Attrs   []Attr
+}
+
+// Catalog is the database schema: the set of classes, addressable by class
+// name or extent name.
+type Catalog struct {
+	classes []*Class
+	byName  map[string]*Class
+	byExt   map[string]*Class
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: map[string]*Class{}, byExt: map[string]*Class{}}
+}
+
+// Define adds a class to the catalog. It validates that names are fresh and
+// that the id field does not collide with a declared attribute.
+func (c *Catalog) Define(cl *Class) error {
+	if cl.Name == "" || cl.Extent == "" || cl.IDField == "" {
+		return fmt.Errorf("schema: class needs name, extent and id field")
+	}
+	if _, dup := c.byName[cl.Name]; dup {
+		return fmt.Errorf("schema: duplicate class %q", cl.Name)
+	}
+	if _, dup := c.byExt[cl.Extent]; dup {
+		return fmt.Errorf("schema: duplicate extent %q", cl.Extent)
+	}
+	seen := map[string]bool{cl.IDField: true}
+	for _, a := range cl.Attrs {
+		if seen[a.Name] {
+			return fmt.Errorf("schema: class %q: duplicate attribute %q", cl.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	c.classes = append(c.classes, cl)
+	c.byName[cl.Name] = cl
+	c.byExt[cl.Extent] = cl
+	return nil
+}
+
+// Class looks a class up by class name.
+func (c *Catalog) Class(name string) (*Class, bool) {
+	cl, ok := c.byName[name]
+	return cl, ok
+}
+
+// ByExtent looks a class up by extent (base table) name.
+func (c *Catalog) ByExtent(ext string) (*Class, bool) {
+	cl, ok := c.byExt[ext]
+	return cl, ok
+}
+
+// Extents returns all extent names, sorted.
+func (c *Catalog) Extents() []string {
+	out := make([]string, 0, len(c.classes))
+	for _, cl := range c.classes {
+		out = append(out, cl.Extent)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classes returns the classes in definition order.
+func (c *Catalog) Classes() []*Class { return c.classes }
+
+// refIDField returns the id-field name used when a reference to class name
+// is flattened into a unary tuple (the paper names the member of
+// parts: {(pid: oid)} after the referenced class's id field).
+func (c *Catalog) refIDField(name string) string {
+	if cl, ok := c.byName[name]; ok {
+		return cl.IDField
+	}
+	// Fall back to first letter + "id" for undefined classes so TableType
+	// can still report a best-effort error later.
+	return strings.ToLower(name[:1]) + "id"
+}
+
+// AttrType returns the reference-annotated type an attribute maps to under
+// the logical design rules: references become types.Ref, set-of-references
+// become sets of unary Ref tuples. Erase the result for the pure ADL view.
+func (c *Catalog) AttrType(a Attr) (types.Type, error) {
+	switch a.Kind {
+	case Plain:
+		if a.Type == nil {
+			return nil, fmt.Errorf("schema: plain attribute %q lacks a type", a.Name)
+		}
+		return a.Type, nil
+	case Ref:
+		if _, ok := c.byName[a.RefClass]; !ok {
+			return nil, fmt.Errorf("schema: attribute %q references unknown class %q", a.Name, a.RefClass)
+		}
+		return types.Ref{Class: a.RefClass}, nil
+	case RefSet:
+		if _, ok := c.byName[a.RefClass]; !ok {
+			return nil, fmt.Errorf("schema: attribute %q references unknown class %q", a.Name, a.RefClass)
+		}
+		return types.NewSet(types.NewTuple(c.refIDField(a.RefClass), types.Ref{Class: a.RefClass})), nil
+	}
+	return nil, fmt.Errorf("schema: unknown attribute kind %d", a.Kind)
+}
+
+// ObjectType returns the reference-annotated tuple type of one object of the
+// class: the identity oid field first, then the mapped attributes. The
+// typechecker uses this view; the ADL view is its erasure.
+func (c *Catalog) ObjectType(cl *Class) (*types.Tuple, error) {
+	tt := &types.Tuple{Fields: []types.Field{{Name: cl.IDField, Type: types.OIDType}}}
+	for _, a := range cl.Attrs {
+		at, err := c.AttrType(a)
+		if err != nil {
+			return nil, fmt.Errorf("schema: class %q: %w", cl.Name, err)
+		}
+		tt.Fields = append(tt.Fields, types.Field{Name: a.Name, Type: at})
+	}
+	return tt, nil
+}
+
+// TableType returns the pure ADL table type of the class extension (all
+// class references erased to oid).
+func (c *Catalog) TableType(cl *Class) (*types.Set, error) {
+	tt, err := c.ObjectType(cl)
+	if err != nil {
+		return nil, err
+	}
+	return types.Erase(types.NewSet(tt)).(*types.Set), nil
+}
+
+// ExtentType returns the ADL table type for an extent name.
+func (c *Catalog) ExtentType(ext string) (*types.Set, error) {
+	cl, ok := c.byExt[ext]
+	if !ok {
+		return nil, fmt.Errorf("schema: unknown base table %q", ext)
+	}
+	return c.TableType(cl)
+}
+
+// ResolveAttr maps an OOSQL-surface attribute name of a class to its
+// declaration, honouring Surface aliases (parts_supplied → parts).
+func (cl *Class) ResolveAttr(name string) (Attr, bool) {
+	for _, a := range cl.Attrs {
+		if a.Name == name || (a.Surface != "" && a.Surface == name) {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// String renders the catalog in the paper's class-definition style.
+func (c *Catalog) String() string {
+	var b strings.Builder
+	for i, cl := range c.classes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "Class %s with extension %s\n", cl.Name, cl.Extent)
+		b.WriteString("  attributes\n")
+		for _, a := range cl.Attrs {
+			switch a.Kind {
+			case Plain:
+				fmt.Fprintf(&b, "    %s : %s\n", a.Name, a.Type)
+			case Ref:
+				fmt.Fprintf(&b, "    %s : %s\n", a.Name, a.RefClass)
+			case RefSet:
+				fmt.Fprintf(&b, "    %s : { %s }\n", a.Name, a.RefClass)
+			}
+		}
+		fmt.Fprintf(&b, "end %s\n", cl.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestSupplierPartTypes(t *testing.T) {
+	c := SupplierPart()
+
+	// The §4 types, verbatim.
+	sup, err := c.ExtentType("SUPPLIER")
+	if err != nil {
+		t.Fatalf("SUPPLIER: %v", err)
+	}
+	wantSup := types.NewSet(types.NewTuple(
+		"eid", types.OIDType,
+		"sname", types.StringType,
+		"parts", types.NewSet(types.NewTuple("pid", types.OIDType)),
+	))
+	if !types.Equal(sup, wantSup) {
+		t.Errorf("SUPPLIER type = %s, want %s", sup, wantSup)
+	}
+
+	part, err := c.ExtentType("PART")
+	if err != nil {
+		t.Fatalf("PART: %v", err)
+	}
+	wantPart := types.NewSet(types.NewTuple(
+		"pid", types.OIDType,
+		"pname", types.StringType,
+		"price", types.IntType,
+		"color", types.StringType,
+	))
+	if !types.Equal(part, wantPart) {
+		t.Errorf("PART type = %s, want %s", part, wantPart)
+	}
+
+	del, err := c.ExtentType("DELIVERY")
+	if err != nil {
+		t.Fatalf("DELIVERY: %v", err)
+	}
+	wantDel := types.NewSet(types.NewTuple(
+		"did", types.OIDType,
+		"supplier", types.OIDType,
+		"supply", types.NewSet(types.NewTuple("part", types.OIDType, "quantity", types.IntType)),
+		"date", types.DateType,
+	))
+	if !types.Equal(del, wantDel) {
+		t.Errorf("DELIVERY type = %s, want %s", del, wantDel)
+	}
+}
+
+func TestCatalogLookups(t *testing.T) {
+	c := SupplierPart()
+	if _, ok := c.Class("Supplier"); !ok {
+		t.Fatalf("Class(Supplier) missing")
+	}
+	if _, ok := c.ByExtent("SUPPLIER"); !ok {
+		t.Fatalf("ByExtent(SUPPLIER) missing")
+	}
+	if _, ok := c.Class("Nope"); ok {
+		t.Fatalf("unknown class found")
+	}
+	exts := c.Extents()
+	if len(exts) != 3 || exts[0] != "DELIVERY" || exts[1] != "PART" || exts[2] != "SUPPLIER" {
+		t.Fatalf("Extents = %v", exts)
+	}
+	if _, err := c.ExtentType("NOPE"); err == nil {
+		t.Fatalf("unknown extent must error")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Define(&Class{Name: "A"}); err == nil {
+		t.Fatalf("incomplete class must fail")
+	}
+	ok := &Class{Name: "A", Extent: "AS", IDField: "aid",
+		Attrs: []Attr{{Name: "x", Kind: Plain, Type: types.IntType}}}
+	if err := c.Define(ok); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	if err := c.Define(&Class{Name: "A", Extent: "A2", IDField: "aid"}); err == nil {
+		t.Fatalf("duplicate class name must fail")
+	}
+	if err := c.Define(&Class{Name: "B", Extent: "AS", IDField: "bid"}); err == nil {
+		t.Fatalf("duplicate extent must fail")
+	}
+	dupAttr := &Class{Name: "C", Extent: "CS", IDField: "cid",
+		Attrs: []Attr{{Name: "cid", Kind: Plain, Type: types.IntType}}}
+	if err := c.Define(dupAttr); err == nil {
+		t.Fatalf("attribute colliding with id field must fail")
+	}
+}
+
+func TestRefToUnknownClassFails(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Define(&Class{Name: "A", Extent: "AS", IDField: "aid",
+		Attrs: []Attr{{Name: "r", Kind: Ref, RefClass: "Ghost"}}}); err != nil {
+		t.Fatalf("Define: %v", err)
+	}
+	if _, err := c.ExtentType("AS"); err == nil {
+		t.Fatalf("dangling class reference must fail at type mapping")
+	}
+}
+
+func TestCatalogString(t *testing.T) {
+	s := SupplierPart().String()
+	for _, want := range []string{
+		"Class Supplier with extension SUPPLIER",
+		"parts : { Part }",
+		"supplier : Supplier",
+		"end Delivery",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("catalog rendering missing %q in:\n%s", want, s)
+		}
+	}
+}

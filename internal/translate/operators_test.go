@@ -1,0 +1,165 @@
+package translate
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/value"
+)
+
+// Positive-path coverage for the remaining OOSQL operators: the full set
+// comparison family, not-in, set operations, forall, and nested aggregates.
+
+func TestPSubsetPSupersetSurface(t *testing.T) {
+	// psubset: suppliers whose parts are a PROPER subset of s4's parts
+	// ({p1, p2, p3}); s1 ({p1,p2}), s2 ({p2}) and s3 (∅) qualify, s4 not.
+	got, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where s.parts_supplied psubset
+		      flatten(select t.parts_supplied from t in SUPPLIER where t.sname = "s4")`)
+	want := value.NewSet(value.String("s1"), value.String("s2"), value.String("s3"))
+	if !value.Equal(got, want) {
+		t.Errorf("psubset = %v, want %v", got, want)
+	}
+	// psuperset: who properly contains s2's parts ({p2})?
+	got2, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where s.parts_supplied psuperset
+		      flatten(select t.parts_supplied from t in SUPPLIER where t.sname = "s2")`)
+	want2 := value.NewSet(value.String("s1"), value.String("s4"))
+	if !value.Equal(got2, want2) {
+		t.Errorf("psuperset = %v, want %v", got2, want2)
+	}
+}
+
+func TestContainsSurface(t *testing.T) {
+	// The set of all parts_supplied sets contains s2's exact parts set.
+	got, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where (select t.parts_supplied from t in SUPPLIER where true)
+		      contains s.parts_supplied`)
+	// Every supplier's own set is trivially a member.
+	if got.Len() != 4 {
+		t.Errorf("contains = %v", got)
+	}
+}
+
+func TestNotInSurface(t *testing.T) {
+	got, _ := run(t, `
+		select p.pname from p in PART
+		where p not in (select q from q in PART where q.color = "red")`)
+	if !value.Equal(got, value.NewSet(value.String("nut"))) {
+		t.Errorf("not in = %v", got)
+	}
+}
+
+func TestSetOperationsSurface(t *testing.T) {
+	got, _ := run(t, `
+		select x from x in ({1, 2, 3} intersect {2, 3, 4}) where true`)
+	if !value.Equal(got, value.NewSet(value.Int(2), value.Int(3))) {
+		t.Errorf("intersect = %v", got)
+	}
+	got2, _ := run(t, `
+		select x from x in ({1, 2, 3} minus {2}) where x > 0`)
+	if !value.Equal(got2, value.NewSet(value.Int(1), value.Int(3))) {
+		t.Errorf("minus = %v", got2)
+	}
+}
+
+func TestForallSurface(t *testing.T) {
+	// Suppliers all of whose parts are red: s3 (vacuously). The quantified
+	// variable navigates the reference implicitly.
+	got, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where forall x in s.parts_supplied : x.color = "red"`)
+	if !value.Equal(got, value.NewSet(value.String("s3"))) {
+		t.Errorf("forall = %v", got)
+	}
+}
+
+func TestAggregatesOverPaths(t *testing.T) {
+	got, _ := run(t, `
+		select (n = s.sname, total = sum(select p.price from p in s.parts_supplied where true))
+		from s in SUPPLIER where s.sname = "s1"`)
+	tup := got.Elems()[0].(*value.Tuple)
+	// s1 supplies bolt (10) and nut (5).
+	if !value.Equal(tup.MustGet("total"), value.Int(15)) {
+		t.Errorf("sum over path = %v", tup)
+	}
+	got2, _ := run(t, `
+		select a from a in {avg(select p.price from p in PART where p.color = "red")}
+		where true`)
+	// bolt 10, gear 20 → avg 15.0.
+	if !value.Equal(got2, value.NewSet(value.Float(15))) {
+		t.Errorf("avg = %v", got2)
+	}
+	got3, _ := run(t, `
+		select p.pname from p in PART
+		where p.price = min(select q.price from q in PART where true)`)
+	if !value.Equal(got3, value.NewSet(value.String("nut"))) {
+		t.Errorf("min = %v", got3)
+	}
+}
+
+func TestVariableShadowing(t *testing.T) {
+	// The inner block reuses the outer variable name; the inner binding wins.
+	got, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where exists s in PART : s.color = "zzz"`)
+	if got.Len() != 0 {
+		t.Errorf("shadowed query = %v", got)
+	}
+}
+
+func TestDeeplyNestedBlocks(t *testing.T) {
+	// Three levels: suppliers with a part that some delivery delivered.
+	got, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where exists x in s.parts_supplied :
+		      exists d in DELIVERY :
+		      exists sp in d.supply : sp.part = x`)
+	// d1 delivers p1 (s1, s4 supply p1); d2 delivers p2 (s1, s2, s4).
+	want := value.NewSet(value.String("s1"), value.String("s2"), value.String("s4"))
+	if !value.Equal(got, want) {
+		t.Errorf("three-level nesting = %v, want %v", got, want)
+	}
+}
+
+func TestEmptySetLiteralInQuery(t *testing.T) {
+	got, _ := run(t, `select s.sname from s in SUPPLIER where s.parts_supplied = {}`)
+	if !value.Equal(got, value.NewSet(value.String("s3"))) {
+		t.Errorf("= {} query = %v", got)
+	}
+}
+
+func TestBoolLiteralsAndNot(t *testing.T) {
+	got, _ := run(t, `select s.sname from s in SUPPLIER where not false and true`)
+	if got.Len() != 4 {
+		t.Errorf("boolean query = %v", got)
+	}
+}
+
+var _ = eval.Eval // keep the import used if helpers change
+
+func TestChainedWithBindings(t *testing.T) {
+	// Later with-bindings may reference earlier ones. The binding values are
+	// parenthesized: an unparenthesized sfw would greedily attach the next
+	// "with" to itself (see the grammar note in package oosql).
+	got, _ := run(t, `
+		select s.sname from s in SUPPLIER
+		where count(B) >= 1
+		with A = (select p from p in PART where p in s.parts_supplied)
+		with B = (select q from q in A where q.color = "red")`)
+	// Suppliers with at least one red part: s1 (bolt), s4 (bolt, gear).
+	want := value.NewSet(value.String("s1"), value.String("s4"))
+	if !value.Equal(got, want) {
+		t.Errorf("chained withs = %v, want %v", got, want)
+	}
+}
+
+func TestFromClauseOverSetLiteral(t *testing.T) {
+	got, _ := run(t, `select x + 1 from x in {1, 2, 3} where x < 3`)
+	if !value.Equal(got, value.NewSet(value.Int(2), value.Int(3))) {
+		t.Errorf("set-literal from = %v", got)
+	}
+}

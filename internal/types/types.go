@@ -1,0 +1,331 @@
+// Package types implements the structural type system of the ADL complex
+// object algebra: atomic types (bool, int, float, string, date), the basic
+// type oid used to represent object identity, and the tuple ⟨ ⟩ and set { }
+// type constructors, nested arbitrarily. It provides structural equality,
+// the paper's schema function SCH (top-level attribute names of a table
+// expression), and type inference for runtime values.
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Type is the sum type of ADL types. Concrete variants are Atomic, *Tuple
+// and *Set.
+type Type interface {
+	// String renders the type in the paper's notation, e.g.
+	// {(pid: oid, pname: string)}.
+	String() string
+	typeNode()
+}
+
+// Atomic is a scalar type.
+type Atomic struct{ Name string }
+
+// The atomic types of the model. OIDType is the paper's basic type oid.
+var (
+	BoolType   = Atomic{"bool"}
+	IntType    = Atomic{"int"}
+	FloatType  = Atomic{"float"}
+	StringType = Atomic{"string"}
+	DateType   = Atomic{"date"}
+	OIDType    = Atomic{"oid"}
+)
+
+func (a Atomic) String() string { return a.Name }
+func (Atomic) typeNode()        {}
+
+// Field is a named attribute of a tuple type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Tuple is the ⟨ ⟩ type constructor. Attribute order is preserved for
+// printing but is insignificant for equality.
+type Tuple struct{ Fields []Field }
+
+// NewTuple builds a tuple type from alternating name/Type pairs.
+func NewTuple(pairs ...any) *Tuple {
+	if len(pairs)%2 != 0 {
+		panic("types.NewTuple: odd number of arguments")
+	}
+	t := &Tuple{}
+	for i := 0; i < len(pairs); i += 2 {
+		t.Fields = append(t.Fields, Field{pairs[i].(string), pairs[i+1].(Type)})
+	}
+	return t
+}
+
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.Name + ": " + f.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+func (*Tuple) typeNode() {}
+
+// Field returns the type of the named attribute.
+func (t *Tuple) Field(name string) (Type, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f.Type, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the attribute names in declaration order.
+func (t *Tuple) Names() []string {
+	ns := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		ns[i] = f.Name
+	}
+	return ns
+}
+
+// Set is the { } type constructor.
+type Set struct{ Elem Type }
+
+// NewSet returns the type {elem}.
+func NewSet(elem Type) *Set { return &Set{Elem: elem} }
+
+func (s *Set) String() string { return "{" + s.Elem.String() + "}" }
+func (*Set) typeNode()        {}
+
+// Ref is a class reference type used while typechecking OOSQL path
+// expressions (d.supplier.sname needs to know supplier references Supplier).
+// The ADL mapping erases Ref to the basic type oid (Erase); the algebra
+// itself has no inheritance or class types.
+type Ref struct{ Class string }
+
+func (r Ref) String() string { return "ref(" + r.Class + ")" }
+func (Ref) typeNode()        {}
+
+// Object is the typechecker's view of one object of a class: the full tuple
+// (identity field plus attributes, reference-annotated) tagged with its
+// class so that surface-name aliases and identity comparisons can be
+// resolved. It erases to the plain tuple type.
+type Object struct {
+	Class string
+	Tup   *Tuple
+}
+
+func (o Object) String() string { return o.Class }
+func (Object) typeNode()        {}
+
+// Erase replaces every Ref by oid and every Object by its tuple type,
+// yielding a pure ADL type.
+func Erase(t Type) Type {
+	switch tt := t.(type) {
+	case Ref:
+		return OIDType
+	case Object:
+		return Erase(tt.Tup)
+	case *Set:
+		return &Set{Elem: Erase(tt.Elem)}
+	case *Tuple:
+		out := &Tuple{Fields: make([]Field, len(tt.Fields))}
+		for i, f := range tt.Fields {
+			out.Fields[i] = Field{f.Name, Erase(f.Type)}
+		}
+		return out
+	}
+	return t
+}
+
+// Equal reports structural equality of types; tuple attribute order is
+// insignificant.
+func Equal(a, b Type) bool {
+	switch at := a.(type) {
+	case Atomic:
+		bt, ok := b.(Atomic)
+		return ok && at.Name == bt.Name
+	case Ref:
+		bt, ok := b.(Ref)
+		return ok && at.Class == bt.Class
+	case Object:
+		bt, ok := b.(Object)
+		return ok && at.Class == bt.Class
+	case *Tuple:
+		bt, ok := b.(*Tuple)
+		if !ok || len(at.Fields) != len(bt.Fields) {
+			return false
+		}
+		for _, f := range at.Fields {
+			bf, ok := bt.Field(f.Name)
+			if !ok || !Equal(f.Type, bf) {
+				return false
+			}
+		}
+		return true
+	case *Set:
+		bt, ok := b.(*Set)
+		return ok && Equal(at.Elem, bt.Elem)
+	}
+	return false
+}
+
+// SCH implements the paper's schema function: applied to a table type (a set
+// of tuples) or directly to a tuple type, it delivers the top-level attribute
+// names, sorted for determinism.
+func SCH(t Type) ([]string, error) {
+	switch tt := t.(type) {
+	case *Tuple:
+		ns := tt.Names()
+		sort.Strings(ns)
+		return ns, nil
+	case *Set:
+		inner, ok := tt.Elem.(*Tuple)
+		if !ok {
+			return nil, fmt.Errorf("types: SCH on set of non-tuples %s", t)
+		}
+		ns := inner.Names()
+		sort.Strings(ns)
+		return ns, nil
+	}
+	return nil, fmt.Errorf("types: SCH on non-table type %s", t)
+}
+
+// ElemTuple returns the tuple type of a table type's elements.
+func ElemTuple(t Type) (*Tuple, bool) {
+	s, ok := t.(*Set)
+	if !ok {
+		return nil, false
+	}
+	tt, ok := s.Elem.(*Tuple)
+	return tt, ok
+}
+
+// Infer derives the most specific type of a runtime value. Empty sets infer
+// as {⊥}; Unifiable treats the bottom element type as compatible with any
+// element type.
+func Infer(v value.Value) (Type, error) {
+	switch vv := v.(type) {
+	case value.Bool:
+		return BoolType, nil
+	case value.Int:
+		return IntType, nil
+	case value.Float:
+		return FloatType, nil
+	case value.String:
+		return StringType, nil
+	case value.Date:
+		return DateType, nil
+	case value.OID:
+		return OIDType, nil
+	case value.Null:
+		return Bottom, nil
+	case *value.Tuple:
+		t := &Tuple{}
+		for i := 0; i < vv.Len(); i++ {
+			name, fv := vv.At(i)
+			ft, err := Infer(fv)
+			if err != nil {
+				return nil, err
+			}
+			t.Fields = append(t.Fields, Field{name, ft})
+		}
+		return t, nil
+	case *value.Set:
+		var elem Type = Bottom
+		for _, e := range vv.Elems() {
+			et, err := Infer(e)
+			if err != nil {
+				return nil, err
+			}
+			u, ok := Unify(elem, et)
+			if !ok {
+				return nil, fmt.Errorf("types: heterogeneous set: %s vs %s", elem, et)
+			}
+			elem = u
+		}
+		return &Set{Elem: elem}, nil
+	}
+	return nil, fmt.Errorf("types: cannot infer type of %v", v)
+}
+
+// Bottom is the type of the elements of the empty set: it unifies with
+// anything. It never appears in declared schemas.
+var Bottom = Atomic{"⊥"}
+
+// Unify returns the least common type of a and b if one exists. Bottom
+// unifies with anything; otherwise the types must agree structurally, with
+// unification applied pointwise inside sets and tuples.
+func Unify(a, b Type) (Type, bool) {
+	if at, ok := a.(Atomic); ok && at == Bottom {
+		return b, true
+	}
+	if bt, ok := b.(Atomic); ok && bt == Bottom {
+		return a, true
+	}
+	switch at := a.(type) {
+	case Atomic:
+		if bt, ok := b.(Atomic); ok && at.Name == bt.Name {
+			return a, true
+		}
+		// A bare oid unifies with any class reference (the erased view).
+		if _, ok := b.(Ref); ok && at == OIDType {
+			return b, true
+		}
+	case Ref:
+		if bt, ok := b.(Ref); ok && at.Class == bt.Class {
+			return a, true
+		}
+		if bt, ok := b.(Atomic); ok && bt == OIDType {
+			return a, true
+		}
+	case Object:
+		if bt, ok := b.(Object); ok && at.Class == bt.Class {
+			return a, true
+		}
+	case *Set:
+		if bt, ok := b.(*Set); ok {
+			if e, ok := Unify(at.Elem, bt.Elem); ok {
+				return &Set{Elem: e}, true
+			}
+		}
+	case *Tuple:
+		bt, ok := b.(*Tuple)
+		if !ok || len(at.Fields) != len(bt.Fields) {
+			return nil, false
+		}
+		out := &Tuple{}
+		for _, f := range at.Fields {
+			bf, ok := bt.Field(f.Name)
+			if !ok {
+				return nil, false
+			}
+			u, ok := Unify(f.Type, bf)
+			if !ok {
+				return nil, false
+			}
+			out.Fields = append(out.Fields, Field{f.Name, u})
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// ConcatTuples returns the tuple type of x ∘ y, failing on a name conflict.
+func ConcatTuples(a, b *Tuple) (*Tuple, error) {
+	out := &Tuple{Fields: append([]Field(nil), a.Fields...)}
+	for _, f := range b.Fields {
+		if _, dup := a.Field(f.Name); dup {
+			return nil, fmt.Errorf("types: concatenation conflict on attribute %q", f.Name)
+		}
+		out.Fields = append(out.Fields, f)
+	}
+	return out, nil
+}
+
+// IsTable reports whether t is a set of tuples (a table type).
+func IsTable(t Type) bool {
+	_, ok := ElemTuple(t)
+	return ok
+}

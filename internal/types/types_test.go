@@ -1,0 +1,212 @@
+package types
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func supplierType() *Set {
+	// The paper's §4 ADL type for SUPPLIER:
+	// {(eid: oid, sname: string, parts: {(pid: oid)})}
+	return NewSet(NewTuple(
+		"eid", OIDType,
+		"sname", StringType,
+		"parts", NewSet(NewTuple("pid", OIDType)),
+	))
+}
+
+func TestStringNotation(t *testing.T) {
+	got := supplierType().String()
+	want := "{(eid: oid, sname: string, parts: {(pid: oid)})}"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := NewTuple("a", IntType, "b", StringType)
+	b := NewTuple("b", StringType, "a", IntType)
+	if !Equal(a, b) {
+		t.Fatalf("attribute order must not matter for tuple type equality")
+	}
+	if Equal(a, NewTuple("a", IntType)) {
+		t.Fatalf("different widths must differ")
+	}
+	if Equal(a, NewTuple("a", IntType, "b", IntType)) {
+		t.Fatalf("different field types must differ")
+	}
+	if !Equal(NewSet(IntType), NewSet(IntType)) || Equal(NewSet(IntType), NewSet(StringType)) {
+		t.Fatalf("set equality misbehaves")
+	}
+	if Equal(IntType, NewSet(IntType)) {
+		t.Fatalf("atomic vs set must differ")
+	}
+}
+
+func TestSCH(t *testing.T) {
+	names, err := SCH(supplierType())
+	if err != nil {
+		t.Fatalf("SCH: %v", err)
+	}
+	want := []string{"eid", "parts", "sname"}
+	if len(names) != len(want) {
+		t.Fatalf("SCH = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("SCH = %v, want %v", names, want)
+		}
+	}
+	if _, err := SCH(NewSet(IntType)); err == nil {
+		t.Fatalf("SCH over set of atoms must fail")
+	}
+	if _, err := SCH(IntType); err == nil {
+		t.Fatalf("SCH over atom must fail")
+	}
+}
+
+func TestInfer(t *testing.T) {
+	v := value.NewTuple(
+		"eid", value.OID(1),
+		"sname", value.String("s1"),
+		"parts", value.NewSet(value.NewTuple("pid", value.OID(2))),
+	)
+	got, err := Infer(v)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	want := NewTuple(
+		"eid", OIDType,
+		"sname", StringType,
+		"parts", NewSet(NewTuple("pid", OIDType)),
+	)
+	if !Equal(got, want) {
+		t.Fatalf("Infer = %s, want %s", got, want)
+	}
+}
+
+func TestInferEmptySetUnifies(t *testing.T) {
+	// {(a=1, c={}), (a=2, c={1})} must infer as {(a: int, c: {int})}.
+	s := value.NewSet(
+		value.NewTuple("a", value.Int(1), "c", value.EmptySet()),
+		value.NewTuple("a", value.Int(2), "c", value.NewSet(value.Int(1))),
+	)
+	got, err := Infer(s)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	want := NewSet(NewTuple("a", IntType, "c", NewSet(IntType)))
+	if !Equal(got, want) {
+		t.Fatalf("Infer = %s, want %s", got, want)
+	}
+}
+
+func TestInferHeterogeneousSetFails(t *testing.T) {
+	s := value.NewSet(value.Int(1), value.String("x"))
+	if _, err := Infer(s); err == nil {
+		t.Fatalf("heterogeneous set must not type")
+	}
+}
+
+func TestUnify(t *testing.T) {
+	if u, ok := Unify(Bottom, IntType); !ok || !Equal(u, IntType) {
+		t.Fatalf("Bottom must unify with int")
+	}
+	if u, ok := Unify(NewSet(Bottom), NewSet(NewTuple("a", IntType))); !ok || !Equal(u, NewSet(NewTuple("a", IntType))) {
+		t.Fatalf("set-of-bottom must unify with any set: %v %v", u, ok)
+	}
+	if _, ok := Unify(IntType, StringType); ok {
+		t.Fatalf("int and string must not unify")
+	}
+	if _, ok := Unify(NewTuple("a", IntType), NewTuple("b", IntType)); ok {
+		t.Fatalf("mismatched field names must not unify")
+	}
+}
+
+func TestConcatTuples(t *testing.T) {
+	ab, err := ConcatTuples(NewTuple("a", IntType), NewTuple("b", StringType))
+	if err != nil {
+		t.Fatalf("ConcatTuples: %v", err)
+	}
+	if !Equal(ab, NewTuple("a", IntType, "b", StringType)) {
+		t.Fatalf("ConcatTuples = %s", ab)
+	}
+	if _, err := ConcatTuples(ab, NewTuple("a", IntType)); err == nil {
+		t.Fatalf("expected conflict")
+	}
+}
+
+func TestIsTableAndElemTuple(t *testing.T) {
+	if !IsTable(supplierType()) {
+		t.Fatalf("supplier extent is a table")
+	}
+	if IsTable(NewSet(IntType)) || IsTable(IntType) {
+		t.Fatalf("non-tables misreported")
+	}
+	et, ok := ElemTuple(supplierType())
+	if !ok || len(et.Fields) != 3 {
+		t.Fatalf("ElemTuple = %v, %v", et, ok)
+	}
+}
+
+func TestRefObjectAndErase(t *testing.T) {
+	ref := Ref{Class: "Part"}
+	if ref.String() != "ref(Part)" {
+		t.Errorf("Ref.String = %q", ref.String())
+	}
+	objTup := NewTuple("pid", OIDType, "pname", StringType)
+	obj := Object{Class: "Part", Tup: objTup}
+	if obj.String() != "Part" {
+		t.Errorf("Object.String = %q", obj.String())
+	}
+	// Equality by class.
+	if !Equal(ref, Ref{Class: "Part"}) || Equal(ref, Ref{Class: "Supplier"}) {
+		t.Errorf("Ref equality misbehaves")
+	}
+	if !Equal(obj, Object{Class: "Part"}) || Equal(obj, Object{Class: "Supplier"}) {
+		t.Errorf("Object equality misbehaves")
+	}
+	// Erase: refs become oid, objects become their tuples, recursively.
+	annotated := NewSet(NewTuple(
+		"r", ref,
+		"rs", NewSet(NewTuple("pid", ref)),
+		"o", obj,
+	))
+	erased := Erase(annotated)
+	want := NewSet(NewTuple(
+		"r", OIDType,
+		"rs", NewSet(NewTuple("pid", OIDType)),
+		"o", objTup,
+	))
+	if !Equal(erased, want) {
+		t.Errorf("Erase = %s, want %s", erased, want)
+	}
+	// Atoms pass through.
+	if !Equal(Erase(IntType), IntType) {
+		t.Errorf("Erase(int) changed")
+	}
+}
+
+func TestUnifyRefAndObject(t *testing.T) {
+	ref := Ref{Class: "Part"}
+	if u, ok := Unify(ref, OIDType); !ok || !Equal(u, ref) {
+		t.Errorf("ref/oid unify = %v, %v", u, ok)
+	}
+	if u, ok := Unify(OIDType, ref); !ok || !Equal(u, ref) {
+		t.Errorf("oid/ref unify = %v, %v", u, ok)
+	}
+	if _, ok := Unify(ref, Ref{Class: "Supplier"}); ok {
+		t.Errorf("different classes must not unify")
+	}
+	obj := Object{Class: "Part", Tup: NewTuple("pid", OIDType)}
+	if u, ok := Unify(obj, Object{Class: "Part", Tup: NewTuple("pid", OIDType)}); !ok || !Equal(u, obj) {
+		t.Errorf("object unify = %v, %v", u, ok)
+	}
+	if _, ok := Unify(obj, Object{Class: "Supplier"}); ok {
+		t.Errorf("different object classes must not unify")
+	}
+	if _, ok := Unify(obj, IntType); ok {
+		t.Errorf("object/int must not unify")
+	}
+}

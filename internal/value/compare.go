@@ -1,0 +1,180 @@
+package value
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Equal reports deep equality of two values. Tuples are compared as
+// name→value maps; sets by mutual containment. Values of different kinds are
+// never equal (the model is strongly typed, so mixed-kind comparisons only
+// arise for Null, which equals only itself).
+func Equal(a, b Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch av := a.(type) {
+	case Null:
+		return true
+	case Bool:
+		return av == b.(Bool)
+	case Int:
+		return av == b.(Int)
+	case Float:
+		return av == b.(Float)
+	case String:
+		return av == b.(String)
+	case Date:
+		return av == b.(Date)
+	case OID:
+		return av == b.(OID)
+	case *Tuple:
+		bt := b.(*Tuple)
+		if av.Len() != bt.Len() {
+			return false
+		}
+		for i, n := range av.names {
+			bv, ok := bt.Get(n)
+			if !ok || !Equal(av.vals[i], bv) {
+				return false
+			}
+		}
+		return true
+	case *Set:
+		bs := b.(*Set)
+		return av.Len() == bs.Len() && av.SubsetOf(bs)
+	}
+	panic("value.Equal: unknown kind")
+}
+
+// Compare imposes a deterministic total order on all values: first by kind,
+// then by the natural order within the kind. Tuples compare by sorted
+// attribute name then value; sets compare by cardinality then by their
+// canonically sorted element sequences. The order is used for canonical
+// printing and by sort-based physical operators; it has no semantic role in
+// the algebra beyond the ordered atomic comparisons (<, ≤, >, ≥).
+func Compare(a, b Value) int {
+	if a.Kind() != b.Kind() {
+		return int(a.Kind()) - int(b.Kind())
+	}
+	switch av := a.(type) {
+	case Null:
+		return 0
+	case Bool:
+		bv := b.(Bool)
+		switch {
+		case av == bv:
+			return 0
+		case bool(bv):
+			return -1
+		default:
+			return 1
+		}
+	case Int:
+		return cmpOrdered(av, b.(Int))
+	case Float:
+		return cmpOrdered(av, b.(Float))
+	case String:
+		return cmpOrdered(av, b.(String))
+	case Date:
+		return cmpOrdered(av, b.(Date))
+	case OID:
+		return cmpOrdered(av, b.(OID))
+	case *Tuple:
+		bt := b.(*Tuple)
+		ai, bi := av.sortedIdx(), bt.sortedIdx()
+		for k := 0; k < len(ai) && k < len(bi); k++ {
+			an, bn := av.names[ai[k]], bt.names[bi[k]]
+			if an != bn {
+				if an < bn {
+					return -1
+				}
+				return 1
+			}
+			if c := Compare(av.vals[ai[k]], bt.vals[bi[k]]); c != 0 {
+				return c
+			}
+		}
+		return av.Len() - bt.Len()
+	case *Set:
+		bs := b.(*Set)
+		if av.Len() != bs.Len() {
+			return av.Len() - bs.Len()
+		}
+		as, bss := av.Sorted(), bs.Sorted()
+		for i := range as {
+			if c := Compare(as[i], bss[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	panic("value.Compare: unknown kind")
+}
+
+func cmpOrdered[T interface {
+	~int32 | ~int64 | ~uint64 | ~float64 | ~string
+}](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Hash returns a 64-bit hash consistent with Equal: equal values hash
+// equally. Tuple and set hashes combine member hashes commutatively so that
+// attribute order and element order do not matter.
+func Hash(v Value) uint64 {
+	switch av := v.(type) {
+	case Null:
+		return 0x9e3779b97f4a7c15
+	case Bool:
+		if av {
+			return 0xff51afd7ed558ccd
+		}
+		return 0xc4ceb9fe1a85ec53
+	case Int:
+		return hashScalar(byte(KindInt), uint64(av))
+	case Float:
+		return hashScalar(byte(KindFloat), math.Float64bits(float64(av)))
+	case String:
+		h := fnv.New64a()
+		h.Write([]byte{byte(KindString)})
+		h.Write([]byte(av))
+		return h.Sum64()
+	case Date:
+		return hashScalar(byte(KindDate), uint64(uint32(av)))
+	case OID:
+		return hashScalar(byte(KindOID), uint64(av))
+	case *Tuple:
+		var sum uint64
+		for i, n := range av.names {
+			h := fnv.New64a()
+			h.Write([]byte(n))
+			fieldHash := h.Sum64() * 0x100000001b3
+			sum += fieldHash ^ Hash(av.vals[i])
+		}
+		return sum ^ 0xa5a5a5a5a5a5a5a5
+	case *Set:
+		var sum uint64
+		for _, e := range av.elems {
+			sum += Hash(e)
+		}
+		return sum ^ 0x5a5a5a5a5a5a5a5a
+	}
+	panic("value.Hash: unknown kind")
+}
+
+func hashScalar(kind byte, bits uint64) uint64 {
+	var buf [9]byte
+	buf[0] = kind
+	binary.LittleEndian.PutUint64(buf[1:], bits)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return h.Sum64()
+}

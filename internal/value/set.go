@@ -1,0 +1,175 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a finite set value built with the paper's { } constructor. Element
+// order is insignificant; duplicates are eliminated on insertion using deep
+// equality. A Set must not be mutated after it has been shared.
+type Set struct {
+	elems []Value
+	// index maps element hash to the positions of elements with that hash,
+	// making insertion near O(1) even for large extents.
+	index map[uint64][]int
+}
+
+// Kind reports KindSet.
+func (*Set) Kind() Kind { return KindSet }
+
+// NewSet builds a set from the given elements, eliminating duplicates.
+func NewSet(elems ...Value) *Set {
+	s := NewSetCap(len(elems))
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// NewSetCap returns an empty set with capacity for n elements.
+func NewSetCap(n int) *Set {
+	return &Set{
+		elems: make([]Value, 0, n),
+		index: make(map[uint64][]int, n),
+	}
+}
+
+// EmptySet returns a new empty set.
+func EmptySet() *Set { return NewSetCap(0) }
+
+// Add inserts v unless an equal element is already present. It reports
+// whether the set grew. Add must only be called while the set is being
+// built, before it is shared.
+func (s *Set) Add(v Value) bool {
+	h := Hash(v)
+	if s.index == nil {
+		s.index = make(map[uint64][]int)
+	}
+	for _, i := range s.index[h] {
+		if Equal(s.elems[i], v) {
+			return false
+		}
+	}
+	s.index[h] = append(s.index[h], len(s.elems))
+	s.elems = append(s.elems, v)
+	return true
+}
+
+// AddAll inserts every element of t into s.
+func (s *Set) AddAll(t *Set) {
+	for _, e := range t.elems {
+		s.Add(e)
+	}
+}
+
+// Len reports the cardinality of the set.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Elems returns the elements in insertion order. The slice is shared; callers
+// must not modify it.
+func (s *Set) Elems() []Value { return s.elems }
+
+// Contains reports whether an element equal to v is in the set.
+func (s *Set) Contains(v Value) bool {
+	h := Hash(v)
+	for _, i := range s.index[h] {
+		if Equal(s.elems[i], v) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports s ⊆ t.
+func (s *Set) SubsetOf(t *Set) bool {
+	if s.Len() > t.Len() {
+		return false
+	}
+	for _, e := range s.elems {
+		if !t.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports s ⊂ t.
+func (s *Set) ProperSubsetOf(t *Set) bool {
+	return s.Len() < t.Len() && s.SubsetOf(t)
+}
+
+// Union returns s ∪ t as a fresh set.
+func (s *Set) Union(t *Set) *Set {
+	r := NewSetCap(s.Len() + t.Len())
+	r.AddAll(s)
+	r.AddAll(t)
+	return r
+}
+
+// Intersect returns s ∩ t as a fresh set.
+func (s *Set) Intersect(t *Set) *Set {
+	small, big := s, t
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	r := NewSetCap(small.Len())
+	for _, e := range small.elems {
+		if big.Contains(e) {
+			r.Add(e)
+		}
+	}
+	return r
+}
+
+// Diff returns s − t as a fresh set.
+func (s *Set) Diff(t *Set) *Set {
+	r := NewSetCap(s.Len())
+	for _, e := range s.elems {
+		if !t.Contains(e) {
+			r.Add(e)
+		}
+	}
+	return r
+}
+
+// Flatten implements the paper's multiple union ∪(e) (semantics rule 1):
+// the union of all elements of s, each of which must itself be a set.
+func (s *Set) Flatten() (*Set, error) {
+	r := NewSetCap(s.Len())
+	for _, e := range s.elems {
+		inner, ok := e.(*Set)
+		if !ok {
+			return nil, &KindError{Op: "flatten", Want: KindSet, Got: e.Kind()}
+		}
+		r.AddAll(inner)
+	}
+	return r, nil
+}
+
+// Sorted returns the elements in the canonical total order of Compare.
+// The receiver is unchanged.
+func (s *Set) Sorted() []Value {
+	out := append(make([]Value, 0, len(s.elems)), s.elems...)
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	b.WriteString(joinStrings(s.Sorted()))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// KindError reports an operation applied to a value of the wrong kind.
+type KindError struct {
+	Op   string
+	Want Kind
+	Got  Kind
+}
+
+func (e *KindError) Error() string {
+	return "value: " + e.Op + ": want " + e.Want.String() + ", got " + e.Got.String()
+}
