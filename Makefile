@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (also available as paper-style tables: go run ./cmd/adlbench).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One iteration of every benchmark — CI's "does it still run" check.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Exactly what .github/workflows/ci.yml runs.
+ci: fmt-check vet build race bench-smoke

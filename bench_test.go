@@ -1,5 +1,5 @@
 // Package repro's root benchmark suite: one testing.B family per experiment
-// of DESIGN.md §4 (B1–B7), runnable with
+// of DESIGN.md §4 (B1–B8), runnable with
 //
 //	go test -bench=. -benchmem
 //
@@ -13,9 +13,11 @@ import (
 	"testing"
 
 	"repro/internal/adl"
+	"repro/internal/bench"
 	"repro/internal/eval"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/plan"
 )
 
 // run executes f once per benchmark iteration, failing on error.
@@ -140,6 +142,46 @@ func BenchmarkB7(b *testing.B) {
 			run(b, func() error { _, err := w.RunOpt(); return err })
 		})
 	}
+}
+
+// BenchmarkB8 — parallel partitioned execution: the supplier-deliveries
+// grouping join executed by the serial HashJoin versus the Grace-style
+// PartitionedHashJoin (one partition per CPU). The serial/parallel pairs
+// let BENCH_*.json track the multicore speedup.
+func BenchmarkB8(b *testing.B) {
+	for _, sc := range [][2]int{{500, 5000}, {2000, 20000}} {
+		name := fmt.Sprintf("S%d_D%d", sc[0], sc[1])
+		w := experiments.NewParallelJoin(sc[0], sc[1], -1, 94)
+		b.Run("serial/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunSerial(); return err })
+		})
+		b.Run("parallel/"+name, func(b *testing.B) {
+			run(b, func() error { _, err := w.RunParallel(); return err })
+		})
+	}
+}
+
+// BenchmarkParallelPlanner — the same optimized query compiled by the serial
+// planner and by the parallel configuration (stats-fed threshold), end to
+// end through plan.Config.Compile.
+func BenchmarkParallelPlanner(b *testing.B) {
+	st := bench.Generate(bench.Config{Suppliers: 3000, Parts: 10, Fanout: 2,
+		Deliveries: 30000, Seed: 94})
+	j := adl.JoinE(adl.T("DELIVERY"), "d", "s",
+		adl.EqE(adl.Dot(adl.V("d"), "supplier"), adl.Dot(adl.V("s"), "eid")),
+		adl.T("SUPPLIER"))
+	serial := plan.Compile(j)
+	parallel := plan.Config{Stats: st, ParallelThreshold: 1}.Compile(j)
+	if _, ok := parallel.(*exec.PartitionedHashJoin); !ok {
+		b.Fatalf("parallel config should plan PartitionedHashJoin, got %T", parallel)
+	}
+	ctx := &exec.Ctx{DB: st}
+	b.Run("serial", func(b *testing.B) {
+		run(b, func() error { _, err := exec.Collect(serial, ctx); return err })
+	})
+	b.Run("parallel", func(b *testing.B) {
+		run(b, func() error { _, err := exec.Collect(parallel, ctx); return err })
+	})
 }
 
 // BenchmarkNestjoinAblation compares the three nestjoin implementations the

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	adlbench            # the full suite at default scales
-//	adlbench -exp B3    # one experiment
-//	adlbench -quick     # smaller scales (used by CI-style runs)
+//	adlbench              # the full suite at default scales
+//	adlbench -exp B3      # one experiment
+//	adlbench -quick       # smaller scales (used by CI-style runs)
+//	adlbench -parallel 8  # B8's parallel arm with 8 partitions
+//	adlbench -parallel 0  # B8's parallel arm kept serial (sweep control)
 package main
 
 import (
@@ -20,8 +22,9 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (B1..B7); empty = all")
-		quick = flag.Bool("quick", false, "smaller scales")
+		exp      = flag.String("exp", "", "experiment to run (B1..B8); empty = all")
+		quick    = flag.Bool("quick", false, "smaller scales")
+		parallel = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
 	)
 	flag.Parse()
 
@@ -73,6 +76,12 @@ func main() {
 		}},
 		{"B7", func() (*bench.Table, error) {
 			return experiments.B7(scale(500, 80), scale(1000, 120), seed)
+		}},
+		{"B8", func() (*bench.Table, error) {
+			return experiments.B8([][2]int{
+				{scale(2000, 200), scale(20000, 2000)},
+				{scale(8000, 400), scale(80000, 4000)},
+			}, *parallel, seed)
 		}},
 	}
 

@@ -1,0 +1,463 @@
+// Parallel partitioned execution: a Grace-style partitioned hash join and
+// worker-pool wrappers for σ and α. The paper's argument is that rewriting
+// nested loops into explicit joins lets the optimizer pick efficient join
+// implementations (§5.1); on modern hardware "efficient" includes exploiting
+// every core. Hash partitioning both operands on the join key makes each
+// partition an independent join: equal keys hash equally, so a left row's
+// matches — and therefore its semi/anti/nest/outer verdict — are decided
+// entirely within its own partition.
+//
+// All parallel operators preserve the Operator (Open/Next/Close) contract:
+// Open launches the workers, Next streams merged results from a bounded
+// channel, Close tears the pipeline down. Result order is nondeterministic,
+// which is harmless under the algebra's set semantics.
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/adl"
+	"repro/internal/value"
+)
+
+// mergeBuffer is the capacity of the bounded channel merging worker output.
+const mergeBuffer = 1024
+
+// Parallelism resolves a parallelism knob: n if positive, else NumCPU. It
+// is exported so Explain and benchmark harnesses can report the effective
+// partition/worker counts.
+func Parallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// parMerge is the shared fan-in plumbing: workers send rows into a bounded
+// channel, the consumer pulls them out of Next, and the first error aborts
+// the pipeline.
+type parMerge struct {
+	out   chan value.Value
+	abort chan struct{}
+	once  sync.Once // guards closing abort
+	errMu sync.Mutex
+	err   error
+}
+
+func newParMerge() *parMerge {
+	return &parMerge{
+		out:   make(chan value.Value, mergeBuffer),
+		abort: make(chan struct{}),
+	}
+}
+
+// emit sends a row unless the pipeline is aborting. It reports whether the
+// worker should continue.
+func (m *parMerge) emit(row value.Value) bool {
+	select {
+	case m.out <- row:
+		return true
+	case <-m.abort:
+		return false
+	}
+}
+
+// fail records the first error and aborts the pipeline.
+func (m *parMerge) fail(err error) {
+	m.errMu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.errMu.Unlock()
+	m.stop()
+}
+
+// stop makes all workers wind down; it is safe to call repeatedly.
+func (m *parMerge) stop() { m.once.Do(func() { close(m.abort) }) }
+
+// next implements Operator.Next over the merged stream.
+func (m *parMerge) next() (value.Value, bool, error) {
+	row, ok := <-m.out
+	if !ok {
+		m.errMu.Lock()
+		defer m.errMu.Unlock()
+		return nil, false, m.err
+	}
+	return row, true, nil
+}
+
+// drain tears the pipeline down: abort workers and consume until the merge
+// channel is closed so no worker stays blocked on a send.
+func (m *parMerge) drain() {
+	m.stop()
+	for range m.out {
+	}
+}
+
+// evalKeys computes key(row) for every row with a pool of workers. The rows
+// are split into contiguous chunks, one per worker, so no locking is needed
+// on the result slice.
+func evalKeys(ctx *Ctx, rows []value.Value, key Scalar, workers int) ([]value.Value, error) {
+	keys := make([]value.Value, len(rows))
+	if len(rows) == 0 {
+		return keys, nil
+	}
+	w := Parallelism(workers)
+	if w > len(rows) {
+		w = len(rows)
+	}
+	chunk := (len(rows) + w - 1) / w
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				k, err := key.Eval(ctx, rows[r])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				keys[r] = k
+			}
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
+// partition groups row indices by hash(key) mod p.
+func partition(keys []value.Value, p int) [][]int {
+	parts := make([][]int, p)
+	for i, k := range keys {
+		h := value.Hash(k) % uint64(p)
+		parts[h] = append(parts[h], i)
+	}
+	return parts
+}
+
+// PartitionedHashJoin is the Grace-style parallel variant of HashJoin: both
+// operands are hash-partitioned on their join keys into Partitions buckets;
+// each bucket is then built and probed by its own goroutine, with results
+// merged through a bounded channel. All join kinds are supported with the
+// same semantics as the serial HashJoin, including the optional residual
+// predicate and the nestjoin's per-left-row grouping.
+type PartitionedHashJoin struct {
+	Kind       adl.JoinKind
+	L, R       Operator
+	LVar, RVar string
+	LKey, RKey Scalar
+	Residual   *Scalar
+	As         string
+	RFun       *Scalar
+	// Partitions is the partition/goroutine count; <=0 means NumCPU.
+	Partitions int
+
+	merge *parMerge
+	wg    sync.WaitGroup
+}
+
+// Open drains and partitions both inputs, then launches one build+probe
+// worker per partition.
+func (j *PartitionedHashJoin) Open(ctx *Ctx) error {
+	p := Parallelism(j.Partitions)
+
+	rrows, err := drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	rkeys, err := evalKeys(ctx, rrows, j.RKey, p)
+	if err != nil {
+		return err
+	}
+	lrows, err := drain(j.L, ctx)
+	if err != nil {
+		return err
+	}
+	lkeys, err := evalKeys(ctx, lrows, j.LKey, p)
+	if err != nil {
+		return err
+	}
+	rparts := partition(rkeys, p)
+	lparts := partition(lkeys, p)
+	nullPad := outerNullPad(j.Kind, rrows)
+
+	j.merge = newParMerge()
+	for i := 0; i < p; i++ {
+		j.wg.Add(1)
+		go func(li, ri []int) {
+			defer j.wg.Done()
+			j.joinPartition(ctx, lrows, lkeys, li, rrows, rkeys, ri, nullPad)
+		}(lparts[i], rparts[i])
+	}
+	merge := j.merge
+	go func() {
+		j.wg.Wait()
+		close(merge.out)
+	}()
+	return nil
+}
+
+// joinPartition builds a hash table over one right partition and probes it
+// with the matching left partition, emitting result rows into the merge
+// channel.
+func (j *PartitionedHashJoin) joinPartition(ctx *Ctx, lrows, lkeys []value.Value, li []int, rrows, rkeys []value.Value, ri []int, nullPad *value.Tuple) {
+	table := make(map[uint64][]int, len(ri))
+	for _, r := range ri {
+		h := value.Hash(rkeys[r])
+		table[h] = append(table[h], r)
+	}
+	for _, l := range li {
+		lrow := lrows[l]
+		lt, err := asTuple(lrow, "partitioned hash join")
+		if err != nil {
+			j.merge.fail(err)
+			return
+		}
+		lk := lkeys[l]
+		matched := false
+		var nest *value.Set
+		if j.Kind == adl.NestJ {
+			nest = value.EmptySet()
+		}
+		for _, r := range table[value.Hash(lk)] {
+			if !value.Equal(rkeys[r], lk) {
+				continue
+			}
+			rrow := rrows[r]
+			if j.Residual != nil {
+				ok, err := j.Residual.Bool(ctx, lrow, rrow)
+				if err != nil {
+					j.merge.fail(err)
+					return
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			switch j.Kind {
+			case adl.Inner, adl.Outer:
+				rt, err := asTuple(rrow, "partitioned hash join")
+				if err != nil {
+					j.merge.fail(err)
+					return
+				}
+				cat, err := lt.Concat(rt)
+				if err != nil {
+					j.merge.fail(err)
+					return
+				}
+				if !j.merge.emit(cat) {
+					return
+				}
+			case adl.NestJ:
+				member := rrow
+				if j.RFun != nil {
+					member, err = j.RFun.Eval(ctx, lrow, rrow)
+					if err != nil {
+						j.merge.fail(err)
+						return
+					}
+				}
+				nest.Add(member)
+			}
+			if j.Kind == adl.Semi {
+				break
+			}
+		}
+		switch j.Kind {
+		case adl.Semi:
+			if matched && !j.merge.emit(lrow) {
+				return
+			}
+		case adl.Anti:
+			if !matched && !j.merge.emit(lrow) {
+				return
+			}
+		case adl.NestJ:
+			if !j.merge.emit(lt.With(j.As, nest)) {
+				return
+			}
+		case adl.Outer:
+			if !matched {
+				cat, err := lt.Concat(nullPad)
+				if err != nil {
+					j.merge.fail(err)
+					return
+				}
+				if !j.merge.emit(cat) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Next yields the next joined row from the merge channel.
+func (j *PartitionedHashJoin) Next() (value.Value, bool, error) {
+	return j.merge.next()
+}
+
+// Close aborts any still-running workers and waits for them.
+func (j *PartitionedHashJoin) Close() error {
+	if j.merge != nil {
+		j.merge.drain()
+		j.wg.Wait()
+		j.merge = nil
+	}
+	return nil
+}
+
+// parPool fans a child operator's rows out to a worker pool applying fn, and
+// merges results through a bounded channel. It is the shared engine of
+// ParallelMap and ParallelFilter. The child is pulled from a single feeder
+// goroutine, respecting the single-threaded Operator contract.
+type parPool struct {
+	merge *parMerge
+	wg    sync.WaitGroup // feeder + workers
+}
+
+// start opens the pipeline: fn maps a row to (result, keep); workers drop
+// rows with keep=false.
+func (p *parPool) start(ctx *Ctx, child Operator, workers int, fn func(*Ctx, value.Value) (value.Value, bool, error)) {
+	p.merge = newParMerge()
+	in := make(chan value.Value, mergeBuffer)
+	merge := p.merge
+
+	p.wg.Add(1)
+	go func() { // feeder: sole caller of child.Next
+		defer p.wg.Done()
+		defer close(in)
+		for {
+			row, ok, err := child.Next()
+			if err != nil {
+				merge.fail(err)
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case in <- row:
+			case <-merge.abort:
+				return
+			}
+		}
+	}()
+
+	w := Parallelism(workers)
+	var workerWG sync.WaitGroup
+	for i := 0; i < w; i++ {
+		p.wg.Add(1)
+		workerWG.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer workerWG.Done()
+			for row := range in {
+				out, keep, err := fn(ctx, row)
+				if err != nil {
+					merge.fail(err)
+					return
+				}
+				if keep && !merge.emit(out) {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		workerWG.Wait()
+		close(merge.out)
+	}()
+}
+
+// next forwards the merged stream.
+func (p *parPool) next() (value.Value, bool, error) { return p.merge.next() }
+
+// stop aborts and waits for the pipeline.
+func (p *parPool) stop() {
+	if p.merge != nil {
+		p.merge.drain()
+		p.wg.Wait()
+		p.merge = nil
+	}
+}
+
+// ParallelMap is α with the body evaluated by a worker pool: rows are pulled
+// from the child by a feeder goroutine, mapped concurrently, and merged
+// through a bounded channel.
+type ParallelMap struct {
+	Child Operator
+	Var   string
+	Body  Scalar
+	// Workers is the pool size; <=0 means NumCPU.
+	Workers int
+
+	pool parPool
+}
+
+// Open opens the child and starts the pool.
+func (m *ParallelMap) Open(ctx *Ctx) error {
+	if err := m.Child.Open(ctx); err != nil {
+		return err
+	}
+	m.pool.start(ctx, m.Child, m.Workers, func(ctx *Ctx, row value.Value) (value.Value, bool, error) {
+		v, err := m.Body.Eval(ctx, row)
+		return v, true, err
+	})
+	return nil
+}
+
+// Next yields the image of some input row; order is not preserved.
+func (m *ParallelMap) Next() (value.Value, bool, error) { return m.pool.next() }
+
+// Close tears down the pool and closes the child.
+func (m *ParallelMap) Close() error {
+	m.pool.stop()
+	return m.Child.Close()
+}
+
+// ParallelFilter is σ with the predicate evaluated by a worker pool.
+type ParallelFilter struct {
+	Child Operator
+	Var   string
+	Pred  Scalar
+	// Workers is the pool size; <=0 means NumCPU.
+	Workers int
+
+	pool parPool
+}
+
+// Open opens the child and starts the pool.
+func (f *ParallelFilter) Open(ctx *Ctx) error {
+	if err := f.Child.Open(ctx); err != nil {
+		return err
+	}
+	f.pool.start(ctx, f.Child, f.Workers, func(ctx *Ctx, row value.Value) (value.Value, bool, error) {
+		keep, err := f.Pred.Bool(ctx, row)
+		return row, keep, err
+	})
+	return nil
+}
+
+// Next yields some input row satisfying the predicate; order is not
+// preserved.
+func (f *ParallelFilter) Next() (value.Value, bool, error) { return f.pool.next() }
+
+// Close tears down the pool and closes the child.
+func (f *ParallelFilter) Close() error {
+	f.pool.stop()
+	return f.Child.Close()
+}

@@ -1,0 +1,299 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/value"
+)
+
+// TestPartitionedHashJoinAgainstSerial cross-validates the parallel
+// partitioned join against the serial HashJoin (and thereby the interpreter
+// oracle, via TestJoinOperatorsAgainstOracle) for every join kind over
+// randomized inputs and several partition counts, including more partitions
+// than rows.
+func TestPartitionedHashJoinAgainstSerial(t *testing.T) {
+	kinds := []struct {
+		kind adl.JoinKind
+		as   string
+	}{
+		{adl.Inner, ""}, {adl.Semi, ""}, {adl.Anti, ""}, {adl.NestJ, "ys"}, {adl.Outer, ""},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		d := db(seed, 40, 30)
+		for _, k := range kinds {
+			want := evalRef(t, logicalJoin(k.kind, k.as, nil), d)
+			for _, parts := range []int{0, 1, 3, 64} {
+				pj := &PartitionedHashJoin{Kind: k.kind,
+					L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+					LVar: "x", RVar: "y",
+					LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+					RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"),
+					As:   k.as, Partitions: parts}
+				if got := collect(t, pj, d); !value.Equal(got, want) {
+					t.Errorf("seed %d PartitionedHashJoin(%d) %v: got %v want %v",
+						seed, parts, k.kind, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedHashJoinResidualAndRFun checks the residual predicate and
+// the nestjoin right-tuple function in the parallel join.
+func TestPartitionedHashJoinResidualAndRFun(t *testing.T) {
+	d := db(7, 30, 25)
+
+	resExpr := adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "c"))
+	logical := &adl.Join{Kind: adl.Inner, LVar: "x", RVar: "y",
+		On: adl.AndE(joinPred(), resExpr), L: adl.T("L"), R: adl.T("R")}
+	want := evalRef(t, logical, d)
+	res := NewScalar(resExpr, "x", "y")
+	pj := &PartitionedHashJoin{Kind: adl.Inner,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey:     NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey:     NewScalar(adl.Dot(adl.V("y"), "d"), "y"),
+		Residual: &res, Partitions: 4}
+	if got := collect(t, pj, d); !value.Equal(got, want) {
+		t.Errorf("residual: got %v want %v", got, want)
+	}
+
+	rfunExpr := adl.Dot(adl.V("y"), "c")
+	want = evalRef(t, logicalJoin(adl.NestJ, "cs", rfunExpr), d)
+	rfun := NewScalar(rfunExpr, "x", "y")
+	pj = &PartitionedHashJoin{Kind: adl.NestJ,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"),
+		As:   "cs", RFun: &rfun, Partitions: 4}
+	if got := collect(t, pj, d); !value.Equal(got, want) {
+		t.Errorf("nestjoin rfun: got %v want %v", got, want)
+	}
+}
+
+// TestPartitionedHashJoinEmptyInputs exercises the degenerate shapes.
+func TestPartitionedHashJoinEmptyInputs(t *testing.T) {
+	d := db(3, 10, 8)
+	empty := &SetScan{Set: value.EmptySet()}
+	pj := &PartitionedHashJoin{Kind: adl.Inner,
+		L: empty, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y")}
+	if got := collect(t, pj, d); got.Len() != 0 {
+		t.Errorf("empty left: got %v", got)
+	}
+	pj = &PartitionedHashJoin{Kind: adl.Anti,
+		L: &Scan{Table: "L"}, R: &SetScan{Set: value.EmptySet()},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y")}
+	lt, _ := d.Table("L")
+	if got := collect(t, pj, d); got.Len() != lt.Len() {
+		t.Errorf("anti join with empty right should keep all left rows, got %d", got.Len())
+	}
+}
+
+// TestParallelMapFilterAgainstSerial cross-validates the worker-pool σ/α
+// wrappers against their serial counterparts over randomized inputs.
+func TestParallelMapFilterAgainstSerial(t *testing.T) {
+	pred := adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "b"), adl.C(value.Int(4)))
+	body := adl.Tup("s", adl.Dot(adl.V("x"), "b"))
+	for seed := int64(1); seed <= 4; seed++ {
+		d := db(seed, 50, 10)
+		for _, workers := range []int{0, 1, 7} {
+			want := collect(t, &Filter{Child: &Scan{Table: "L"}, Var: "x",
+				Pred: NewScalar(pred, "x")}, d)
+			got := collect(t, &ParallelFilter{Child: &Scan{Table: "L"}, Var: "x",
+				Pred: NewScalar(pred, "x"), Workers: workers}, d)
+			if !value.Equal(got, want) {
+				t.Errorf("seed %d ParallelFilter(%d): got %v want %v", seed, workers, got, want)
+			}
+
+			want = collect(t, &MapOp{Child: &Scan{Table: "L"}, Var: "x",
+				Body: NewScalar(body, "x")}, d)
+			got = collect(t, &ParallelMap{Child: &Scan{Table: "L"}, Var: "x",
+				Body: NewScalar(body, "x"), Workers: workers}, d)
+			if !value.Equal(got, want) {
+				t.Errorf("seed %d ParallelMap(%d): got %v want %v", seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// errAfter yields n rows and then fails, for error-propagation tests.
+type errAfter struct {
+	n   int
+	pos int
+}
+
+func (e *errAfter) Open(*Ctx) error { e.pos = 0; return nil }
+func (e *errAfter) Next() (value.Value, bool, error) {
+	if e.pos >= e.n {
+		return nil, false, errors.New("child exploded")
+	}
+	e.pos++
+	return value.NewTuple("b", value.Int(int64(e.pos))), true, nil
+}
+func (e *errAfter) Close() error { return nil }
+
+// TestParallelErrorPropagation checks that errors from children and from
+// scalar evaluation surface through Next and that Close does not hang.
+func TestParallelErrorPropagation(t *testing.T) {
+	d := db(5, 20, 10)
+
+	// Child error in the feeder.
+	pf := &ParallelFilter{Child: &errAfter{n: 5}, Var: "x",
+		Pred: NewScalar(adl.CBool(true), "x"), Workers: 3}
+	if _, err := Collect(pf, &Ctx{DB: d}); err == nil {
+		t.Error("ParallelFilter should surface child error")
+	}
+
+	// Predicate error in a worker (field access on missing attribute).
+	pf = &ParallelFilter{Child: &Scan{Table: "L"}, Var: "x",
+		Pred:    NewScalar(adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "nope"), adl.C(value.Int(1))), "x"),
+		Workers: 3}
+	if _, err := Collect(pf, &Ctx{DB: d}); err == nil {
+		t.Error("ParallelFilter should surface predicate error")
+	}
+
+	// Key error in the parallel join's partitioning phase.
+	pj := &PartitionedHashJoin{Kind: adl.Inner,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "nope"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), Partitions: 4}
+	if _, err := Collect(pj, &Ctx{DB: d}); err == nil {
+		t.Error("PartitionedHashJoin should surface key error")
+	}
+}
+
+// TestParallelEarlyClose closes parallel operators mid-stream; the workers
+// must unwind without deadlocking (the test would time out otherwise).
+func TestParallelEarlyClose(t *testing.T) {
+	d := db(11, 3000, 100)
+	ctx := &Ctx{DB: d}
+	pj := &PartitionedHashJoin{Kind: adl.Inner,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), Partitions: 8}
+	if err := pj.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pj.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pj.Close(); err != nil { // Close is idempotent
+		t.Fatal(err)
+	}
+
+	pm := &ParallelMap{Child: &Scan{Table: "L"}, Var: "x",
+		Body: NewScalar(adl.Dot(adl.V("x"), "b"), "x"), Workers: 4}
+	if err := pm.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pm.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelReopen re-runs one operator instance several times, as the
+// benchmark harness does via Collect per iteration.
+func TestParallelReopen(t *testing.T) {
+	d := db(13, 60, 40)
+	pj := &PartitionedHashJoin{Kind: adl.Semi,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), Partitions: 4}
+	want := collect(t, pj, d)
+	for i := 0; i < 3; i++ {
+		if got := collect(t, pj, d); !value.Equal(got, want) {
+			t.Fatalf("reopen %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+// TestParallelismResolution pins the knob semantics: positive passes
+// through, zero and negative mean NumCPU.
+func TestParallelismResolution(t *testing.T) {
+	if got := Parallelism(5); got != 5 {
+		t.Errorf("Parallelism(5) = %d", got)
+	}
+	if got := Parallelism(0); got < 1 {
+		t.Errorf("Parallelism(0) = %d", got)
+	}
+	if got := Parallelism(-1); got < 1 {
+		t.Errorf("Parallelism(-1) = %d", got)
+	}
+}
+
+// TestEvalKeysChunking checks the parallel key evaluation helper across
+// worker counts and row counts, including workers > rows.
+func TestEvalKeysChunking(t *testing.T) {
+	d := db(17, 33, 5)
+	ctx := &Ctx{DB: d}
+	lt, _ := d.Table("L")
+	rows := lt.Elems()
+	key := NewScalar(adl.Dot(adl.V("x"), "b"), "x")
+	want, err := evalKeys(ctx, rows, key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 7, 100} {
+		got, err := evalKeys(ctx, rows, key, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !value.Equal(got[i], want[i]) {
+				t.Fatalf("workers=%d key %d: %v != %v", w, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := evalKeys(ctx, nil, key, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkPartitionedVsSerialHashJoin is the in-package microbenchmark pair
+// (the root bench_test.go carries the workload-level pairs).
+func BenchmarkPartitionedVsSerialHashJoin(b *testing.B) {
+	d := db(21, 20000, 20000)
+	ctx := &Ctx{DB: d}
+	mk := map[string]func() Operator{
+		"serial": func() Operator {
+			return &HashJoin{Kind: adl.Inner, L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+				LVar: "x", RVar: "y",
+				LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+				RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y")}
+		},
+		"parallel": func() Operator {
+			return &PartitionedHashJoin{Kind: adl.Inner, L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+				LVar: "x", RVar: "y",
+				LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+				RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y")}
+		},
+	}
+	for _, name := range []string{"serial", "parallel"} {
+		op := mk[name]()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Collect(op, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

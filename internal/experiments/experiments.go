@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/eval"
+	"repro/internal/exec"
 	"repro/internal/value"
 )
 
@@ -323,5 +324,40 @@ func B7(suppliers, parts int, seed int64) (*bench.Table, error) {
 		}
 		t.AddRow(w.Name, opts, ms(naiveT), ms(optT), speedup(naiveT, optT))
 	}
+	return t, nil
+}
+
+// B8 measures the parallel partitioned hash join against the serial hash
+// join on the supplier-deliveries grouping join, across database scales.
+// The parallel arm is verified against the serial result before its time is
+// reported. parallelism > 0 sets the partition count, negative means one
+// partition per CPU, and 0 keeps the second arm serial as a sweep control.
+func B8(scales [][2]int, parallelism int, seed int64) (*bench.Table, error) {
+	mode := fmt.Sprintf("%d partitions", exec.Parallelism(parallelism))
+	if parallelism == 0 {
+		mode = "serial control, -parallel 0"
+	}
+	t := &bench.Table{
+		Title: fmt.Sprintf("B8 — grouping join: serial HashJoin vs PartitionedHashJoin (%s)", mode),
+		Cols:  []string{"|SUPPLIER|", "|DELIVERY|", "serial", "parallel", "speedup"},
+	}
+	for _, sc := range scales {
+		p := NewParallelJoin(sc[0], sc[1], parallelism, seed)
+		var serialRes, parallelRes *value.Set
+		serialT, err := timed(func() error { var e error; serialRes, e = p.RunSerial(); return e })
+		if err != nil {
+			return nil, fmt.Errorf("B8 serial: %w", err)
+		}
+		parallelT, err := timed(func() error { var e error; parallelRes, e = p.RunParallel(); return e })
+		if err != nil {
+			return nil, fmt.Errorf("B8 parallel: %w", err)
+		}
+		if !value.Equal(serialRes, parallelRes) {
+			return nil, fmt.Errorf("B8: results diverge at scale %v", sc)
+		}
+		t.AddRow(sc[0], sc[1], ms(serialT), ms(parallelT), speedup(serialT, parallelT))
+	}
+	t.Notes = append(t.Notes,
+		"both operands are hash-partitioned on the join key; each partition builds and probes on its own goroutine")
 	return t, nil
 }

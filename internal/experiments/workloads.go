@@ -303,3 +303,55 @@ func NewForallExchange(nx, ny int, seed int64) (*storage.MemDB, adl.Expr, adl.Ex
 
 // newRng is a deterministic rand source helper.
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ParallelJoinArms is the B8 workload: the same equi-key grouping join —
+// nest each supplier's deliveries, keeping only the delivery oids — executed
+// by the serial HashJoin and by the Grace-style PartitionedHashJoin. The
+// per-probe work (match iteration plus the right-tuple function) happens
+// inside the partitions, so it is the shape parallelism pays off on.
+type ParallelJoinArms struct {
+	Store *storage.Store
+	// Parallelism is the partition count of the parallel arm: n > 0 means n
+	// partitions, negative means NumCPU, and 0 means serial — the parallel
+	// arm falls back to the serial HashJoin, giving benchmark sweeps a
+	// control point (cmd/adlbench -parallel 0).
+	Parallelism int
+}
+
+// NewParallelJoin builds the B8 workload.
+func NewParallelJoin(suppliers, deliveries, parallelism int, seed int64) *ParallelJoinArms {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: 10, Fanout: 2,
+		Deliveries: deliveries, Seed: seed})
+	return &ParallelJoinArms{Store: st, Parallelism: parallelism}
+}
+
+// parallelJoinScalars builds the shared key and right-tuple scalars.
+func parallelJoinScalars() (lk, rk, rfun exec.Scalar) {
+	lk = exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")
+	rk = exec.NewScalar(adl.Dot(adl.V("d"), "supplier"), "d")
+	rfun = exec.NewScalar(adl.SubT(adl.V("d"), "did"), "s", "d")
+	return
+}
+
+// RunSerial executes the grouping join with the serial HashJoin.
+func (p *ParallelJoinArms) RunSerial() (*value.Set, error) {
+	lk, rk, rfun := parallelJoinScalars()
+	op := &exec.HashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d",
+		L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"},
+		LKey: lk, RKey: rk, As: "ds", RFun: &rfun}
+	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+}
+
+// RunParallel executes the same join with the partitioned parallel variant,
+// or serially when Parallelism is 0 (the sweep's control point).
+func (p *ParallelJoinArms) RunParallel() (*value.Set, error) {
+	if p.Parallelism == 0 {
+		return p.RunSerial()
+	}
+	lk, rk, rfun := parallelJoinScalars()
+	op := &exec.PartitionedHashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d",
+		L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"},
+		LKey: lk, RKey: rk, As: "ds", RFun: &rfun,
+		Partitions: p.Parallelism}
+	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+}

@@ -19,52 +19,94 @@ import (
 	"repro/internal/value"
 )
 
+// Stats supplies base-table cardinalities to the planner's cost model.
+// storage.Store satisfies it.
+type Stats interface {
+	Size(extent string) int
+}
+
+// DefaultParallelThreshold is the minimum combined input cardinality at
+// which the planner prefers the parallel partitioned operators. Below it,
+// goroutine and channel overhead dominates and the serial operators win.
+const DefaultParallelThreshold = 2048
+
+// Config parameterizes compilation. The zero Config plans exactly like the
+// serial planner: parallel variants are considered only when Stats is set,
+// because the threshold decision needs cardinalities.
+type Config struct {
+	// Stats feeds table cardinalities to the size threshold; nil disables
+	// parallel operator selection entirely.
+	Stats Stats
+	// Parallelism is the partition/worker count for parallel operators;
+	// 0 means runtime.NumCPU.
+	Parallelism int
+	// ParallelThreshold is the minimum combined input cardinality for a
+	// parallel plan; 0 means DefaultParallelThreshold.
+	ParallelThreshold int
+}
+
+// threshold resolves the effective parallel threshold.
+func (c Config) threshold() int {
+	if c.ParallelThreshold > 0 {
+		return c.ParallelThreshold
+	}
+	return DefaultParallelThreshold
+}
+
+// Compile builds a physical operator tree with the default (serial)
+// configuration.
+func Compile(e adl.Expr) exec.Operator { return Config{}.Compile(e) }
+
 // Compile builds a physical operator tree for a (set-valued) ADL expression.
-func Compile(e adl.Expr) exec.Operator {
+func (c Config) Compile(e adl.Expr) exec.Operator {
 	switch n := e.(type) {
 	case *adl.Table:
 		return &exec.Scan{Table: n.Name}
 
 	case *adl.Select:
-		return &exec.Filter{
-			Child: Compile(n.Src),
-			Var:   n.Var,
-			Pred:  exec.NewScalar(n.Pred, n.Var),
+		child := c.Compile(n.Src)
+		pred := exec.NewScalar(n.Pred, n.Var)
+		if c.parallelWorthwhile(c.card(n.Src)) {
+			return &exec.ParallelFilter{Child: child, Var: n.Var, Pred: pred,
+				Workers: c.Parallelism}
 		}
+		return &exec.Filter{Child: child, Var: n.Var, Pred: pred}
 
 	case *adl.Map:
-		return &exec.MapOp{
-			Child: Compile(n.Src),
-			Var:   n.Var,
-			Body:  exec.NewScalar(n.Body, n.Var),
+		child := c.Compile(n.Src)
+		body := exec.NewScalar(n.Body, n.Var)
+		if c.parallelWorthwhile(c.card(n.Src)) {
+			return &exec.ParallelMap{Child: child, Var: n.Var, Body: body,
+				Workers: c.Parallelism}
 		}
+		return &exec.MapOp{Child: child, Var: n.Var, Body: body}
 
 	case *adl.Project:
-		return &exec.ProjectOp{Child: Compile(n.X), Attrs: n.Attrs}
+		return &exec.ProjectOp{Child: c.Compile(n.X), Attrs: n.Attrs}
 
 	case *adl.Unnest:
-		return &exec.UnnestOp{Child: Compile(n.X), Attr: n.Attr}
+		return &exec.UnnestOp{Child: c.Compile(n.X), Attr: n.Attr}
 
 	case *adl.Nest:
-		return &exec.NestOp{Child: Compile(n.X), Attrs: n.Attrs, As: n.As}
+		return &exec.NestOp{Child: c.Compile(n.X), Attrs: n.Attrs, As: n.As}
 
 	case *adl.Flatten:
-		return &exec.FlattenOp{Child: Compile(n.X)}
+		return &exec.FlattenOp{Child: c.Compile(n.X)}
 
 	case *adl.Materialize:
-		return &exec.Assembly{Child: Compile(n.X), Attr: n.Attr, As: n.As}
+		return &exec.Assembly{Child: c.Compile(n.X), Attr: n.Attr, As: n.As}
 
 	case *adl.Rename:
-		return &exec.RenameOp{Child: Compile(n.X), From: n.From, To: n.To}
+		return &exec.RenameOp{Child: c.Compile(n.X), From: n.From, To: n.To}
 
 	case *adl.Divide:
-		return &exec.DivideOp{L: Compile(n.L), R: Compile(n.R)}
+		return &exec.DivideOp{L: c.Compile(n.L), R: c.Compile(n.R)}
 
 	case *adl.Let:
-		return &exec.LetOp{Var: n.Var, Val: n.Val, Child: Compile(n.Body)}
+		return &exec.LetOp{Var: n.Var, Val: n.Val, Child: c.Compile(n.Body)}
 
 	case *adl.Join:
-		return compileJoin(n)
+		return compileJoin(n, c)
 	}
 	// Fallback: evaluate the fragment with the reference interpreter.
 	return &exec.ExprScan{Expr: e}
@@ -76,9 +118,50 @@ func Run(e adl.Expr, db eval.DB) (*value.Set, error) {
 	return exec.Collect(op, &exec.Ctx{DB: db})
 }
 
+// parallelWorthwhile reports whether an operator over an estimated input
+// cardinality should use its parallel variant.
+func (c Config) parallelWorthwhile(card int) bool {
+	return c.Stats != nil && card >= c.threshold()
+}
+
+// card estimates the cardinality of a set-valued expression from base-table
+// sizes. Row-preserving and row-filtering operators inherit their source's
+// estimate (an upper bound); shapes the model cannot see through estimate
+// -1, which never crosses the threshold — unknown sizes stay serial.
+func (c Config) card(e adl.Expr) int {
+	if c.Stats == nil {
+		return -1
+	}
+	switch n := e.(type) {
+	case *adl.Table:
+		return c.Stats.Size(n.Name)
+	case *adl.Select:
+		return c.card(n.Src)
+	case *adl.Map:
+		return c.card(n.Src)
+	case *adl.Project:
+		return c.card(n.X)
+	case *adl.Rename:
+		return c.card(n.X)
+	case *adl.Materialize:
+		return c.card(n.X)
+	case *adl.Nest:
+		return c.card(n.X)
+	case *adl.Unnest:
+		return c.card(n.X)
+	case *adl.Let:
+		return c.card(n.Body)
+	case *adl.Join:
+		// Filtering kinds return a subset of the left operand; inner/outer
+		// and nestjoin are dominated by their probe side for thresholding.
+		return c.card(n.L)
+	}
+	return -1
+}
+
 // compileJoin chooses a join implementation from the predicate shape.
-func compileJoin(j *adl.Join) exec.Operator {
-	l, r := Compile(j.L), Compile(j.R)
+func compileJoin(j *adl.Join, c Config) exec.Operator {
+	l, r := c.Compile(j.L), c.Compile(j.R)
 	var rfun *exec.Scalar
 	if j.RFun != nil {
 		s := exec.NewScalar(j.RFun, j.LVar, j.RVar)
@@ -137,6 +220,21 @@ func compileJoin(j *adl.Join) exec.Operator {
 		if len(residual) > 0 {
 			s := exec.NewScalar(adl.AndE(residual...), j.LVar, j.RVar)
 			res = &s
+		}
+		// Large equi-key joins get the Grace-style parallel partitioned
+		// variant; small ones stay serial, where partitioning overhead
+		// would dominate.
+		if lc, rc := c.card(j.L), c.card(j.R); c.Stats != nil &&
+			lc >= 0 && rc >= 0 && lc+rc >= c.threshold() {
+			return &exec.PartitionedHashJoin{
+				Kind: j.Kind, L: l, R: r,
+				LVar: j.LVar, RVar: j.RVar,
+				LKey:     keyScalar(lkeys, j.LVar),
+				RKey:     keyScalar(rkeys, j.RVar),
+				Residual: res,
+				As:       j.As, RFun: rfun,
+				Partitions: c.Parallelism,
+			}
 		}
 		return &exec.HashJoin{
 			Kind: j.Kind, L: l, R: r,
@@ -225,6 +323,19 @@ func explain(b *strings.Builder, op exec.Operator, depth int) {
 		fmt.Fprintf(b, "%sHashJoin[%v on %s = %s]\n", indent, o.Kind, o.LKey.Expr, o.RKey.Expr)
 		explain(b, o.L, depth+1)
 		explain(b, o.R, depth+1)
+	case *exec.PartitionedHashJoin:
+		fmt.Fprintf(b, "%sPartitionedHashJoin[%v on %s = %s | %d partitions]  -- parallel\n",
+			indent, o.Kind, o.LKey.Expr, o.RKey.Expr, exec.Parallelism(o.Partitions))
+		explain(b, o.L, depth+1)
+		explain(b, o.R, depth+1)
+	case *exec.ParallelFilter:
+		fmt.Fprintf(b, "%sParallelFilter[%s: %s | %d workers]  -- parallel\n",
+			indent, o.Var, o.Pred.Expr, exec.Parallelism(o.Workers))
+		explain(b, o.Child, depth+1)
+	case *exec.ParallelMap:
+		fmt.Fprintf(b, "%sParallelMap[%s: %s | %d workers]  -- parallel\n",
+			indent, o.Var, o.Body.Expr, exec.Parallelism(o.Workers))
+		explain(b, o.Child, depth+1)
 	case *exec.SetProbeJoin:
 		fmt.Fprintf(b, "%sSetProbeJoin[%v on %s ∈ .%s]\n", indent, o.Kind, o.RKey.Expr, o.Attr)
 		explain(b, o.L, depth+1)

@@ -207,6 +207,79 @@ func TestExplainRendersPlan(t *testing.T) {
 	}
 }
 
+// fakeStats is a planner cardinality feed for tests.
+type fakeStats map[string]int
+
+func (f fakeStats) Size(extent string) int { return f[extent] }
+
+// TestPlannerParallelThreshold pins the cost-based choice between the serial
+// and the parallel partitioned hash join.
+func TestPlannerParallelThreshold(t *testing.T) {
+	j := adl.JoinE(adl.T("X"), "x", "y",
+		adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
+
+	big := Config{Stats: fakeStats{"X": 5000, "Y": 5000}, Parallelism: 4}
+	op := big.Compile(j)
+	pj, ok := op.(*exec.PartitionedHashJoin)
+	if !ok {
+		t.Fatalf("large equi join with stats should plan PartitionedHashJoin, got %T", op)
+	}
+	if pj.Partitions != 4 {
+		t.Errorf("partitions not threaded through: %d", pj.Partitions)
+	}
+
+	small := Config{Stats: fakeStats{"X": 10, "Y": 10}, Parallelism: 4}
+	if _, ok := small.Compile(j).(*exec.HashJoin); !ok {
+		t.Errorf("small equi join should stay a serial HashJoin")
+	}
+
+	// No stats: cardinalities are unknown, so the plan stays serial even
+	// with parallelism configured.
+	nostats := Config{Parallelism: 4}
+	if _, ok := nostats.Compile(j).(*exec.HashJoin); !ok {
+		t.Errorf("equi join without stats should stay a serial HashJoin")
+	}
+
+	// A custom threshold flips the decision.
+	lowbar := Config{Stats: fakeStats{"X": 10, "Y": 10}, ParallelThreshold: 5}
+	if _, ok := lowbar.Compile(j).(*exec.PartitionedHashJoin); !ok {
+		t.Errorf("low threshold should plan PartitionedHashJoin")
+	}
+}
+
+// TestPlannerParallelMapFilter pins the worker-pool wrappers for large σ/α.
+func TestPlannerParallelMapFilter(t *testing.T) {
+	cfg := Config{Stats: fakeStats{"X": 5000}, Parallelism: 8}
+	sel := adl.Sel("x", adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "a"), adl.C(value.Int(3))), adl.T("X"))
+	if _, ok := cfg.Compile(sel).(*exec.ParallelFilter); !ok {
+		t.Errorf("large σ should plan ParallelFilter")
+	}
+	m := adl.MapE("x", adl.Dot(adl.V("x"), "a"), adl.T("X"))
+	if _, ok := cfg.Compile(m).(*exec.ParallelMap); !ok {
+		t.Errorf("large α should plan ParallelMap")
+	}
+	smallCfg := Config{Stats: fakeStats{"X": 10}, Parallelism: 8}
+	if _, ok := smallCfg.Compile(sel).(*exec.Filter); !ok {
+		t.Errorf("small σ should stay a serial Filter")
+	}
+}
+
+// TestExplainShowsParallelOperators checks that the parallel choice is
+// visible in plans.
+func TestExplainShowsParallelOperators(t *testing.T) {
+	cfg := Config{Stats: fakeStats{"X": 5000, "Y": 5000}, Parallelism: 4}
+	j := adl.JoinE(
+		adl.Sel("x", adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "a"), adl.C(value.Int(3))), adl.T("X")),
+		"x", "y",
+		adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
+	out := Explain(cfg.Compile(j))
+	for _, want := range []string{"PartitionedHashJoin", "4 partitions", "ParallelFilter", "4 workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestPhysicalEquivalenceRandomized stresses the whole stack over random
 // databases and all rewrite templates used in the rewrite package.
 func TestPhysicalEquivalenceRandomized(t *testing.T) {
@@ -227,6 +300,57 @@ func TestPhysicalEquivalenceRandomized(t *testing.T) {
 			got, want, _ := pipeline(t, src, cfg)
 			if !value.Equal(got, want) {
 				t.Fatalf("seed %d query %d: physical ≠ reference", seed, qi)
+			}
+		}
+	}
+}
+
+// TestSerialParallelEquivalenceRandomized mirrors the randomized stress test
+// with the parallel planner: for every seed and query, the serial plan, the
+// parallel plan (threshold forced to 1 so every eligible operator goes
+// parallel) and the reference interpreter must agree. Run under -race this
+// also shakes out data races in the parallel operators.
+func TestSerialParallelEquivalenceRandomized(t *testing.T) {
+	srcs := []string{
+		`select s from s in SUPPLIER
+		 where exists x in s.parts_supplied : exists p in PART : x = p and p.color = "red"`,
+		`select s.eid from s in SUPPLIER
+		 where exists z in s.parts_supplied : not exists p in PART : z = p`,
+		`select (n = s.sname, k = count(s.parts_supplied)) from s in SUPPLIER
+		 where exists p in PART : p in s.parts_supplied and p.price > 50`,
+		`select s.sname from s in SUPPLIER
+		 where s.parts_supplied superset
+		       flatten(select t.parts_supplied from t in SUPPLIER where t.sname = "supplier-1")`,
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		st := bench.Generate(bench.Config{Suppliers: 40, Parts: 30, Fanout: 4,
+			EmptyFrac: 0.2, DanglingFrac: 0.1, Seed: seed})
+		for qi, src := range srcs {
+			e, _, err := translate.Parse(src, st.Catalog())
+			if err != nil {
+				t.Fatalf("seed %d query %d: translate: %v", seed, qi, err)
+			}
+			want, err := eval.EvalSet(e, nil, st)
+			if err != nil {
+				t.Fatalf("seed %d query %d: reference eval: %v", seed, qi, err)
+			}
+			res := rewrite.Optimize(e, rewrite.NewContext(st.Catalog()))
+
+			serialGot, err := exec.Collect(Compile(res.Expr), &exec.Ctx{DB: st})
+			if err != nil {
+				t.Fatalf("seed %d query %d: serial exec: %v", seed, qi, err)
+			}
+			pcfg := Config{Stats: st, Parallelism: 4, ParallelThreshold: 1}
+			parallelGot, err := exec.Collect(pcfg.Compile(res.Expr), &exec.Ctx{DB: st})
+			if err != nil {
+				t.Fatalf("seed %d query %d: parallel exec: %v", seed, qi, err)
+			}
+			if !value.Equal(serialGot, want) {
+				t.Fatalf("seed %d query %d: serial ≠ reference", seed, qi)
+			}
+			if !value.Equal(parallelGot, serialGot) {
+				t.Fatalf("seed %d query %d: parallel ≠ serial:\n parallel %v\n serial   %v",
+					seed, qi, parallelGot, serialGot)
 			}
 		}
 	}

@@ -15,6 +15,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -35,7 +37,11 @@ type Stats struct {
 	ExtentScans int
 }
 
-// Store is an object store plus extents.
+// Store is an object store plus extents. Loads, inserts and schema tuning
+// are single-threaded (a store is populated before queries run), but reads —
+// Lookup, Deref, Table, Size — are safe for concurrent use by the parallel
+// execution operators: the I/O meters are atomic and the extent cache is
+// guarded by a lock.
 type Store struct {
 	cat     *schema.Catalog
 	nextOID value.OID
@@ -43,23 +49,27 @@ type Store struct {
 	extents map[string][]value.OID
 	// extentCache holds materialized extent sets; invalidated on insert.
 	extentCache map[string]*value.Set
+	cacheMu     sync.RWMutex
 
 	objectsPerPage int
-	lastPage       int64
-	stats          Stats
+	lastPage       atomic.Int64
+	objectReads    atomic.Int64
+	pageReads      atomic.Int64
+	extentScans    atomic.Int64
 }
 
 // New creates an empty store for the given catalog.
 func New(cat *schema.Catalog) *Store {
-	return &Store{
+	s := &Store{
 		cat:            cat,
 		nextOID:        1,
 		objects:        map[value.OID]*value.Tuple{},
 		extents:        map[string][]value.OID{},
 		extentCache:    map[string]*value.Set{},
 		objectsPerPage: DefaultObjectsPerPage,
-		lastPage:       -1,
 	}
+	s.lastPage.Store(-1)
+	return s
 }
 
 // SetObjectsPerPage tunes the page model clustering factor.
@@ -90,19 +100,27 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	obj := value.NewTuple(cl.IDField, oid).Except(t)
 	s.objects[oid] = obj
 	s.extents[extent] = append(s.extents[extent], oid)
+	s.cacheMu.Lock()
 	delete(s.extentCache, extent)
+	s.cacheMu.Unlock()
 	return oid, nil
 }
 
-// Lookup fetches an object by oid, metering the access.
+// Lookup fetches an object by oid, metering the access. The page meter
+// models a single one-page buffer: under serial execution the counts are
+// exact; under parallel execution concurrent fetches share that one buffer,
+// so PageReads is an upper bound (interleaved goroutines evict each other's
+// page) — compare page counts across serial runs only. The load-then-store
+// (rather than an unconditional swap) keeps the sequential-locality hot path
+// free of contended writes.
 func (s *Store) Lookup(oid value.OID) (*value.Tuple, bool) {
 	obj, ok := s.objects[oid]
 	if ok {
-		s.stats.ObjectReads++
+		s.objectReads.Add(1)
 		page := int64(uint64(oid)) / int64(s.objectsPerPage)
-		if page != s.lastPage {
-			s.stats.PageReads++
-			s.lastPage = page
+		if s.lastPage.Load() != page {
+			s.pageReads.Add(1)
+			s.lastPage.Store(page)
 		}
 	}
 	return obj, ok
@@ -121,8 +139,11 @@ func (s *Store) Deref(oid value.OID) (*value.Tuple, error) {
 // Table returns the extent as a set of tuples. The set is cached; callers
 // must treat it as immutable.
 func (s *Store) Table(name string) (*value.Set, error) {
-	if cached, ok := s.extentCache[name]; ok {
-		s.stats.ExtentScans++
+	s.cacheMu.RLock()
+	cached, ok := s.extentCache[name]
+	s.cacheMu.RUnlock()
+	if ok {
+		s.extentScans.Add(1)
 		return cached, nil
 	}
 	oids, ok := s.extents[name]
@@ -136,8 +157,10 @@ func (s *Store) Table(name string) (*value.Set, error) {
 	for _, oid := range oids {
 		set.Add(s.objects[oid])
 	}
+	s.cacheMu.Lock()
 	s.extentCache[name] = set
-	s.stats.ExtentScans++
+	s.cacheMu.Unlock()
+	s.extentScans.Add(1)
 	return set, nil
 }
 
@@ -150,12 +173,20 @@ func (s *Store) OIDs(extent string) []value.OID {
 func (s *Store) Size(extent string) int { return len(s.extents[extent]) }
 
 // Stats returns the I/O counters accumulated since the last ResetStats.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	return Stats{
+		ObjectReads: int(s.objectReads.Load()),
+		PageReads:   int(s.pageReads.Load()),
+		ExtentScans: int(s.extentScans.Load()),
+	}
+}
 
 // ResetStats clears the I/O counters.
 func (s *Store) ResetStats() {
-	s.stats = Stats{}
-	s.lastPage = -1
+	s.objectReads.Store(0)
+	s.pageReads.Store(0)
+	s.extentScans.Store(0)
+	s.lastPage.Store(-1)
 }
 
 // MemDB is a trivial table provider for tests and paper figures: named
