@@ -19,6 +19,26 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Total-statement-coverage floor enforced by make cover. 80.3% was measured
+# when the gate was introduced; the floor sits just under it to absorb the
+# scheduling jitter of the parallel operators' branch coverage. Raise it as
+# coverage grows, never lower it.
+COVER_FLOOR ?= 80.0
+
+# Per-package coverage plus a total floor: prints every package's percentage
+# and fails when the total drops below COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# A short go test -fuzz run of the OOSQL parser fuzz target — CI's "the
+# fuzzer still runs and finds nothing in ten seconds" check.
+fuzz-smoke:
+	$(GO) test ./internal/oosql -run '^$$' -fuzz FuzzParse -fuzztime 10s
+
 fmt:
 	gofmt -w .
 
@@ -30,4 +50,4 @@ vet:
 	$(GO) vet ./...
 
 # Exactly what .github/workflows/ci.yml runs.
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race cover fuzz-smoke bench-smoke

@@ -18,6 +18,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/plan"
+	"repro/internal/value"
 )
 
 // run executes f once per benchmark iteration, failing on error.
@@ -157,6 +158,48 @@ func BenchmarkB8(b *testing.B) {
 		})
 		b.Run("parallel/"+name, func(b *testing.B) {
 			run(b, func() error { _, err := w.RunParallel(); return err })
+		})
+	}
+}
+
+// BenchmarkB9 — physical strategy selection: the same logical joins planned
+// by the threshold-only planner (the previous planner's behavior) versus the
+// cost-based optimizer fed with collected statistics. The bar: the
+// cost-based choice is no slower on any workload of the sweep, and faster
+// where it picks a non-default strategy (the swapped build side on
+// inner_asym).
+func BenchmarkB9(b *testing.B) {
+	workloads := []struct {
+		name string
+		kind adl.JoinKind
+		s, d int
+	}{
+		{"inner_asym", adl.Inner, 200, 20000},
+		{"group_small", adl.NestJ, 500, 1000},
+		{"group_big", adl.NestJ, 2000, 20000},
+	}
+	for _, w := range workloads {
+		arms := experiments.NewStrategyJoin(w.name, w.kind, w.s, w.d, -1, 94)
+		ctx := &exec.Ctx{DB: arms.Store}
+		thresholdOp := plan.Config{Stats: arms.Store}.Compile(arms.Join)
+		costPl, _ := arms.PlanOptimizer(true)
+		// Both plans agree before timing.
+		want, err := exec.Collect(thresholdOp, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := exec.Collect(costPl.Root, ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			b.Fatalf("%s: cost-based plan diverges from threshold plan", w.name)
+		}
+		b.Run("threshold/"+w.name, func(b *testing.B) {
+			run(b, func() error { _, err := exec.Collect(thresholdOp, ctx); return err })
+		})
+		b.Run("costbased/"+w.name, func(b *testing.B) {
+			run(b, func() error { _, err := exec.Collect(costPl.Root, ctx); return err })
 		})
 	}
 }

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	adlbench              # the full suite at default scales
-//	adlbench -exp B3      # one experiment
-//	adlbench -quick       # smaller scales (used by CI-style runs)
-//	adlbench -parallel 8  # B8's parallel arm with 8 partitions
-//	adlbench -parallel 0  # B8's parallel arm kept serial (sweep control)
+//	adlbench                 # the full suite at default scales
+//	adlbench -exp B3         # one experiment
+//	adlbench -quick          # smaller scales (used by CI-style runs)
+//	adlbench -parallel 8     # B8's parallel arm with 8 partitions
+//	adlbench -parallel 0     # B8's parallel arm kept serial (sweep control)
+//	adlbench -exp B9         # forced strategies vs the cost-based optimizer
+//	adlbench -analyze=false  # B9's optimizer without collected statistics
 package main
 
 import (
@@ -22,9 +24,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (B1..B8); empty = all")
+		exp      = flag.String("exp", "", "experiment to run (B1..B9); empty = all")
 		quick    = flag.Bool("quick", false, "smaller scales")
 		parallel = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
+		analyze  = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
 	)
 	flag.Parse()
 
@@ -82,6 +85,10 @@ func main() {
 				{scale(2000, 200), scale(20000, 2000)},
 				{scale(8000, 400), scale(80000, 4000)},
 			}, *parallel, seed)
+		}},
+		{"B9", func() (*bench.Table, error) {
+			return experiments.B9(scale(2000, 200), scale(20000, 2000),
+				*parallel, *analyze, seed)
 		}},
 	}
 

@@ -77,11 +77,18 @@ func (s Scalar) Bool(ctx *Ctx, vals ...value.Value) (bool, error) {
 }
 
 // Collect drains an operator into a set (deduplicating, per set semantics).
-func Collect(op Operator, ctx *Ctx) (*value.Set, error) {
+// A Close error surfaces unless iteration already failed — operators release
+// pipelines (goroutines, channels) in Close, and swallowing their errors
+// would hide a failed teardown.
+func Collect(op Operator, ctx *Ctx) (_ *value.Set, err error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
-	defer op.Close()
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	out := value.EmptySet()
 	for {
 		row, ok, err := op.Next()
@@ -95,12 +102,17 @@ func Collect(op Operator, ctx *Ctx) (*value.Set, error) {
 	}
 }
 
-// drain materializes an operator's rows into a slice.
-func drain(op Operator, ctx *Ctx) ([]value.Value, error) {
+// drain materializes an operator's rows into a slice, propagating Close
+// errors like Collect.
+func drain(op Operator, ctx *Ctx) (_ []value.Value, err error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
-	defer op.Close()
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	var rows []value.Value
 	for {
 		row, ok, err := op.Next()

@@ -155,13 +155,16 @@ type HashJoin struct {
 	RFun     *Scalar
 
 	ctx   *Ctx
-	table map[uint64][]value.Value
-	right []value.Value // retained for outer-join null padding
+	table map[uint64][]int // hash(key) → indices into right
+	rkeys []value.Value    // right rows' evaluated keys
+	right []value.Value    // retained for matching and outer-join null padding
 	out   []value.Value
 	pos   int
 }
 
-// Open builds and probes.
+// Open builds and probes. The hash table stores row indices with the keys in
+// a flat side slice — one map and no per-bucket key storage — the same
+// layout the partitioned variant uses per partition.
 func (j *HashJoin) Open(ctx *Ctx) error {
 	j.ctx = ctx
 	var err error
@@ -169,16 +172,16 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 	if err != nil {
 		return err
 	}
-	j.table = make(map[uint64][]value.Value, len(j.right))
-	keys := make(map[uint64][]value.Value, len(j.right))
-	for _, rrow := range j.right {
+	j.table = make(map[uint64][]int, len(j.right))
+	j.rkeys = make([]value.Value, len(j.right))
+	for i, rrow := range j.right {
 		k, err := j.RKey.Eval(ctx, rrow)
 		if err != nil {
 			return err
 		}
+		j.rkeys[i] = k
 		h := value.Hash(k)
-		j.table[h] = append(j.table[h], rrow)
-		keys[h] = append(keys[h], k)
+		j.table[h] = append(j.table[h], i)
 	}
 	lrows, err := drain(j.L, ctx)
 	if err != nil {
@@ -202,12 +205,11 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		if j.Kind == adl.NestJ {
 			nest = value.EmptySet()
 		}
-		bucket := j.table[h]
-		bkeys := keys[h]
-		for i, rrow := range bucket {
-			if !value.Equal(bkeys[i], lk) {
+		for _, ri := range j.table[h] {
+			if !value.Equal(j.rkeys[ri], lk) {
 				continue
 			}
+			rrow := j.right[ri]
 			if j.Residual != nil {
 				ok, err := j.Residual.Bool(ctx, lrow, rrow)
 				if err != nil {
@@ -279,7 +281,7 @@ func (j *HashJoin) Next() (value.Value, bool, error) {
 
 // Close releases buffers.
 func (j *HashJoin) Close() error {
-	j.table, j.right, j.out = nil, nil, nil
+	j.table, j.rkeys, j.right, j.out = nil, nil, nil, nil
 	return nil
 }
 

@@ -124,3 +124,31 @@ func TestGroupedPlanDerivable(t *testing.T) {
 		t.Fatalf("grouped plan must be derivable for the subset workload")
 	}
 }
+
+func TestB9OptimizerAgreesWithForcedArms(t *testing.T) {
+	tab, err := B9(100, 400, 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"inner_asym", "group_small", "group_big", "optimizer→"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B9 table missing %q:\n%s", want, out)
+		}
+	}
+	// The asymmetric inner workload must show a non-default optimizer choice
+	// (the rule-based planner never swaps the build side).
+	if !strings.Contains(out, "build side swapped") {
+		t.Errorf("B9 optimizer never swapped the build side:\n%s", out)
+	}
+}
+
+func TestB9WithoutAnalyzeFallsBackToThreshold(t *testing.T) {
+	tab, err := B9(100, 400, 2, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "threshold fallback") {
+		t.Errorf("B9 title should flag the fallback mode:\n%s", tab.String())
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/adl"
 	"repro/internal/bench"
@@ -323,6 +324,141 @@ func NewParallelJoin(suppliers, deliveries, parallelism int, seed int64) *Parall
 	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: 10, Fanout: 2,
 		Deliveries: deliveries, Seed: seed})
 	return &ParallelJoinArms{Store: st, Parallelism: parallelism}
+}
+
+// StrategyArms is the B9 workload: one logical equi-key join over the
+// supplier-delivery schema, executed by every applicable forced physical
+// strategy and by the optimizer — cost-based with collected statistics, or
+// the size-threshold fallback without. It is the paper's §5.1 "the optimizer
+// may choose" made measurable: the forced arms expose what each strategy
+// costs, the optimizer arm shows which one the cost model picks.
+type StrategyArms struct {
+	Name  string
+	Store *storage.Store
+	// Join is the logical join (SUPPLIER × DELIVERY on eid = supplier).
+	Join *adl.Join
+	// Parallelism is the partition count for the partitioned arm and the
+	// optimizer's parallel candidates; <=0 means NumCPU.
+	Parallelism int
+
+	stats *storage.DBStats
+}
+
+// Statistics returns the workload's collected statistics, running the
+// ANALYZE pass on first use. B9 times the first call separately so the
+// one-off collection cost is visible but not charged to the optimizer arm.
+func (a *StrategyArms) Statistics() *storage.DBStats {
+	if a.stats == nil {
+		a.stats = a.Store.Analyze()
+	}
+	return a.stats
+}
+
+// Warm materializes both extents so no timed arm pays the store's one-off
+// extent-cache build.
+func (a *StrategyArms) Warm() error {
+	for _, ext := range []string{"SUPPLIER", "DELIVERY"} {
+		if _, err := a.Store.Table(ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewStrategyJoin builds a B9 workload of the given join kind and scale.
+func NewStrategyJoin(name string, kind adl.JoinKind, suppliers, deliveries, parallelism int, seed int64) *StrategyArms {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: 10, Fanout: 2,
+		Deliveries: deliveries, Seed: seed})
+	j := adl.JoinE(adl.T("SUPPLIER"), "s", "d",
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+	j.Kind = kind
+	if kind == adl.NestJ {
+		j.As = "ds"
+		j.RFun = adl.SubT(adl.V("d"), "did")
+	}
+	return &StrategyArms{Name: name, Store: st, Join: j, Parallelism: parallelism}
+}
+
+// Arms lists the forced strategies applicable to this workload's join kind.
+// The nested loop is skipped when the cross product exceeds a million pairs —
+// at that scale it only proves the point by wasting minutes.
+func (a *StrategyArms) Arms() []string {
+	arms := []string{"hash"}
+	if a.Join.Kind == adl.Inner {
+		arms = append(arms, "hash-swap")
+	}
+	if a.Join.Kind == adl.Inner || a.Join.Kind == adl.NestJ {
+		arms = append(arms, "sortmerge")
+	}
+	arms = append(arms, "parallel")
+	if a.Store.Size("SUPPLIER")*a.Store.Size("DELIVERY") <= 1_000_000 {
+		arms = append(arms, "nl")
+	}
+	return arms
+}
+
+// RunForced executes the join with one forced physical strategy.
+func (a *StrategyArms) RunForced(arm string) (*value.Set, error) {
+	lk := exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")
+	rk := exec.NewScalar(adl.Dot(adl.V("d"), "supplier"), "d")
+	l := &exec.Scan{Table: "SUPPLIER"}
+	r := &exec.Scan{Table: "DELIVERY"}
+	var rfun *exec.Scalar
+	if a.Join.RFun != nil {
+		s := exec.NewScalar(a.Join.RFun, "s", "d")
+		rfun = &s
+	}
+	var op exec.Operator
+	switch arm {
+	case "nl":
+		op = &exec.NLJoin{Kind: a.Join.Kind, L: l, R: r, LVar: "s", RVar: "d",
+			Pred: exec.NewScalar(a.Join.On, "s", "d"), As: a.Join.As, RFun: rfun}
+	case "hash":
+		op = &exec.HashJoin{Kind: a.Join.Kind, L: l, R: r, LVar: "s", RVar: "d",
+			LKey: lk, RKey: rk, As: a.Join.As, RFun: rfun}
+	case "hash-swap":
+		if a.Join.Kind != adl.Inner {
+			return nil, fmt.Errorf("B9: hash-swap applies to inner joins only")
+		}
+		op = &exec.HashJoin{Kind: adl.Inner, L: r, R: l, LVar: "d", RVar: "s",
+			LKey: rk, RKey: lk}
+	case "sortmerge":
+		op = &exec.SortMergeJoin{Kind: a.Join.Kind, L: l, R: r, LVar: "s", RVar: "d",
+			LKey: lk, RKey: rk, As: a.Join.As, RFun: rfun}
+	case "parallel":
+		op = &exec.PartitionedHashJoin{Kind: a.Join.Kind, L: l, R: r,
+			LVar: "s", RVar: "d", LKey: lk, RKey: rk, As: a.Join.As, RFun: rfun,
+			Partitions: a.Parallelism}
+	default:
+		return nil, fmt.Errorf("B9: unknown arm %q", arm)
+	}
+	return exec.Collect(op, &exec.Ctx{DB: a.Store})
+}
+
+// PlanOptimizer compiles the optimizer arm's plan: cost-based when analyze
+// is set (statistics collected first), threshold fallback otherwise. The
+// returned label describes the chosen strategy.
+func (a *StrategyArms) PlanOptimizer(analyze bool) (*plan.Plan, string) {
+	cfg := plan.Config{Parallelism: a.Parallelism}
+	if analyze {
+		cfg.Statistics = a.Statistics()
+	} else {
+		cfg.Stats = a.Store
+	}
+	pl := cfg.Plan(a.Join)
+	label := strings.TrimPrefix(fmt.Sprintf("%T", pl.Root), "*exec.")
+	if est, ok := pl.Estimate(pl.Root); ok && est.Note != "" {
+		label += " (" + est.Note + ")"
+	}
+	return pl, label
+}
+
+// RunOptimizer executes the optimizer arm.
+func (a *StrategyArms) RunOptimizer(analyze bool) (*value.Set, string, error) {
+	pl, label := a.PlanOptimizer(analyze)
+	set, err := exec.Collect(pl.Root, &exec.Ctx{DB: a.Store})
+	return set, label, err
 }
 
 // parallelJoinScalars builds the shared key and right-tuple scalars.

@@ -1,0 +1,257 @@
+// Cost model for physical operator selection. The paper's §5.1 promise —
+// "the optimizer may choose from a number of different join processing
+// strategies" — needs a way to rank the choices; this file prices every
+// physical join operator (NLJoin, HashJoin with either build side,
+// SortMergeJoin, the set-probe/PNHL family, PartitionedHashJoin) from
+// collected statistics (storage.Analyze) and lets the planner pick the
+// cheapest.
+//
+// Costs are abstract work units, calibrated so that one unit is roughly one
+// cheap per-row step of the Go execution engine. The constants matter only
+// relative to each other; the interesting outputs are strategy crossovers,
+// not absolute numbers.
+package plan
+
+import (
+	"math"
+
+	"repro/internal/adl"
+)
+
+// Statistics is the collected-statistics view of the database the cost model
+// consumes; *storage.DBStats implements it.
+type Statistics interface {
+	// RowCount reports an extent's cardinality, -1 if unknown.
+	RowCount(extent string) int
+	// DistinctValues reports an attribute's distinct-value count, 0 if
+	// unknown.
+	DistinctValues(extent, attr string) int
+	// AvgSetSize reports the mean cardinality of a set-valued attribute,
+	// 0 if unknown or not set-valued.
+	AvgSetSize(extent, attr string) float64
+}
+
+// Estimate annotates a physical operator with the optimizer's prediction.
+type Estimate struct {
+	// Rows is the estimated output cardinality.
+	Rows int64
+	// Cost is the estimated cumulative cost in abstract work units
+	// (children included).
+	Cost float64
+	// Note is an optional human-readable hint about the choice, e.g.
+	// "build side swapped".
+	Note string
+}
+
+// Cost model constants. cEval dominates: scalar expressions run through the
+// reference interpreter, so a predicate or key evaluation costs several
+// times a plain row hand-off.
+const (
+	cRow       = 1.0 // emit or pass one row
+	cEval      = 4.0 // evaluate one compiled scalar expression
+	cHashBuild = 3.5 // insert one row into a hash table
+	cHashProbe = 2.0 // probe one key against a hash table
+	cCmp       = 3.0 // one comparison while sorting or merging
+
+	// cParallelStartup is the fixed price of spinning up a partitioned
+	// parallel pipeline (goroutines, channels, partition bookkeeping). It is
+	// calibrated against DefaultParallelThreshold: the parallel hash join
+	// becomes cheaper than the serial one at a combined input of roughly
+	// that many rows.
+	cParallelStartup = 12000.0
+	// cPoolStartup is the (smaller) fixed price of a ParallelMap/Filter
+	// worker pool.
+	cPoolStartup = 8000.0
+	// cChannelRow is the per-row price of moving results through the
+	// bounded merge channel.
+	cChannelRow = 1.0
+
+	// defaultSelectivity is the guess for predicates the model cannot see
+	// through.
+	defaultSelectivity = 1.0 / 3.0
+	// defaultSetSize is the guess for a set-valued attribute's mean
+	// cardinality when uncollected.
+	defaultSetSize = 4.0
+)
+
+// nodeEst is the planner's internal estimate for one compiled subtree.
+type nodeEst struct {
+	rows  float64
+	known bool
+	// extent is the base table this subtree's rows (still) originate from,
+	// when attribute statistics remain applicable ("" otherwise).
+	extent string
+	cost   float64
+	note   string
+}
+
+// unknownEst is the estimate for shapes the model cannot see through.
+var unknownEst = nodeEst{}
+
+// estimate converts a nodeEst to the exported annotation.
+func (e nodeEst) estimate() Estimate {
+	return Estimate{Rows: int64(e.rows + 0.5), Cost: e.cost, Note: e.note}
+}
+
+// attrOf resolves a join-key expression to the attribute it reads off the
+// iteration variable: x.a and x[a] both resolve to "a". Anything else
+// (computed keys) resolves to "".
+func attrOf(key adl.Expr, v string) string {
+	switch k := key.(type) {
+	case *adl.Field:
+		if vr, ok := k.X.(*adl.Var); ok && vr.Name == v {
+			return k.Name
+		}
+	case *adl.Subscript:
+		if vr, ok := k.X.(*adl.Var); ok && vr.Name == v && len(k.Attrs) == 1 {
+			return k.Attrs[0]
+		}
+	}
+	return ""
+}
+
+// keyNDV estimates the number of distinct join-key values on one side. For a
+// single collected attribute it is exact; composite keys multiply, capped at
+// the row count; unknown keys fall back to rows/10 (a mild "some
+// duplication" guess).
+func (p *planner) keyNDV(e nodeEst, keys []adl.Expr, v string) float64 {
+	ndv := 1.0
+	resolved := false
+	if p.cfg.Statistics != nil && e.extent != "" {
+		ndv, resolved = 1.0, true
+		for _, k := range keys {
+			attr := attrOf(k, v)
+			if attr == "" {
+				resolved = false
+				break
+			}
+			d := p.cfg.Statistics.DistinctValues(e.extent, attr)
+			if d <= 0 {
+				resolved = false
+				break
+			}
+			ndv *= float64(d)
+		}
+	}
+	if !resolved {
+		ndv = e.rows / 10
+	}
+	return clamp(ndv, 1, math.Max(1, e.rows))
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}
+
+// joinOutRows estimates a join's output cardinality from the input sizes and
+// the key distinct counts, per kind.
+func joinOutRows(kind adl.JoinKind, l, r, ndvL, ndvR float64) float64 {
+	inner := l * r / math.Max(1, math.Max(ndvL, ndvR))
+	matchFrac := clamp(ndvR/math.Max(1, ndvL), 0, 1)
+	switch kind {
+	case adl.Inner:
+		return inner
+	case adl.Outer:
+		return math.Max(inner, l)
+	case adl.Semi:
+		return l * matchFrac
+	case adl.Anti:
+		return l * (1 - matchFrac)
+	case adl.NestJ:
+		return l // the nestjoin emits exactly one row per left row
+	}
+	return inner
+}
+
+// selectivity estimates what fraction of rows a σ predicate keeps. Equality
+// against a collected attribute uses 1/NDV; conjunctions multiply; anything
+// else is the default guess.
+func (p *planner) selectivity(pred adl.Expr, src nodeEst) float64 {
+	switch n := pred.(type) {
+	case *adl.And:
+		return clamp(p.selectivity(n.L, src)*p.selectivity(n.R, src)*3, 0, 1)
+	case *adl.Cmp:
+		if n.Op == adl.Eq && p.cfg.Statistics != nil && src.extent != "" {
+			for _, side := range []adl.Expr{n.L, n.R} {
+				if f, ok := side.(*adl.Field); ok {
+					if vr, ok := f.X.(*adl.Var); ok {
+						if d := p.cfg.Statistics.DistinctValues(src.extent, f.Name); d > 0 && vr.Name != "" {
+							return clamp(1/float64(d), 0, 1)
+						}
+					}
+				}
+			}
+		}
+	}
+	return defaultSelectivity
+}
+
+// avgSetSize estimates the mean cardinality of a set-valued attribute of the
+// given subtree's rows.
+func (p *planner) avgSetSize(e nodeEst, attr string) float64 {
+	if p.cfg.Statistics != nil && e.extent != "" {
+		if s := p.cfg.Statistics.AvgSetSize(e.extent, attr); s > 0 {
+			return s
+		}
+	}
+	return defaultSetSize
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator own costs (excluding the children's costs). l and r are the
+// input cardinalities, out the estimated output cardinality.
+// ---------------------------------------------------------------------------
+
+// costNL prices the tuple-oriented nested loop: one predicate evaluation per
+// pair.
+func costNL(l, r, out float64) float64 {
+	return l*r*cEval + out*cRow
+}
+
+// costHash prices the serial hash join: build on `build` rows, probe with
+// `probe` rows, evaluate the residual on the candidate matches.
+func costHash(build, probe, out, residMatches float64) float64 {
+	return build*(cEval+cHashBuild) + probe*(cEval+cHashProbe) +
+		residMatches*cEval + out*cRow
+}
+
+// costSortMerge prices the sort-merge join: key extraction, two sorts, one
+// merge pass.
+func costSortMerge(l, r, out float64) float64 {
+	return (l+r)*cEval + (l*log2(l)+r*log2(r)+l+r)*cCmp + out*cRow
+}
+
+// costPartitionedHash prices the Grace-style parallel hash join: a fixed
+// startup, one partitioning pass over both inputs, the per-partition
+// build+probe divided across p workers, and the merge channel.
+func costPartitionedHash(build, probe, out, residMatches float64, p int) float64 {
+	w := math.Max(1, float64(p))
+	work := build*(cEval+cHashBuild) + probe*(cEval+cHashProbe) + residMatches*cEval
+	return cParallelStartup + (build+probe)*cRow + work/w + out*cChannelRow
+}
+
+// costPNHL prices the Partitioned Nested-Hashed-Loops family for joining a
+// set-valued attribute (l rows, avgSet elements each) with a flat build
+// table of r rows, split into `segments` memory-bounded segments: the build
+// table is hashed once in total, but the probe side is rescanned per
+// segment. The single-segment case (segments=1) is the set-probe join the
+// planner emits for membership predicates.
+func costPNHL(l, avgSet, r, out float64, segments int) float64 {
+	s := math.Max(1, float64(segments))
+	return r*(cEval+cHashBuild) + s*l*avgSet*cHashProbe + out*cRow
+}
+
+// costParallelPool prices a ParallelMap/Filter over n rows against its
+// serial counterpart's n*cEval.
+func costParallelPool(n float64, p int) float64 {
+	w := math.Max(1, float64(p))
+	return cPoolStartup + n*cEval/w + n*cChannelRow
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}

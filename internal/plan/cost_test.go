@@ -1,0 +1,262 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/bench"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/value"
+)
+
+// fakeStatistics is a hand-built Statistics feed for planner tests.
+type fakeStatistics struct {
+	rows map[string]int
+	ndv  map[string]int // keyed "EXTENT.attr"
+	avg  map[string]float64
+}
+
+func (f fakeStatistics) RowCount(extent string) int {
+	if n, ok := f.rows[extent]; ok {
+		return n
+	}
+	return -1
+}
+func (f fakeStatistics) DistinctValues(extent, attr string) int {
+	return f.ndv[extent+"."+attr]
+}
+func (f fakeStatistics) AvgSetSize(extent, attr string) float64 {
+	return f.avg[extent+"."+attr]
+}
+
+func equiJoin(kind adl.JoinKind) *adl.Join {
+	j := adl.JoinE(adl.T("X"), "x", "y",
+		adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
+	j.Kind = kind
+	if kind == adl.NestJ {
+		j.As = "g"
+	}
+	return j
+}
+
+// TestCostBasedPicksParallelForLargeJoin: with collected statistics the
+// optimizer prices the partitioned hash join below the serial one for large
+// inputs — no size threshold involved.
+func TestCostBasedPicksParallelForLargeJoin(t *testing.T) {
+	stats := fakeStatistics{rows: map[string]int{"X": 50000, "Y": 50000}}
+	cfg := Config{Statistics: stats, Parallelism: 4}
+	op := cfg.Compile(equiJoin(adl.Inner))
+	if _, ok := op.(*exec.PartitionedHashJoin); !ok {
+		t.Fatalf("large equi join should cost out to PartitionedHashJoin, got %T", op)
+	}
+	small := fakeStatistics{rows: map[string]int{"X": 50, "Y": 50}}
+	op2 := Config{Statistics: small, Parallelism: 4}.Compile(equiJoin(adl.Inner))
+	if _, ok := op2.(*exec.PartitionedHashJoin); ok {
+		t.Fatalf("small equi join should not go parallel:\n%s", Explain(op2))
+	}
+}
+
+// TestCostBasedSwapsBuildSide: an inner equi-join with a small left and a
+// large right operand builds the hash table on the smaller (left) side by
+// swapping the operands — a plan the rule-based planner never produces.
+func TestCostBasedSwapsBuildSide(t *testing.T) {
+	stats := fakeStatistics{rows: map[string]int{"X": 50, "Y": 2000}}
+	pl := Config{Statistics: stats, Parallelism: 4}.Plan(equiJoin(adl.Inner))
+	hj, ok := pl.Root.(*exec.HashJoin)
+	if !ok {
+		t.Fatalf("expected serial HashJoin, got %T:\n%s", pl.Root, pl.Explain())
+	}
+	// Swapped: the (large) Y scan is now the probe (left) child.
+	if scan, ok := hj.L.(*exec.Scan); !ok || scan.Table != "Y" {
+		t.Errorf("build side not swapped; probe child is %v", hj.L)
+	}
+	e, ok := pl.Estimate(pl.Root)
+	if !ok || e.Note != "build side swapped" {
+		t.Errorf("estimate note = %+v, want build side swapped", e)
+	}
+	if !strings.Contains(pl.Explain(), "build side swapped") {
+		t.Errorf("Explain does not show the swap:\n%s", pl.Explain())
+	}
+}
+
+// TestCostBasedNeverSwapsAsymmetricKinds: semi/anti/nestjoin results depend
+// on operand roles, so the swap candidates must not apply.
+func TestCostBasedNeverSwapsAsymmetricKinds(t *testing.T) {
+	stats := fakeStatistics{rows: map[string]int{"X": 50, "Y": 2000}}
+	for _, kind := range []adl.JoinKind{adl.Semi, adl.Anti, adl.NestJ} {
+		op := Config{Statistics: stats, Parallelism: 4}.Compile(equiJoin(kind))
+		var probe exec.Operator
+		switch o := op.(type) {
+		case *exec.HashJoin:
+			probe = o.L
+		case *exec.SortMergeJoin:
+			probe = o.L
+		case *exec.PartitionedHashJoin:
+			probe = o.L
+		default:
+			t.Fatalf("kind %v: unexpected operator %T", kind, op)
+		}
+		if scan, ok := probe.(*exec.Scan); !ok || scan.Table != "X" {
+			t.Errorf("kind %v: left operand swapped to %v", kind, probe)
+		}
+	}
+}
+
+// TestCostBasedSwapCorrectness: the swapped inner hash join returns the same
+// result set as the default orientation (tuple equality ignores attribute
+// order).
+func TestCostBasedSwapCorrectness(t *testing.T) {
+	st := bench.Generate(bench.Config{Suppliers: 40, Parts: 10, Fanout: 2,
+		Deliveries: 400, Seed: 7})
+	j := adl.JoinE(adl.T("SUPPLIER"), "s", "d",
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+
+	defaultOp := Compile(j)
+	if hj, ok := defaultOp.(*exec.HashJoin); !ok {
+		t.Fatalf("rule-based plan should be HashJoin, got %T", defaultOp)
+	} else if scan, ok := hj.L.(*exec.Scan); !ok || scan.Table != "SUPPLIER" {
+		t.Fatalf("rule-based plan unexpectedly swapped")
+	}
+
+	stats := st.Analyze()
+	costedPl := Config{Statistics: stats, Parallelism: 2}.Plan(j)
+	hj, ok := costedPl.Root.(*exec.HashJoin)
+	if !ok {
+		t.Fatalf("cost-based plan is %T:\n%s", costedPl.Root, costedPl.Explain())
+	}
+	if scan, ok := hj.L.(*exec.Scan); !ok || scan.Table != "DELIVERY" {
+		t.Fatalf("cost-based plan should swap to build on SUPPLIER:\n%s", costedPl.Explain())
+	}
+
+	want, err := exec.Collect(defaultOp, &exec.Ctx{DB: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(costedPl.Root, &exec.Ctx{DB: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, want) {
+		t.Fatalf("swapped join diverges:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestCostBasedResidualSurvivesSwap: a swapped inner join re-binds the
+// residual predicate's variables to the exchanged operand roles.
+func TestCostBasedResidualSurvivesSwap(t *testing.T) {
+	st := bench.Generate(bench.Config{Suppliers: 30, Parts: 10, Fanout: 2,
+		Deliveries: 300, Seed: 11})
+	on := adl.AndE(
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.CmpE(adl.Lt, adl.Dot(adl.V("d"), "date"), adl.C(value.Date(940110))))
+	j := adl.JoinE(adl.T("SUPPLIER"), "s", "d", on, adl.T("DELIVERY"))
+
+	want, err := eval.EvalSet(j, nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := Config{Statistics: st.Analyze(), Parallelism: 2}.Plan(j)
+	hj, ok := pl.Root.(*exec.HashJoin)
+	if !ok || hj.Residual == nil {
+		t.Fatalf("expected HashJoin with residual, got %T:\n%s", pl.Root, pl.Explain())
+	}
+	got, err := exec.Collect(pl.Root, &exec.Ctx{DB: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(got, want) {
+		t.Fatalf("residual mishandled:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestCostBasedMembershipShape: the membership predicate still plans the
+// set-probe join under the cost model, now with an annotation.
+func TestCostBasedMembershipShape(t *testing.T) {
+	st := bench.Generate(bench.Config{Suppliers: 30, Parts: 40, Seed: 5})
+	j := adl.SemiJoin(adl.T("SUPPLIER"), "s", "p",
+		adl.CmpE(adl.In, adl.SubT(adl.V("p"), "pid"), adl.Dot(adl.V("s"), "parts")),
+		adl.T("PART"))
+	pl := Config{Statistics: st.Analyze()}.Plan(j)
+	if _, ok := pl.Root.(*exec.SetProbeJoin); !ok {
+		t.Fatalf("membership shape should plan SetProbeJoin, got %T", pl.Root)
+	}
+	e, ok := pl.Estimate(pl.Root)
+	if !ok || e.Rows <= 0 || e.Cost <= 0 {
+		t.Errorf("set-probe join not annotated: %+v", e)
+	}
+}
+
+// TestPlanExplainAnnotations: with statistics every costed node renders rows
+// and cost; without, the rendering is annotation-free and identical to the
+// legacy Explain.
+func TestPlanExplainAnnotations(t *testing.T) {
+	stats := fakeStatistics{rows: map[string]int{"X": 100, "Y": 100},
+		ndv: map[string]int{"X.a": 50, "Y.d": 50}}
+	j := equiJoin(adl.Inner)
+	costed := Config{Statistics: stats}.Plan(j)
+	out := costed.Explain()
+	for _, want := range []string{"rows≈", "cost≈", "Scan(X)", "Scan(Y)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated Explain missing %q:\n%s", want, out)
+		}
+	}
+	bare := Config{}.Plan(j)
+	if s := bare.Explain(); strings.Contains(s, "rows≈") {
+		t.Errorf("un-costed plan should have no annotations:\n%s", s)
+	}
+	if got, want := bare.Explain(), Explain(bare.Root); got != want {
+		t.Errorf("Plan.Explain without stats diverges from Explain:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCostBasedUsesNDVForJoinEstimates: distinct-value counts shrink the
+// estimated join output.
+func TestCostBasedUsesNDVForJoinEstimates(t *testing.T) {
+	manyDup := fakeStatistics{rows: map[string]int{"X": 1000, "Y": 1000},
+		ndv: map[string]int{"X.a": 10, "Y.d": 10}}
+	unique := fakeStatistics{rows: map[string]int{"X": 1000, "Y": 1000},
+		ndv: map[string]int{"X.a": 1000, "Y.d": 1000}}
+	plDup := Config{Statistics: manyDup}.Plan(equiJoin(adl.Inner))
+	plUniq := Config{Statistics: unique}.Plan(equiJoin(adl.Inner))
+	eDup, ok1 := plDup.Estimate(plDup.Root)
+	eUniq, ok2 := plUniq.Estimate(plUniq.Root)
+	if !ok1 || !ok2 {
+		t.Fatal("join estimates missing")
+	}
+	if eDup.Rows != 100000 {
+		t.Errorf("10-NDV join estimate = %d rows, want 100000", eDup.Rows)
+	}
+	if eUniq.Rows != 1000 {
+		t.Errorf("unique-key join estimate = %d rows, want 1000", eUniq.Rows)
+	}
+}
+
+// TestCostBasedFallsBackWithoutRowCounts: unknown extents keep the legacy
+// rule-based plan and produce no annotations.
+func TestCostBasedFallsBackWithoutRowCounts(t *testing.T) {
+	stats := fakeStatistics{rows: map[string]int{"X": 100}} // Y unknown
+	pl := Config{Statistics: stats, Parallelism: 4}.Plan(equiJoin(adl.Inner))
+	if _, ok := pl.Root.(*exec.HashJoin); !ok {
+		t.Fatalf("unknown cardinality should fall back to rule-based HashJoin, got %T", pl.Root)
+	}
+	if _, ok := pl.Estimate(pl.Root); ok {
+		t.Errorf("fallback plan should not be annotated")
+	}
+}
+
+// TestCostBasedParallelFilter: σ over a large extent goes to the worker pool
+// under the cost model, σ over a small one stays serial.
+func TestCostBasedParallelFilter(t *testing.T) {
+	pred := adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "a"), adl.C(value.Int(3)))
+	big := Config{Statistics: fakeStatistics{rows: map[string]int{"X": 50000}}, Parallelism: 8}
+	if _, ok := big.Compile(adl.Sel("x", pred, adl.T("X"))).(*exec.ParallelFilter); !ok {
+		t.Errorf("large σ should cost out to ParallelFilter")
+	}
+	small := Config{Statistics: fakeStatistics{rows: map[string]int{"X": 100}}, Parallelism: 8}
+	if _, ok := small.Compile(adl.Sel("x", pred, adl.T("X"))).(*exec.Filter); !ok {
+		t.Errorf("small σ should stay serial")
+	}
+}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adl"
+)
+
+// -update regenerates the golden files:
+//
+//	go test ./internal/plan -run TestExplainGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStats is a fixed statistics feed so the rendered costs are
+// deterministic and reviewable.
+var goldenStats = fakeStatistics{
+	rows: map[string]int{"SUPPLIER": 200, "PART": 4000, "DELIVERY": 60000},
+	ndv: map[string]int{
+		"SUPPLIER.eid": 200, "SUPPLIER.sname": 180,
+		"PART.pid": 4000, "PART.color": 3,
+		"DELIVERY.supplier": 200,
+	},
+	avg: map[string]float64{"SUPPLIER.parts": 6},
+}
+
+// goldenCases are the plan shapes whose Explain output is change-reviewed:
+// every cost annotation or plan-shape change must show up in a golden diff.
+func goldenCases() map[string]*Plan {
+	semiMembership := adl.SemiJoin(adl.T("SUPPLIER"), "s", "p",
+		adl.CmpE(adl.In, adl.SubT(adl.V("p"), "pid"), adl.Dot(adl.V("s"), "parts")),
+		adl.Sel("p", adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART")))
+
+	innerSwap := adl.JoinE(adl.T("SUPPLIER"), "s", "d",
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+
+	groupBig := adl.JoinE(adl.T("SUPPLIER"), "s", "d",
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+	groupBig.Kind = adl.NestJ
+	groupBig.As = "ds"
+
+	theta := adl.JoinE(adl.T("SUPPLIER"), "s", "d",
+		adl.CmpE(adl.Lt, adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+
+	costed := Config{Statistics: goldenStats, Parallelism: 4}
+	bare := Config{}
+	return map[string]*Plan{
+		"nostats_semijoin":    bare.Plan(semiMembership),
+		"nostats_equijoin":    bare.Plan(innerSwap),
+		"stats_semijoin":      costed.Plan(semiMembership),
+		"stats_inner_swap":    costed.Plan(innerSwap),
+		"stats_group_par":     costed.Plan(groupBig),
+		"stats_theta_nl":      costed.Plan(theta),
+		"stats_filter_serial": costed.Plan(adl.Sel("p", adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART"))),
+		"stats_map_parallel": costed.Plan(adl.MapE("d", adl.Dot(adl.V("d"), "date"),
+			adl.T("DELIVERY"))),
+		"stats_project_unnest": costed.Plan(adl.Proj(adl.Mu("parts", adl.T("SUPPLIER")), "pid")),
+	}
+}
+
+func TestExplainGolden(t *testing.T) {
+	for name, pl := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			got := pl.Explain()
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("Explain output changed; run with -update if intended.\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,12 +1,16 @@
 // Package plan lowers logical ADL expressions to physical operator trees.
-// The planner is rule-based, in the spirit of the paper's motivation: once
-// the rewriter has produced join operators, "the optimizer may choose from a
-// number of different join processing strategies" (§5.1). Equi-predicates
-// select hash joins, membership-in-attribute predicates select the
-// set-probe join (the single-segment PNHL core), materialize becomes the
-// pointer-based assembly, and everything else falls back to nested loops —
-// or, for fragments with no physical counterpart, to the reference
-// interpreter.
+// The planner realizes the paper's motivation: once the rewriter has
+// produced join operators, "the optimizer may choose from a number of
+// different join processing strategies" (§5.1). With collected statistics
+// (storage.Analyze → Config.Statistics) the choice is cost-based: every
+// applicable physical join operator is priced by the model in cost.go —
+// including build/probe side swapping for inner equi-joins — and the
+// cheapest wins. Without statistics the planner falls back to the original
+// rule-based selection: equi-predicates select hash joins,
+// membership-in-attribute predicates select the set-probe join (the
+// single-segment PNHL core), materialize becomes the pointer-based
+// assembly, everything else nested loops — with a size threshold toggling
+// the parallel partitioned variants when base-table cardinalities are known.
 package plan
 
 import (
@@ -19,29 +23,39 @@ import (
 	"repro/internal/value"
 )
 
-// Stats supplies base-table cardinalities to the planner's cost model.
-// storage.Store satisfies it.
+// Stats supplies base-table cardinalities to the planner's threshold
+// fallback. storage.Store satisfies it.
 type Stats interface {
 	Size(extent string) int
 }
 
 // DefaultParallelThreshold is the minimum combined input cardinality at
-// which the planner prefers the parallel partitioned operators. Below it,
-// goroutine and channel overhead dominates and the serial operators win.
+// which the threshold fallback prefers the parallel partitioned operators.
+// Below it, goroutine and channel overhead dominates and the serial
+// operators win. The cost model's cParallelStartup is calibrated to the same
+// crossover.
 const DefaultParallelThreshold = 2048
 
 // Config parameterizes compilation. The zero Config plans exactly like the
-// serial planner: parallel variants are considered only when Stats is set,
-// because the threshold decision needs cardinalities.
+// serial planner. Set Statistics (collected by storage.Store.Analyze) for
+// cost-based operator selection; set only Stats for the legacy
+// size-threshold heuristic.
 type Config struct {
-	// Stats feeds table cardinalities to the size threshold; nil disables
-	// parallel operator selection entirely.
+	// Statistics enables cost-based physical selection: every applicable
+	// join strategy is priced and the cheapest chosen, and plans carry
+	// per-node cardinality/cost estimates (see Plan.Explain). nil disables
+	// the cost model.
+	Statistics Statistics
+	// Stats feeds table cardinalities to the size-threshold fallback used
+	// when Statistics is nil; nil disables parallel operator selection
+	// entirely in that mode.
 	Stats Stats
 	// Parallelism is the partition/worker count for parallel operators;
 	// 0 means runtime.NumCPU.
 	Parallelism int
 	// ParallelThreshold is the minimum combined input cardinality for a
-	// parallel plan; 0 means DefaultParallelThreshold.
+	// parallel plan under the threshold fallback; 0 means
+	// DefaultParallelThreshold.
 	ParallelThreshold int
 }
 
@@ -53,63 +67,35 @@ func (c Config) threshold() int {
 	return DefaultParallelThreshold
 }
 
+// Plan is a compiled physical operator tree plus the optimizer's per-node
+// estimates (present when the Config carried Statistics).
+type Plan struct {
+	Root exec.Operator
+
+	est map[exec.Operator]Estimate
+}
+
+// Estimate returns the optimizer's annotation for a node of this plan.
+func (p *Plan) Estimate(op exec.Operator) (Estimate, bool) {
+	e, ok := p.est[op]
+	return e, ok
+}
+
+// Explain renders the plan tree with cost annotations where available.
+func (p *Plan) Explain() string { return explainTree(p.Root, p.est) }
+
 // Compile builds a physical operator tree with the default (serial)
 // configuration.
 func Compile(e adl.Expr) exec.Operator { return Config{}.Compile(e) }
 
 // Compile builds a physical operator tree for a (set-valued) ADL expression.
-func (c Config) Compile(e adl.Expr) exec.Operator {
-	switch n := e.(type) {
-	case *adl.Table:
-		return &exec.Scan{Table: n.Name}
+func (c Config) Compile(e adl.Expr) exec.Operator { return c.Plan(e).Root }
 
-	case *adl.Select:
-		child := c.Compile(n.Src)
-		pred := exec.NewScalar(n.Pred, n.Var)
-		if c.parallelWorthwhile(c.card(n.Src)) {
-			return &exec.ParallelFilter{Child: child, Var: n.Var, Pred: pred,
-				Workers: c.Parallelism}
-		}
-		return &exec.Filter{Child: child, Var: n.Var, Pred: pred}
-
-	case *adl.Map:
-		child := c.Compile(n.Src)
-		body := exec.NewScalar(n.Body, n.Var)
-		if c.parallelWorthwhile(c.card(n.Src)) {
-			return &exec.ParallelMap{Child: child, Var: n.Var, Body: body,
-				Workers: c.Parallelism}
-		}
-		return &exec.MapOp{Child: child, Var: n.Var, Body: body}
-
-	case *adl.Project:
-		return &exec.ProjectOp{Child: c.Compile(n.X), Attrs: n.Attrs}
-
-	case *adl.Unnest:
-		return &exec.UnnestOp{Child: c.Compile(n.X), Attr: n.Attr}
-
-	case *adl.Nest:
-		return &exec.NestOp{Child: c.Compile(n.X), Attrs: n.Attrs, As: n.As}
-
-	case *adl.Flatten:
-		return &exec.FlattenOp{Child: c.Compile(n.X)}
-
-	case *adl.Materialize:
-		return &exec.Assembly{Child: c.Compile(n.X), Attr: n.Attr, As: n.As}
-
-	case *adl.Rename:
-		return &exec.RenameOp{Child: c.Compile(n.X), From: n.From, To: n.To}
-
-	case *adl.Divide:
-		return &exec.DivideOp{L: c.Compile(n.L), R: c.Compile(n.R)}
-
-	case *adl.Let:
-		return &exec.LetOp{Var: n.Var, Val: n.Val, Child: c.Compile(n.Body)}
-
-	case *adl.Join:
-		return compileJoin(n, c)
-	}
-	// Fallback: evaluate the fragment with the reference interpreter.
-	return &exec.ExprScan{Expr: e}
+// Plan compiles a (set-valued) ADL expression into an annotated plan.
+func (c Config) Plan(e adl.Expr) *Plan {
+	p := &planner{cfg: c, est: map[exec.Operator]Estimate{}}
+	root, _ := p.compile(e)
+	return &Plan{Root: root, est: p.est}
 }
 
 // Run compiles and executes a set-valued expression.
@@ -118,16 +104,180 @@ func Run(e adl.Expr, db eval.DB) (*value.Set, error) {
 	return exec.Collect(op, &exec.Ctx{DB: db})
 }
 
+// planner carries one compilation's state: the configuration and the
+// estimates accumulated for the annotated plan.
+type planner struct {
+	cfg Config
+	est map[exec.Operator]Estimate
+}
+
+// statsMode reports whether cost-based selection is active.
+func (p *planner) statsMode() bool { return p.cfg.Statistics != nil }
+
+// record stores a node's annotation when the model produced one.
+func (p *planner) record(op exec.Operator, e nodeEst) {
+	if e.known {
+		p.est[op] = e.estimate()
+	}
+}
+
+// compile lowers one expression, returning the operator and its estimate
+// (unknownEst outside stats mode or for shapes the model cannot see
+// through).
+func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
+	switch n := e.(type) {
+	case *adl.Table:
+		op := &exec.Scan{Table: n.Name}
+		if p.statsMode() {
+			if rows := p.cfg.Statistics.RowCount(n.Name); rows >= 0 {
+				est := nodeEst{rows: float64(rows), known: true,
+					extent: n.Name, cost: float64(rows) * cRow}
+				p.record(op, est)
+				return op, est
+			}
+		}
+		return op, unknownEst
+
+	case *adl.Select:
+		child, ce := p.compile(n.Src)
+		pred := exec.NewScalar(n.Pred, n.Var)
+		if p.statsMode() && ce.known {
+			return p.chooseScalarOp(ce, ce.rows*p.selectivity(n.Pred, ce), ce.extent,
+				func() exec.Operator {
+					return &exec.Filter{Child: child, Var: n.Var, Pred: pred}
+				},
+				func() exec.Operator {
+					return &exec.ParallelFilter{Child: child, Var: n.Var, Pred: pred,
+						Workers: p.cfg.Parallelism}
+				})
+		}
+		if p.cfg.parallelWorthwhile(p.cfg.card(n.Src)) {
+			return &exec.ParallelFilter{Child: child, Var: n.Var, Pred: pred,
+				Workers: p.cfg.Parallelism}, unknownEst
+		}
+		return &exec.Filter{Child: child, Var: n.Var, Pred: pred}, unknownEst
+
+	case *adl.Map:
+		child, ce := p.compile(n.Src)
+		body := exec.NewScalar(n.Body, n.Var)
+		if p.statsMode() && ce.known {
+			// The body may reshape rows, so the origin extent is dropped.
+			return p.chooseScalarOp(ce, ce.rows, "",
+				func() exec.Operator {
+					return &exec.MapOp{Child: child, Var: n.Var, Body: body}
+				},
+				func() exec.Operator {
+					return &exec.ParallelMap{Child: child, Var: n.Var, Body: body,
+						Workers: p.cfg.Parallelism}
+				})
+		}
+		if p.cfg.parallelWorthwhile(p.cfg.card(n.Src)) {
+			return &exec.ParallelMap{Child: child, Var: n.Var, Body: body,
+				Workers: p.cfg.Parallelism}, unknownEst
+		}
+		return &exec.MapOp{Child: child, Var: n.Var, Body: body}, unknownEst
+
+	case *adl.Project:
+		child, ce := p.compile(n.X)
+		op := &exec.ProjectOp{Child: child, Attrs: n.Attrs}
+		est := ce.withOwn(ce.rows, ce.rows*cRow)
+		p.record(op, est)
+		return op, est
+
+	case *adl.Unnest:
+		child, ce := p.compile(n.X)
+		op := &exec.UnnestOp{Child: child, Attr: n.Attr}
+		rows := ce.rows * p.avgSetSize(ce, n.Attr)
+		est := ce.withOwn(rows, ce.rows*cRow+rows*cRow)
+		est.extent = ""
+		p.record(op, est)
+		return op, est
+
+	case *adl.Nest:
+		child, ce := p.compile(n.X)
+		op := &exec.NestOp{Child: child, Attrs: n.Attrs, As: n.As}
+		est := ce.withOwn(ce.rows/2, ce.rows*cHashBuild)
+		est.extent = ""
+		p.record(op, est)
+		return op, est
+
+	case *adl.Flatten:
+		child, ce := p.compile(n.X)
+		op := &exec.FlattenOp{Child: child}
+		est := ce.withOwn(ce.rows*defaultSetSize, ce.rows*cRow*defaultSetSize)
+		est.extent = ""
+		p.record(op, est)
+		return op, est
+
+	case *adl.Materialize:
+		child, ce := p.compile(n.X)
+		op := &exec.Assembly{Child: child, Attr: n.Attr, As: n.As}
+		est := ce.withOwn(ce.rows, ce.rows*cEval)
+		p.record(op, est)
+		return op, est
+
+	case *adl.Rename:
+		child, ce := p.compile(n.X)
+		op := &exec.RenameOp{Child: child, From: n.From, To: n.To}
+		est := ce.withOwn(ce.rows, ce.rows*cRow)
+		est.extent = ""
+		p.record(op, est)
+		return op, est
+
+	case *adl.Divide:
+		l, _ := p.compile(n.L)
+		r, _ := p.compile(n.R)
+		return &exec.DivideOp{L: l, R: r}, unknownEst
+
+	case *adl.Let:
+		child, ce := p.compile(n.Body)
+		op := &exec.LetOp{Var: n.Var, Val: n.Val, Child: child}
+		p.record(op, ce)
+		return op, ce
+
+	case *adl.Join:
+		return p.compileJoin(n)
+	}
+	// Fallback: evaluate the fragment with the reference interpreter.
+	return &exec.ExprScan{Expr: e}, unknownEst
+}
+
+// chooseScalarOp prices a σ/α over a known-size child serially versus with
+// its worker-pool variant, builds the cheaper one, and records its estimate
+// (outRows output rows, origin extent as given).
+func (p *planner) chooseScalarOp(ce nodeEst, outRows float64, extent string,
+	mkSerial, mkPool func() exec.Operator) (exec.Operator, nodeEst) {
+	own, mk := ce.rows*cEval, mkSerial
+	if pool := costParallelPool(ce.rows, exec.Parallelism(p.cfg.Parallelism)); pool < own {
+		own, mk = pool, mkPool
+	}
+	op := mk()
+	est := nodeEst{rows: outRows, known: true, extent: extent,
+		cost: ce.cost + own + outRows*cRow}
+	p.record(op, est)
+	return op, est
+}
+
+// withOwn derives a child's estimate for a row-transforming parent: new row
+// count, extent preserved, own cost added. Unknown stays unknown.
+func (e nodeEst) withOwn(rows, own float64) nodeEst {
+	if !e.known {
+		return unknownEst
+	}
+	return nodeEst{rows: rows, known: true, extent: e.extent, cost: e.cost + own}
+}
+
 // parallelWorthwhile reports whether an operator over an estimated input
-// cardinality should use its parallel variant.
+// cardinality should use its parallel variant (threshold fallback).
 func (c Config) parallelWorthwhile(card int) bool {
 	return c.Stats != nil && card >= c.threshold()
 }
 
 // card estimates the cardinality of a set-valued expression from base-table
-// sizes. Row-preserving and row-filtering operators inherit their source's
-// estimate (an upper bound); shapes the model cannot see through estimate
-// -1, which never crosses the threshold — unknown sizes stay serial.
+// sizes for the threshold fallback. Row-preserving and row-filtering
+// operators inherit their source's estimate (an upper bound); shapes the
+// model cannot see through estimate -1, which never crosses the threshold —
+// unknown sizes stay serial.
 func (c Config) card(e adl.Expr) int {
 	if c.Stats == nil {
 		return -1
@@ -159,38 +309,32 @@ func (c Config) card(e adl.Expr) int {
 	return -1
 }
 
-// compileJoin chooses a join implementation from the predicate shape.
-func compileJoin(j *adl.Join, c Config) exec.Operator {
-	l, r := c.Compile(j.L), c.Compile(j.R)
-	var rfun *exec.Scalar
-	if j.RFun != nil {
-		s := exec.NewScalar(j.RFun, j.LVar, j.RVar)
-		rfun = &s
+// setProbeShape recognizes the membership-in-attribute predicate shape:
+// key(y) ∈ x.attr as the sole conjunct (the paper's p[pid] ∈ s.parts), for
+// the filtering/grouping kinds. It returns the attribute and the right-key
+// expression.
+func setProbeShape(j *adl.Join, cs []adl.Expr) (attr string, rkey adl.Expr, ok bool) {
+	if len(cs) != 1 || (j.Kind != adl.Semi && j.Kind != adl.Anti && j.Kind != adl.NestJ) {
+		return "", nil, false
 	}
-
-	cs := conjuncts(j.On)
-
-	// Membership-in-attribute shape: key(y) ∈ x.attr as the sole conjunct
-	// (the paper's p[pid] ∈ s.parts), for the filtering/grouping kinds.
-	if len(cs) == 1 && (j.Kind == adl.Semi || j.Kind == adl.Anti || j.Kind == adl.NestJ) {
-		if cmp, ok := cs[0].(*adl.Cmp); ok && cmp.Op == adl.In {
-			if fa, ok := cmp.R.(*adl.Field); ok {
-				if v, ok := fa.X.(*adl.Var); ok && v.Name == j.LVar &&
-					!adl.HasFree(cmp.L, j.LVar) {
-					return &exec.SetProbeJoin{
-						Kind: j.Kind, L: l, R: r,
-						Attr: fa.Name,
-						RKey: exec.NewScalar(cmp.L, j.RVar),
-						As:   j.As, RFun: rfun,
-					}
-				}
-			}
-		}
+	cmp, isCmp := cs[0].(*adl.Cmp)
+	if !isCmp || cmp.Op != adl.In {
+		return "", nil, false
 	}
+	fa, isField := cmp.R.(*adl.Field)
+	if !isField {
+		return "", nil, false
+	}
+	v, isVar := fa.X.(*adl.Var)
+	if !isVar || v.Name != j.LVar || adl.HasFree(cmp.L, j.LVar) {
+		return "", nil, false
+	}
+	return fa.Name, cmp.L, true
+}
 
-	// Equi-key extraction: conjuncts f(x) = g(y).
-	var lkeys, rkeys []adl.Expr
-	var residual []adl.Expr
+// splitEquiKeys partitions the conjuncts into equi-key pairs f(x) = g(y) and
+// a residual.
+func splitEquiKeys(cs []adl.Expr, j *adl.Join) (lkeys, rkeys, residual []adl.Expr) {
 	for _, c := range cs {
 		cmp, ok := c.(*adl.Cmp)
 		if !ok || cmp.Op != adl.Eq {
@@ -214,6 +358,65 @@ func compileJoin(j *adl.Join, c Config) exec.Operator {
 		lkeys = append(lkeys, lSide)
 		rkeys = append(rkeys, rSide)
 	}
+	return lkeys, rkeys, residual
+}
+
+// joinExtent is the base extent of a join's output rows: the filtering and
+// grouping kinds keep left rows (attribute statistics stay valid), the
+// widening kinds concatenate and lose the mapping.
+func joinExtent(kind adl.JoinKind, le nodeEst) string {
+	switch kind {
+	case adl.Semi, adl.Anti, adl.NestJ:
+		return le.extent
+	}
+	return ""
+}
+
+// compileJoin chooses a join implementation — cost-based under Statistics,
+// by predicate shape and the size threshold otherwise.
+func (p *planner) compileJoin(j *adl.Join) (exec.Operator, nodeEst) {
+	l, le := p.compile(j.L)
+	r, re := p.compile(j.R)
+	var rfun *exec.Scalar
+	if j.RFun != nil {
+		s := exec.NewScalar(j.RFun, j.LVar, j.RVar)
+		rfun = &s
+	}
+
+	cs := conjuncts(j.On)
+	costed := p.statsMode() && le.known && re.known
+
+	if attr, rkeyExpr, ok := setProbeShape(j, cs); ok {
+		sp := &exec.SetProbeJoin{
+			Kind: j.Kind, L: l, R: r,
+			Attr: attr,
+			RKey: exec.NewScalar(rkeyExpr, j.RVar),
+			As:   j.As, RFun: rfun,
+		}
+		if !costed {
+			return sp, unknownEst
+		}
+		// Price the single-segment PNHL core against the nested loop.
+		avg := p.avgSetSize(le, attr)
+		out := joinOutRows(j.Kind, le.rows, re.rows, le.rows, re.rows)
+		spOwn := costPNHL(le.rows, avg, re.rows, out, 1)
+		nlOwn := costNL(le.rows, re.rows, out)
+		child := le.cost + re.cost
+		if nlOwn < spOwn {
+			op := &exec.NLJoin{Kind: j.Kind, L: l, R: r, LVar: j.LVar, RVar: j.RVar,
+				Pred: exec.NewScalar(j.On, j.LVar, j.RVar), As: j.As, RFun: rfun}
+			est := nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
+				cost: child + nlOwn, note: "nested loop priced cheaper"}
+			p.record(op, est)
+			return op, est
+		}
+		est := nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
+			cost: child + spOwn}
+		p.record(sp, est)
+		return sp, est
+	}
+
+	lkeys, rkeys, residual := splitEquiKeys(cs, j)
 
 	if len(lkeys) > 0 {
 		var res *exec.Scalar
@@ -221,11 +424,14 @@ func compileJoin(j *adl.Join, c Config) exec.Operator {
 			s := exec.NewScalar(adl.AndE(residual...), j.LVar, j.RVar)
 			res = &s
 		}
-		// Large equi-key joins get the Grace-style parallel partitioned
-		// variant; small ones stay serial, where partitioning overhead
-		// would dominate.
-		if lc, rc := c.card(j.L), c.card(j.R); c.Stats != nil &&
-			lc >= 0 && rc >= 0 && lc+rc >= c.threshold() {
+		if costed {
+			return p.chooseEquiJoin(j, l, r, le, re, lkeys, rkeys, residual, res, rfun)
+		}
+		// Threshold fallback: large equi-key joins get the Grace-style
+		// parallel partitioned variant; small ones stay serial, where
+		// partitioning overhead would dominate.
+		if lc, rc := p.cfg.card(j.L), p.cfg.card(j.R); p.cfg.Stats != nil &&
+			lc >= 0 && rc >= 0 && lc+rc >= p.cfg.threshold() {
 			return &exec.PartitionedHashJoin{
 				Kind: j.Kind, L: l, R: r,
 				LVar: j.LVar, RVar: j.RVar,
@@ -233,8 +439,8 @@ func compileJoin(j *adl.Join, c Config) exec.Operator {
 				RKey:     keyScalar(rkeys, j.RVar),
 				Residual: res,
 				As:       j.As, RFun: rfun,
-				Partitions: c.Parallelism,
-			}
+				Partitions: p.cfg.Parallelism,
+			}, unknownEst
 		}
 		return &exec.HashJoin{
 			Kind: j.Kind, L: l, R: r,
@@ -243,15 +449,139 @@ func compileJoin(j *adl.Join, c Config) exec.Operator {
 			RKey:     keyScalar(rkeys, j.RVar),
 			Residual: res,
 			As:       j.As, RFun: rfun,
-		}
+		}, unknownEst
 	}
 
-	return &exec.NLJoin{
+	nl := &exec.NLJoin{
 		Kind: j.Kind, L: l, R: r,
 		LVar: j.LVar, RVar: j.RVar,
 		Pred: exec.NewScalar(j.On, j.LVar, j.RVar),
 		As:   j.As, RFun: rfun,
 	}
+	if costed {
+		out := le.rows * re.rows * defaultSelectivity
+		if j.Kind == adl.Semi || j.Kind == adl.Anti || j.Kind == adl.NestJ {
+			out = joinOutRows(j.Kind, le.rows, re.rows, le.rows, re.rows)
+		}
+		est := nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
+			cost: le.cost + re.cost + costNL(le.rows, re.rows, out)}
+		p.record(nl, est)
+		return nl, est
+	}
+	return nl, unknownEst
+}
+
+// chooseEquiJoin prices every applicable physical implementation of an
+// equi-key join and returns the cheapest. Inner joins with no right-tuple
+// function may swap build and probe sides: tuple equality is
+// attribute-order-insensitive, so exchanging the operands (and key/variable
+// roles) preserves the result set.
+func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst,
+	lkeys, rkeys, residual []adl.Expr, res *exec.Scalar, rfun *exec.Scalar) (exec.Operator, nodeEst) {
+
+	ndvL := p.keyNDV(le, lkeys, j.LVar)
+	ndvR := p.keyNDV(re, rkeys, j.RVar)
+	out := joinOutRows(j.Kind, le.rows, re.rows, ndvL, ndvR)
+	matches := le.rows * re.rows / clamp(ndvL, 1, 1e18)
+	if ndvR > ndvL {
+		matches = le.rows * re.rows / ndvR
+	}
+	residMatches := 0.0
+	if len(residual) > 0 {
+		residMatches = matches
+	}
+	par := exec.Parallelism(p.cfg.Parallelism)
+	swappable := j.Kind == adl.Inner && j.RFun == nil
+
+	// A swapped residual binds the variables in exchanged positions.
+	var resSwapped *exec.Scalar
+	if len(residual) > 0 {
+		s := exec.NewScalar(adl.AndE(residual...), j.RVar, j.LVar)
+		resSwapped = &s
+	}
+
+	type candidate struct {
+		build func() exec.Operator
+		own   float64
+		note  string
+	}
+	cands := []candidate{
+		{
+			build: func() exec.Operator {
+				return &exec.HashJoin{Kind: j.Kind, L: l, R: r,
+					LVar: j.LVar, RVar: j.RVar,
+					LKey: keyScalar(lkeys, j.LVar), RKey: keyScalar(rkeys, j.RVar),
+					Residual: res, As: j.As, RFun: rfun}
+			},
+			own: costHash(re.rows, le.rows, out, residMatches),
+		},
+		{
+			build: func() exec.Operator {
+				return &exec.PartitionedHashJoin{Kind: j.Kind, L: l, R: r,
+					LVar: j.LVar, RVar: j.RVar,
+					LKey: keyScalar(lkeys, j.LVar), RKey: keyScalar(rkeys, j.RVar),
+					Residual: res, As: j.As, RFun: rfun,
+					Partitions: p.cfg.Parallelism}
+			},
+			own: costPartitionedHash(re.rows, le.rows, out, residMatches, par),
+		},
+		{
+			build: func() exec.Operator {
+				return &exec.NLJoin{Kind: j.Kind, L: l, R: r,
+					LVar: j.LVar, RVar: j.RVar,
+					Pred: exec.NewScalar(j.On, j.LVar, j.RVar),
+					As:   j.As, RFun: rfun}
+			},
+			own: costNL(le.rows, re.rows, out),
+		},
+	}
+	if swappable {
+		cands = append(cands,
+			candidate{
+				build: func() exec.Operator {
+					return &exec.HashJoin{Kind: j.Kind, L: r, R: l,
+						LVar: j.RVar, RVar: j.LVar,
+						LKey: keyScalar(rkeys, j.RVar), RKey: keyScalar(lkeys, j.LVar),
+						Residual: resSwapped, As: j.As}
+				},
+				own:  costHash(le.rows, re.rows, out, residMatches),
+				note: "build side swapped",
+			},
+			candidate{
+				build: func() exec.Operator {
+					return &exec.PartitionedHashJoin{Kind: j.Kind, L: r, R: l,
+						LVar: j.RVar, RVar: j.LVar,
+						LKey: keyScalar(rkeys, j.RVar), RKey: keyScalar(lkeys, j.LVar),
+						Residual: resSwapped, As: j.As,
+						Partitions: p.cfg.Parallelism}
+				},
+				own:  costPartitionedHash(le.rows, re.rows, out, residMatches, par),
+				note: "build side swapped",
+			})
+	}
+	if (j.Kind == adl.Inner || j.Kind == adl.NestJ) && len(residual) == 0 {
+		cands = append(cands, candidate{
+			build: func() exec.Operator {
+				return &exec.SortMergeJoin{Kind: j.Kind, L: l, R: r,
+					LVar: j.LVar, RVar: j.RVar,
+					LKey: keyScalar(lkeys, j.LVar), RKey: keyScalar(rkeys, j.RVar),
+					As: j.As, RFun: rfun}
+			},
+			own: costSortMerge(le.rows, re.rows, out),
+		})
+	}
+
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].own < cands[best].own {
+			best = i
+		}
+	}
+	op := cands[best].build()
+	est := nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
+		cost: le.cost + re.cost + cands[best].own, note: cands[best].note}
+	p.record(op, est)
+	return op, est
 }
 
 // keyScalar packs key expressions into a composite tuple key.
@@ -279,80 +609,74 @@ func conjuncts(e adl.Expr) []adl.Expr {
 	return []adl.Expr{e}
 }
 
-// Explain renders the physical plan tree.
-func Explain(op exec.Operator) string {
+// Explain renders a physical plan tree without annotations.
+func Explain(op exec.Operator) string { return explainTree(op, nil) }
+
+func explainTree(op exec.Operator, est map[exec.Operator]Estimate) string {
 	var b strings.Builder
-	explain(&b, op, 0)
+	explain(&b, op, 0, est)
 	return b.String()
 }
 
-func explain(b *strings.Builder, op exec.Operator, depth int) {
-	indent := strings.Repeat("  ", depth)
+func explain(b *strings.Builder, op exec.Operator, depth int, est map[exec.Operator]Estimate) {
+	line, children := describe(op)
+	if e, ok := est[op]; ok {
+		line += fmt.Sprintf("  (rows≈%d cost≈%d)", e.Rows, int64(e.Cost+0.5))
+		if e.Note != "" {
+			line += "  -- " + e.Note
+		}
+	}
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), line)
+	for _, c := range children {
+		explain(b, c, depth+1, est)
+	}
+}
+
+// describe renders one operator's line (sans indentation) and lists its
+// children.
+func describe(op exec.Operator) (string, []exec.Operator) {
 	switch o := op.(type) {
 	case *exec.Scan:
-		fmt.Fprintf(b, "%sScan(%s)\n", indent, o.Table)
+		return fmt.Sprintf("Scan(%s)", o.Table), nil
 	case *exec.SetScan:
-		fmt.Fprintf(b, "%sSetScan(%d elems)\n", indent, o.Set.Len())
+		return fmt.Sprintf("SetScan(%d elems)", o.Set.Len()), nil
 	case *exec.ExprScan:
-		fmt.Fprintf(b, "%sExprScan(%s)  -- interpreter fallback\n", indent, o.Expr)
+		return fmt.Sprintf("ExprScan(%s)  -- interpreter fallback", o.Expr), nil
 	case *exec.Filter:
-		fmt.Fprintf(b, "%sFilter[%s: %s]\n", indent, o.Var, o.Pred.Expr)
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Filter[%s: %s]", o.Var, o.Pred.Expr), []exec.Operator{o.Child}
 	case *exec.MapOp:
-		fmt.Fprintf(b, "%sMap[%s: %s]\n", indent, o.Var, o.Body.Expr)
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Map[%s: %s]", o.Var, o.Body.Expr), []exec.Operator{o.Child}
 	case *exec.ProjectOp:
-		fmt.Fprintf(b, "%sProject[%s]\n", indent, strings.Join(o.Attrs, ", "))
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Project[%s]", strings.Join(o.Attrs, ", ")), []exec.Operator{o.Child}
 	case *exec.UnnestOp:
-		fmt.Fprintf(b, "%sUnnest[%s]\n", indent, o.Attr)
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Unnest[%s]", o.Attr), []exec.Operator{o.Child}
 	case *exec.NestOp:
-		fmt.Fprintf(b, "%sNest[{%s} -> %s]\n", indent, strings.Join(o.Attrs, ", "), o.As)
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Nest[{%s} -> %s]", strings.Join(o.Attrs, ", "), o.As), []exec.Operator{o.Child}
 	case *exec.FlattenOp:
-		fmt.Fprintf(b, "%sFlatten\n", indent)
-		explain(b, o.Child, depth+1)
+		return "Flatten", []exec.Operator{o.Child}
 	case *exec.Assembly:
-		fmt.Fprintf(b, "%sAssembly[%s -> %s]  -- pointer-based materialize\n", indent, o.Attr, o.As)
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Assembly[%s -> %s]  -- pointer-based materialize", o.Attr, o.As), []exec.Operator{o.Child}
 	case *exec.LetOp:
-		fmt.Fprintf(b, "%sLet[%s = %s]  -- constant, evaluated once\n", indent, o.Var, o.Val)
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("Let[%s = %s]  -- constant, evaluated once", o.Var, o.Val), []exec.Operator{o.Child}
 	case *exec.HashJoin:
-		fmt.Fprintf(b, "%sHashJoin[%v on %s = %s]\n", indent, o.Kind, o.LKey.Expr, o.RKey.Expr)
-		explain(b, o.L, depth+1)
-		explain(b, o.R, depth+1)
+		return fmt.Sprintf("HashJoin[%v on %s = %s]", o.Kind, o.LKey.Expr, o.RKey.Expr), []exec.Operator{o.L, o.R}
 	case *exec.PartitionedHashJoin:
-		fmt.Fprintf(b, "%sPartitionedHashJoin[%v on %s = %s | %d partitions]  -- parallel\n",
-			indent, o.Kind, o.LKey.Expr, o.RKey.Expr, exec.Parallelism(o.Partitions))
-		explain(b, o.L, depth+1)
-		explain(b, o.R, depth+1)
+		return fmt.Sprintf("PartitionedHashJoin[%v on %s = %s | %d partitions]  -- parallel",
+			o.Kind, o.LKey.Expr, o.RKey.Expr, exec.Parallelism(o.Partitions)), []exec.Operator{o.L, o.R}
 	case *exec.ParallelFilter:
-		fmt.Fprintf(b, "%sParallelFilter[%s: %s | %d workers]  -- parallel\n",
-			indent, o.Var, o.Pred.Expr, exec.Parallelism(o.Workers))
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("ParallelFilter[%s: %s | %d workers]  -- parallel",
+			o.Var, o.Pred.Expr, exec.Parallelism(o.Workers)), []exec.Operator{o.Child}
 	case *exec.ParallelMap:
-		fmt.Fprintf(b, "%sParallelMap[%s: %s | %d workers]  -- parallel\n",
-			indent, o.Var, o.Body.Expr, exec.Parallelism(o.Workers))
-		explain(b, o.Child, depth+1)
+		return fmt.Sprintf("ParallelMap[%s: %s | %d workers]  -- parallel",
+			o.Var, o.Body.Expr, exec.Parallelism(o.Workers)), []exec.Operator{o.Child}
 	case *exec.SetProbeJoin:
-		fmt.Fprintf(b, "%sSetProbeJoin[%v on %s ∈ .%s]\n", indent, o.Kind, o.RKey.Expr, o.Attr)
-		explain(b, o.L, depth+1)
-		explain(b, o.R, depth+1)
+		return fmt.Sprintf("SetProbeJoin[%v on %s ∈ .%s]", o.Kind, o.RKey.Expr, o.Attr), []exec.Operator{o.L, o.R}
 	case *exec.SortMergeJoin:
-		fmt.Fprintf(b, "%sSortMergeJoin[%v on %s = %s]\n", indent, o.Kind, o.LKey.Expr, o.RKey.Expr)
-		explain(b, o.L, depth+1)
-		explain(b, o.R, depth+1)
+		return fmt.Sprintf("SortMergeJoin[%v on %s = %s]", o.Kind, o.LKey.Expr, o.RKey.Expr), []exec.Operator{o.L, o.R}
 	case *exec.NLJoin:
-		fmt.Fprintf(b, "%sNLJoin[%v on %s]\n", indent, o.Kind, o.Pred.Expr)
-		explain(b, o.L, depth+1)
-		explain(b, o.R, depth+1)
+		return fmt.Sprintf("NLJoin[%v on %s]", o.Kind, o.Pred.Expr), []exec.Operator{o.L, o.R}
 	case *exec.PNHL:
-		fmt.Fprintf(b, "%sPNHL[.%s with budget %d rows]\n", indent, o.Attr, o.BudgetRows)
-		explain(b, o.L, depth+1)
-		explain(b, o.R, depth+1)
-	default:
-		fmt.Fprintf(b, "%s%T\n", indent, op)
+		return fmt.Sprintf("PNHL[.%s with budget %d rows]", o.Attr, o.BudgetRows), []exec.Operator{o.L, o.R}
 	}
+	return fmt.Sprintf("%T", op), nil
 }

@@ -1,0 +1,168 @@
+// ANALYZE-style statistics collection. The paper leaves the choice among
+// join strategies to "the optimizer" (§5.1) without saying where its
+// knowledge comes from; a modern engine answers with collected statistics.
+// Analyze scans every extent once and records, per base table, the row
+// count, per-attribute distinct-value counts, and the average cardinality of
+// set-valued attributes. The result feeds the cost model in internal/plan,
+// which prices the physical join operators and picks the cheapest.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// TableStats holds the collected statistics of one extent.
+type TableStats struct {
+	// Rows is the extent cardinality.
+	Rows int
+	// Distinct maps a scalar top-level attribute name to its number of
+	// distinct values. Set-valued attributes are not counted — hashing whole
+	// sets per row is expensive and no consumer prices set NDV; their shape
+	// is AvgSetSize.
+	Distinct map[string]int
+	// AvgSetSize maps each set-valued attribute to the mean cardinality of
+	// its sets across the extent.
+	AvgSetSize map[string]float64
+}
+
+// DBStats is the database-wide result of Analyze: extent name → TableStats.
+// It implements the plan package's Statistics interface.
+type DBStats struct {
+	Tables map[string]TableStats
+}
+
+// RowCount reports the collected cardinality of an extent, or -1 if the
+// extent was not analyzed.
+func (d *DBStats) RowCount(extent string) int {
+	t, ok := d.Tables[extent]
+	if !ok {
+		return -1
+	}
+	return t.Rows
+}
+
+// DistinctValues reports the collected distinct-value count of an attribute,
+// or 0 if unknown.
+func (d *DBStats) DistinctValues(extent, attr string) int {
+	return d.Tables[extent].Distinct[attr]
+}
+
+// AvgSetSize reports the mean cardinality of a set-valued attribute, or 0 if
+// the attribute is not set-valued or was not analyzed.
+func (d *DBStats) AvgSetSize(extent, attr string) float64 {
+	return d.Tables[extent].AvgSetSize[attr]
+}
+
+// Size makes DBStats double as the planner's legacy cardinality feed
+// (plan.Stats), so one collected object can drive both the threshold
+// fallback and the cost model.
+func (d *DBStats) Size(extent string) int {
+	if n := d.RowCount(extent); n >= 0 {
+		return n
+	}
+	return 0
+}
+
+// String renders the collected statistics as a small report, one block per
+// extent, for cmd/adlbench -analyze and debugging.
+func (d *DBStats) String() string {
+	names := make([]string, 0, len(d.Tables))
+	for n := range d.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		t := d.Tables[n]
+		fmt.Fprintf(&b, "%s: %d rows\n", n, t.Rows)
+		attrs := make([]string, 0, len(t.Distinct)+len(t.AvgSetSize))
+		for a := range t.Distinct {
+			attrs = append(attrs, a)
+		}
+		for a := range t.AvgSetSize {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			if avg, ok := t.AvgSetSize[a]; ok {
+				fmt.Fprintf(&b, "  .%s: set-valued, avg %.1f elems\n", a, avg)
+				continue
+			}
+			fmt.Fprintf(&b, "  .%s: %d distinct\n", a, t.Distinct[a])
+		}
+	}
+	return b.String()
+}
+
+// distinctCounter counts distinct values exactly: values are bucketed by
+// hash and disambiguated with Equal, so hash collisions do not inflate the
+// count.
+type distinctCounter struct {
+	buckets map[uint64][]value.Value
+	n       int
+}
+
+func newDistinctCounter() *distinctCounter {
+	return &distinctCounter{buckets: map[uint64][]value.Value{}}
+}
+
+func (c *distinctCounter) add(v value.Value) {
+	h := value.Hash(v)
+	for _, seen := range c.buckets[h] {
+		if value.Equal(seen, v) {
+			return
+		}
+	}
+	c.buckets[h] = append(c.buckets[h], v)
+	c.n++
+}
+
+// Analyze scans every extent of the store and collects statistics. It uses
+// the raw object map rather than Table so collection does not perturb the
+// I/O meters or the extent cache.
+func (s *Store) Analyze() *DBStats {
+	db := &DBStats{Tables: map[string]TableStats{}}
+	for _, ext := range s.cat.Extents() {
+		oids := s.extents[ext]
+		ts := TableStats{
+			Rows:       len(oids),
+			Distinct:   map[string]int{},
+			AvgSetSize: map[string]float64{},
+		}
+		counters := map[string]*distinctCounter{}
+		setElems := map[string]int{} // total elements per set-valued attr
+		setRows := map[string]int{}  // rows carrying that attr
+		for _, oid := range oids {
+			obj := s.objects[oid]
+			for i := 0; i < obj.Len(); i++ {
+				name, v := obj.At(i)
+				if set, ok := v.(*value.Set); ok {
+					setElems[name] += set.Len()
+					setRows[name]++
+					continue
+				}
+				c, ok := counters[name]
+				if !ok {
+					c = newDistinctCounter()
+					counters[name] = c
+				}
+				c.add(v)
+			}
+		}
+		for name, c := range counters {
+			ts.Distinct[name] = c.n
+		}
+		for name, rows := range setRows {
+			// Only attributes that are sets in every row count as set-valued.
+			if rows == ts.Rows && rows > 0 {
+				ts.AvgSetSize[name] = float64(setElems[name]) / float64(rows)
+			}
+		}
+		db.Tables[ext] = ts
+	}
+	return db
+}

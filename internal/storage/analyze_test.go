@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// analyzeFixture builds a store with known statistics: 4 suppliers (2
+// distinct names, parts sets of sizes 0,1,2,3) and 3 parts (3 distinct
+// pnames, 2 distinct colors).
+func analyzeFixture(t *testing.T) *Store {
+	t.Helper()
+	st := New(schema.SupplierPart())
+	for i, color := range []string{"red", "red", "blue"} {
+		if _, err := st.Insert("PART", value.NewTuple(
+			"pname", value.String([]string{"a", "b", "c"}[i]),
+			"price", value.Int(int64(10*i)),
+			"color", value.String(color),
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := []string{"n1", "n1", "n2", "n2"}
+	for i, n := range names {
+		parts := value.EmptySet()
+		for j := 0; j < i; j++ {
+			parts.Add(value.NewTuple("pid", value.OID(j+1)))
+		}
+		if _, err := st.Insert("SUPPLIER", value.NewTuple(
+			"sname", value.String(n),
+			"parts", parts,
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestAnalyzeCollectsTableStats(t *testing.T) {
+	st := analyzeFixture(t)
+	stats := st.Analyze()
+
+	if got := stats.RowCount("SUPPLIER"); got != 4 {
+		t.Errorf("RowCount(SUPPLIER) = %d, want 4", got)
+	}
+	if got := stats.RowCount("PART"); got != 3 {
+		t.Errorf("RowCount(PART) = %d, want 3", got)
+	}
+	if got := stats.RowCount("DELIVERY"); got != 0 {
+		t.Errorf("RowCount(DELIVERY) = %d, want 0 (empty extent)", got)
+	}
+	if got := stats.RowCount("NOPE"); got != -1 {
+		t.Errorf("RowCount(NOPE) = %d, want -1 (unknown)", got)
+	}
+
+	if got := stats.DistinctValues("SUPPLIER", "sname"); got != 2 {
+		t.Errorf("DistinctValues(SUPPLIER, sname) = %d, want 2", got)
+	}
+	if got := stats.DistinctValues("PART", "color"); got != 2 {
+		t.Errorf("DistinctValues(PART, color) = %d, want 2", got)
+	}
+	if got := stats.DistinctValues("PART", "pname"); got != 3 {
+		t.Errorf("DistinctValues(PART, pname) = %d, want 3", got)
+	}
+	// The id field is unique.
+	if got := stats.DistinctValues("SUPPLIER", "eid"); got != 4 {
+		t.Errorf("DistinctValues(SUPPLIER, eid) = %d, want 4", got)
+	}
+	if got := stats.DistinctValues("PART", "nope"); got != 0 {
+		t.Errorf("DistinctValues of unknown attr = %d, want 0", got)
+	}
+
+	// parts sets have sizes 0,1,2,3 → average 1.5.
+	if got := stats.AvgSetSize("SUPPLIER", "parts"); got != 1.5 {
+		t.Errorf("AvgSetSize(SUPPLIER, parts) = %v, want 1.5", got)
+	}
+	// Scalar attributes report 0.
+	if got := stats.AvgSetSize("SUPPLIER", "sname"); got != 0 {
+		t.Errorf("AvgSetSize(SUPPLIER, sname) = %v, want 0", got)
+	}
+
+	// The legacy Size feed agrees with RowCount, and is 0 for unknowns.
+	if got := stats.Size("SUPPLIER"); got != 4 {
+		t.Errorf("Size(SUPPLIER) = %d, want 4", got)
+	}
+	if got := stats.Size("NOPE"); got != 0 {
+		t.Errorf("Size(NOPE) = %d, want 0", got)
+	}
+}
+
+func TestAnalyzeDoesNotPerturbIOMeters(t *testing.T) {
+	st := analyzeFixture(t)
+	st.ResetStats()
+	_ = st.Analyze()
+	if got := st.Stats(); got.ObjectReads != 0 || got.ExtentScans != 0 {
+		t.Errorf("Analyze touched the I/O meters: %+v", got)
+	}
+}
+
+func TestDBStatsString(t *testing.T) {
+	stats := analyzeFixture(t).Analyze()
+	out := stats.String()
+	for _, want := range []string{"SUPPLIER: 4 rows", "PART: 3 rows",
+		".parts: set-valued, avg 1.5 elems", ".color: 2 distinct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+}
