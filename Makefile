@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -49,5 +49,18 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Exactly what .github/workflows/ci.yml runs.
+# Pinned so CI runs reproduce locally. Upgrade deliberately, not implicitly.
+STATICCHECK_VERSION ?= 2025.1.1
+
+# Uses a staticcheck binary from PATH when present (offline-friendly);
+# otherwise fetches the pinned version via go run (what CI does).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
+# Exactly what .github/workflows/ci.yml runs. staticcheck is separate from
+# `ci` so the aggregate target stays runnable offline; CI runs both.
 ci: fmt-check vet build race cover fuzz-smoke bench-smoke

@@ -11,6 +11,8 @@
 //	adlbench -parallel 0     # B8's parallel arm kept serial (sweep control)
 //	adlbench -exp B9         # forced strategies vs the cost-based optimizer
 //	adlbench -analyze=false  # B9's optimizer without collected statistics
+//	adlbench -exp B10        # join-order enumeration vs rewriter order
+//	adlbench -explain        # print each experiment's annotated plan first
 package main
 
 import (
@@ -24,10 +26,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (B1..B9); empty = all")
+		exp      = flag.String("exp", "", "experiment to run (B1..B10); empty = all")
 		quick    = flag.Bool("quick", false, "smaller scales")
 		parallel = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
 		analyze  = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
+		explain  = flag.Bool("explain", false, "print each experiment's annotated Plan.Explain() before running it")
 	)
 	flag.Parse()
 
@@ -90,6 +93,10 @@ func main() {
 			return experiments.B9(scale(2000, 200), scale(20000, 2000),
 				*parallel, *analyze, seed)
 		}},
+		{"B10", func() (*bench.Table, error) {
+			return experiments.B10(scale(20000, 2000), scale(2000, 200),
+				scale(400, 80), 8, *parallel, seed)
+		}},
 	}
 
 	ran := false
@@ -98,6 +105,14 @@ func main() {
 			continue
 		}
 		ran = true
+		if *explain {
+			plans, err := experiments.ExplainPlans(r.name, *parallel, *analyze, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adlbench: %s: explain: %v\n", r.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("== %s plans ==\n%s\n", r.name, plans)
+		}
 		t, err := r.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adlbench: %s: %v\n", r.name, err)

@@ -143,6 +143,89 @@ func TestB9OptimizerAgreesWithForcedArms(t *testing.T) {
 	}
 }
 
+func TestB10EnumeratedOrderWinsAndAgrees(t *testing.T) {
+	// B10 fails internally when any arm diverges from the rule-based
+	// reference or when the enumerated order does not price below the
+	// rewriter order, so a nil error already is the claim.
+	tab, err := B10(1200, 200, 60, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"rewriter order", "enumerated order", "order: dp over 4 relations", "cheaper by the cost model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B10 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStarJoinArmsAgree(t *testing.T) {
+	w := NewStarJoin(300, 40, 20, 4, 2, 7)
+	ref, err := w.RunReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reorder := range []bool{false, true} {
+		res, pl, err := w.Run(reorder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != ref.Len() {
+			t.Fatalf("reorder=%v: %d rows, reference has %d\n%s",
+				reorder, res.Len(), ref.Len(), pl.Explain())
+		}
+	}
+}
+
+func TestExplainPlansCoversEveryExperiment(t *testing.T) {
+	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10"} {
+		out, err := ExplainPlans(exp, 2, true, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out, "Scan(") {
+			t.Errorf("%s explain shows no plan:\n%s", exp, out)
+		}
+	}
+	// The annotated experiments must carry estimates; B10 must show both
+	// orders.
+	out, err := ExplainPlans("B10", 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rewriter order", "enumerated order", "rows≈", "order: dp over 4 relations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B10 explain missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ExplainPlans("B99", 2, true, 1); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+// TestExplainPlansMirrorsFlags: the printed plan must be the arm the flags
+// select — B9's threshold fallback under -analyze=false, B8's serial control
+// under -parallel 0.
+func TestExplainPlansMirrorsFlags(t *testing.T) {
+	out, err := ExplainPlans("B9", 2, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "threshold fallback") {
+		t.Errorf("B9 explain with analyze=false must flag the fallback:\n%s", out)
+	}
+	if strings.Contains(out, "rows≈") {
+		t.Errorf("threshold-fallback plan must not carry cost annotations:\n%s", out)
+	}
+	out, err = ExplainPlans("B8", 0, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "PartitionedHashJoin") || !strings.Contains(out, "HashJoin") {
+		t.Errorf("B8 explain with -parallel 0 must show the serial arm:\n%s", out)
+	}
+}
+
 func TestB9WithoutAnalyzeFallsBackToThreshold(t *testing.T) {
 	tab, err := B9(100, 400, 2, false, 1)
 	if err != nil {

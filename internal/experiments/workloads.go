@@ -11,6 +11,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/rewrite"
+	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -169,8 +170,8 @@ func (m *MaterializeArms) RunNaive() (*value.Set, error) {
 	return eval.EvalSet(m.NaiveExpr, nil, m.Store)
 }
 
-// RunNestjoin executes the set-probe nestjoin plan.
-func (m *MaterializeArms) RunNestjoin() (*value.Set, error) {
+// NestjoinOp builds the set-probe nestjoin arm's physical plan.
+func (m *MaterializeArms) NestjoinOp() exec.Operator {
 	join := &exec.SetProbeJoin{
 		Kind: adl.NestJ,
 		L:    &exec.Scan{Table: "SUPPLIER"},
@@ -182,8 +183,12 @@ func (m *MaterializeArms) RunNestjoin() (*value.Set, error) {
 	// Reshape (eid, sname, parts, ys) to parts := ys.
 	body := adl.Exc(adl.SubT(adl.V("z"), "eid", "sname"),
 		"parts", adl.Dot(adl.V("z"), "ys"))
-	op := &exec.MapOp{Child: join, Var: "z", Body: exec.NewScalar(body, "z")}
-	return exec.Collect(op, &exec.Ctx{DB: m.Store})
+	return &exec.MapOp{Child: join, Var: "z", Body: exec.NewScalar(body, "z")}
+}
+
+// RunNestjoin executes the set-probe nestjoin plan.
+func (m *MaterializeArms) RunNestjoin() (*value.Set, error) {
+	return exec.Collect(m.NestjoinOp(), &exec.Ctx{DB: m.Store})
 }
 
 // RunPNHL executes the partitioned nested-hashed-loops algorithm with the
@@ -260,10 +265,14 @@ func (p *PointerJoinArms) RunHashJoin() (*value.Set, error) {
 	return exec.Collect(op, &exec.Ctx{DB: p.Store})
 }
 
+// AssemblyOp builds the pointer-based materialization arm's physical plan.
+func (p *PointerJoinArms) AssemblyOp() exec.Operator {
+	return &exec.Assembly{Child: &exec.Scan{Table: "DELIVERY"}, Attr: "supplier", As: "sup"}
+}
+
 // RunAssembly materializes via pointer dereferencing.
 func (p *PointerJoinArms) RunAssembly() (*value.Set, error) {
-	op := &exec.Assembly{Child: &exec.Scan{Table: "DELIVERY"}, Attr: "supplier", As: "sup"}
-	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+	return exec.Collect(p.AssemblyOp(), &exec.Ctx{DB: p.Store})
 }
 
 // NewForallExchange builds the B6 workload (Rewriting Example 3 shape) on a
@@ -461,6 +470,156 @@ func (a *StrategyArms) RunOptimizer(analyze bool) (*value.Set, string, error) {
 	return set, label, err
 }
 
+// StarJoinArms is the B10 workload: a four-extent star join —
+// ORD(ordid, cust, item, qty) against ITEM, CUST and a region-filtered
+// REGION — written in a deliberately poor order: the huge ORD ⋈ ITEM first,
+// the selective region filter last. With collected statistics the two-phase
+// optimizer decomposes the chain into a join graph and enumerates a cheaper
+// order (filter REGION, shrink CUST, then touch ORD and ITEM); the baseline
+// arm (plan.Config.NoReorder) prices the same physical operators but keeps
+// the written order. Both arms must return the identical result set.
+type StarJoinArms struct {
+	Name  string
+	Store *storage.Store
+	// Query is the nested join chain in written (rewriter) order.
+	Query adl.Expr
+	// Parallelism feeds the planner's parallel candidates; <= 0 means NumCPU.
+	Parallelism int
+
+	stats *storage.DBStats
+}
+
+// starCatalog is the B10 schema: REGION ← CUST ← ORD → ITEM.
+func starCatalog() *schema.Catalog {
+	c := schema.NewCatalog()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(c.Define(&schema.Class{
+		Name: "Region", Extent: "REGION", IDField: "rid",
+		Attrs: []schema.Attr{
+			{Name: "rname", Kind: schema.Plain, Type: types.StringType},
+		},
+	}))
+	must(c.Define(&schema.Class{
+		Name: "Cust", Extent: "CUST", IDField: "cid",
+		Attrs: []schema.Attr{
+			{Name: "cname", Kind: schema.Plain, Type: types.StringType},
+			{Name: "region", Kind: schema.Ref, RefClass: "Region"},
+		},
+	}))
+	must(c.Define(&schema.Class{
+		Name: "Item", Extent: "ITEM", IDField: "iid",
+		Attrs: []schema.Attr{
+			{Name: "iname", Kind: schema.Plain, Type: types.StringType},
+			{Name: "weight", Kind: schema.Plain, Type: types.IntType},
+		},
+	}))
+	must(c.Define(&schema.Class{
+		Name: "Ord", Extent: "ORD", IDField: "ordid",
+		Attrs: []schema.Attr{
+			{Name: "cust", Kind: schema.Ref, RefClass: "Cust"},
+			{Name: "item", Kind: schema.Ref, RefClass: "Item"},
+			{Name: "qty", Kind: schema.Plain, Type: types.IntType},
+		},
+	}))
+	return c
+}
+
+// NewStarJoin builds the B10 workload at the given extent sizes.
+func NewStarJoin(orders, items, custs, regions int, parallelism int, seed int64) *StarJoinArms {
+	rng := newRng(seed)
+	st := storage.New(starCatalog())
+	ins := func(extent string, t *value.Tuple) value.OID {
+		oid, err := st.Insert(extent, t)
+		if err != nil {
+			panic(err)
+		}
+		return oid
+	}
+	regionOIDs := make([]value.OID, regions)
+	for i := 0; i < regions; i++ {
+		regionOIDs[i] = ins("REGION", value.NewTuple(
+			"rname", value.String(fmt.Sprintf("region-%d", i))))
+	}
+	custOIDs := make([]value.OID, custs)
+	for i := 0; i < custs; i++ {
+		custOIDs[i] = ins("CUST", value.NewTuple(
+			"cname", value.String(fmt.Sprintf("cust-%d", i)),
+			"region", regionOIDs[rng.Intn(regions)]))
+	}
+	itemOIDs := make([]value.OID, items)
+	for i := 0; i < items; i++ {
+		itemOIDs[i] = ins("ITEM", value.NewTuple(
+			"iname", value.String(fmt.Sprintf("item-%d", i)),
+			"weight", value.Int(int64(rng.Intn(50)+1))))
+	}
+	for i := 0; i < orders; i++ {
+		ins("ORD", value.NewTuple(
+			"cust", custOIDs[rng.Intn(custs)],
+			"item", itemOIDs[rng.Intn(items)],
+			"qty", value.Int(int64(rng.Intn(20)+1))))
+	}
+
+	// ((ORD ⋈ ITEM) ⋈ CUST) ⋈ σ-REGION, worst-first: the biggest join is
+	// written innermost and the only selective predicate outermost.
+	j1 := adl.JoinE(adl.T("ORD"), "o", "i",
+		adl.EqE(adl.Dot(adl.V("o"), "item"), adl.Dot(adl.V("i"), "iid")),
+		adl.T("ITEM"))
+	j2 := adl.JoinE(j1, "oi", "c",
+		adl.EqE(adl.Dot(adl.V("oi"), "cust"), adl.Dot(adl.V("c"), "cid")),
+		adl.T("CUST"))
+	j3 := adl.JoinE(j2, "oic", "r",
+		adl.AndE(
+			adl.EqE(adl.Dot(adl.V("oic"), "region"), adl.Dot(adl.V("r"), "rid")),
+			adl.EqE(adl.Dot(adl.V("r"), "rname"), adl.CStr("region-0"))),
+		adl.T("REGION"))
+	name := fmt.Sprintf("star[%dx%dx%dx%d]", orders, items, custs, regions)
+	return &StarJoinArms{Name: name, Store: st, Query: j3, Parallelism: parallelism}
+}
+
+// Statistics runs the ANALYZE pass on first use.
+func (a *StarJoinArms) Statistics() *storage.DBStats {
+	if a.stats == nil {
+		a.stats = a.Store.Analyze()
+	}
+	return a.stats
+}
+
+// Warm materializes every extent so no timed arm pays the one-off
+// extent-cache build.
+func (a *StarJoinArms) Warm() error {
+	for _, ext := range []string{"ORD", "ITEM", "CUST", "REGION"} {
+		if _, err := a.Store.Table(ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan compiles the query cost-based; reorder false keeps the written order
+// (the baseline arm), true enumerates.
+func (a *StarJoinArms) Plan(reorder bool) *plan.Plan {
+	cfg := plan.Config{Statistics: a.Statistics(), Parallelism: a.Parallelism,
+		NoReorder: !reorder}
+	return cfg.Plan(a.Query)
+}
+
+// Run executes one arm.
+func (a *StarJoinArms) Run(reorder bool) (*value.Set, *plan.Plan, error) {
+	pl := a.Plan(reorder)
+	set, err := exec.Collect(pl.Root, &exec.Ctx{DB: a.Store})
+	return set, pl, err
+}
+
+// RunReference executes the query rule-based (no statistics, serial) as the
+// independent correctness baseline.
+func (a *StarJoinArms) RunReference() (*value.Set, error) {
+	return plan.Run(a.Query, a.Store)
+}
+
 // parallelJoinScalars builds the shared key and right-tuple scalars.
 func parallelJoinScalars() (lk, rk, rfun exec.Scalar) {
 	lk = exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")
@@ -469,13 +628,26 @@ func parallelJoinScalars() (lk, rk, rfun exec.Scalar) {
 	return
 }
 
-// RunSerial executes the grouping join with the serial HashJoin.
-func (p *ParallelJoinArms) RunSerial() (*value.Set, error) {
+// SerialOp builds the serial arm's physical plan.
+func (p *ParallelJoinArms) SerialOp() exec.Operator {
 	lk, rk, rfun := parallelJoinScalars()
-	op := &exec.HashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d",
+	return &exec.HashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d",
 		L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"},
 		LKey: lk, RKey: rk, As: "ds", RFun: &rfun}
-	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+}
+
+// RunSerial executes the grouping join with the serial HashJoin.
+func (p *ParallelJoinArms) RunSerial() (*value.Set, error) {
+	return exec.Collect(p.SerialOp(), &exec.Ctx{DB: p.Store})
+}
+
+// ParallelOp builds the partitioned parallel arm's physical plan.
+func (p *ParallelJoinArms) ParallelOp() exec.Operator {
+	lk, rk, rfun := parallelJoinScalars()
+	return &exec.PartitionedHashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d",
+		L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"},
+		LKey: lk, RKey: rk, As: "ds", RFun: &rfun,
+		Partitions: p.Parallelism}
 }
 
 // RunParallel executes the same join with the partitioned parallel variant,
@@ -484,10 +656,5 @@ func (p *ParallelJoinArms) RunParallel() (*value.Set, error) {
 	if p.Parallelism == 0 {
 		return p.RunSerial()
 	}
-	lk, rk, rfun := parallelJoinScalars()
-	op := &exec.PartitionedHashJoin{Kind: adl.NestJ, LVar: "s", RVar: "d",
-		L: &exec.Scan{Table: "SUPPLIER"}, R: &exec.Scan{Table: "DELIVERY"},
-		LKey: lk, RKey: rk, As: "ds", RFun: &rfun,
-		Partitions: p.Parallelism}
-	return exec.Collect(op, &exec.Ctx{DB: p.Store})
+	return exec.Collect(p.ParallelOp(), &exec.Ctx{DB: p.Store})
 }

@@ -29,6 +29,11 @@ type Statistics interface {
 	// AvgSetSize reports the mean cardinality of a set-valued attribute,
 	// 0 if unknown or not set-valued.
 	AvgSetSize(extent, attr string) float64
+	// Attributes lists an extent's collected top-level attribute names
+	// (nil if the extent is unknown). The join-order enumerator uses it to
+	// attribute predicates over concatenated join tuples to the base
+	// relation owning the accessed attribute.
+	Attributes(extent string) []string
 }
 
 // Estimate annotates a physical operator with the optimizer's prediction.
@@ -88,9 +93,30 @@ type nodeEst struct {
 // unknownEst is the estimate for shapes the model cannot see through.
 var unknownEst = nodeEst{}
 
-// estimate converts a nodeEst to the exported annotation.
+// estimate converts a nodeEst to the exported annotation. Row estimates
+// beyond int64 saturate instead of wrapping negative in the conversion.
 func (e nodeEst) estimate() Estimate {
-	return Estimate{Rows: int64(e.rows + 0.5), Cost: e.cost, Note: e.note}
+	rows := finite(e.rows)
+	out := int64(math.MaxInt64)
+	if rows < 9e18 { // safely below the float64 image of MaxInt64
+		out = int64(rows + 0.5)
+	}
+	return Estimate{Rows: out, Cost: finite(e.cost), Note: e.note}
+}
+
+// finite guards estimate arithmetic against NaN/Inf: empty extents drive row
+// counts (and hence divisors) to zero, and a poisoned estimate would corrupt
+// every cost comparison above it. NaN collapses to 0, infinities saturate.
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return 0
+	}
+	return v
 }
 
 // attrOf resolves a join-key expression to the attribute it reads off the
@@ -136,7 +162,7 @@ func (p *planner) keyNDV(e nodeEst, keys []adl.Expr, v string) float64 {
 	if !resolved {
 		ndv = e.rows / 10
 	}
-	return clamp(ndv, 1, math.Max(1, e.rows))
+	return clamp(finite(ndv), 1, math.Max(1, finite(e.rows)))
 }
 
 // clamp bounds v to [lo, hi].
@@ -147,8 +173,8 @@ func clamp(v, lo, hi float64) float64 {
 // joinOutRows estimates a join's output cardinality from the input sizes and
 // the key distinct counts, per kind.
 func joinOutRows(kind adl.JoinKind, l, r, ndvL, ndvR float64) float64 {
-	inner := l * r / math.Max(1, math.Max(ndvL, ndvR))
-	matchFrac := clamp(ndvR/math.Max(1, ndvL), 0, 1)
+	inner := finite(l * r / math.Max(1, math.Max(ndvL, ndvR)))
+	matchFrac := clamp(finite(ndvR/math.Max(1, ndvL)), 0, 1)
 	switch kind {
 	case adl.Inner:
 		return inner

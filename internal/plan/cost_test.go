@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -16,6 +17,27 @@ type fakeStatistics struct {
 	rows map[string]int
 	ndv  map[string]int // keyed "EXTENT.attr"
 	avg  map[string]float64
+}
+
+// Attributes derives the attribute list from the ndv/avg keys, mirroring how
+// storage.DBStats reports collected attributes.
+func (f fakeStatistics) Attributes(extent string) []string {
+	var attrs []string
+	seen := map[string]bool{}
+	add := func(key string) {
+		if rest, ok := strings.CutPrefix(key, extent+"."); ok && !seen[rest] {
+			seen[rest] = true
+			attrs = append(attrs, rest)
+		}
+	}
+	for k := range f.ndv {
+		add(k)
+	}
+	for k := range f.avg {
+		add(k)
+	}
+	sort.Strings(attrs)
+	return attrs
 }
 
 func (f fakeStatistics) RowCount(extent string) int {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/adl"
+	"repro/internal/eval"
 	"repro/internal/exec"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -51,7 +52,7 @@ func tableStatistics(x, y *value.Set) Statistics {
 	return fakeStatistics{rows: map[string]int{"X": x.Len(), "Y": y.Len()}}
 }
 
-func collect(t *testing.T, op exec.Operator, db *storage.MemDB) *value.Set {
+func collect(t *testing.T, op exec.Operator, db eval.DB) *value.Set {
 	t.Helper()
 	got, err := exec.Collect(op, &exec.Ctx{DB: db})
 	if err != nil {

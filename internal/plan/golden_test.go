@@ -47,16 +47,52 @@ func goldenCases() map[string]*Plan {
 		adl.CmpE(adl.Lt, adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
 		adl.T("DELIVERY"))
 
+	// reorderStats drive the two-phase optimizer cases: a 3-relation chain
+	// written huge-join-first (A ⋈ B explodes, C is selective), and a
+	// 4-relation chain whose cheapest shape is bushy — the A–B and C–D edges
+	// are selective, the B–C edge connecting the two pairs is weak, so
+	// (A ⋈ B) ⋈ (C ⋈ D) avoids every 100k-row left-deep intermediate.
+	reorderStats := fakeStatistics{
+		rows: map[string]int{"A": 2000, "B": 2000, "C": 20, "D": 1000},
+		ndv: map[string]int{
+			"A.a_id": 10, "A.a_v": 20,
+			"B.b_a": 10, "B.b_c": 2000, "B.b_v": 20,
+			"C.c_id": 20, "C.c_v": 20,
+			"D.d_id": 1000,
+		},
+	}
+	chain3 := reorderChain()
+
+	bushyStats := fakeStatistics{
+		rows: map[string]int{"A": 1000, "B": 1000, "C": 1000, "D": 1000},
+		ndv: map[string]int{
+			"A.a_id": 1000,
+			"B.b_a":  1000, "B.b_c": 10,
+			"C.c_id": 10, "C.c_d": 1000,
+			"D.d_id": 1000,
+		},
+	}
+	b1 := adl.JoinE(adl.T("A"), "x", "y",
+		adl.EqE(adl.Dot(adl.V("x"), "a_id"), adl.Dot(adl.V("y"), "b_a")), adl.T("B"))
+	b2 := adl.JoinE(b1, "xy", "z",
+		adl.EqE(adl.Dot(adl.V("xy"), "b_c"), adl.Dot(adl.V("z"), "c_id")), adl.T("C"))
+	chain4 := adl.JoinE(b2, "xyz", "w",
+		adl.EqE(adl.Dot(adl.V("xyz"), "c_d"), adl.Dot(adl.V("w"), "d_id")), adl.T("D"))
+
 	costed := Config{Statistics: goldenStats, Parallelism: 4}
 	bare := Config{}
 	return map[string]*Plan{
-		"nostats_semijoin":    bare.Plan(semiMembership),
-		"nostats_equijoin":    bare.Plan(innerSwap),
-		"stats_semijoin":      costed.Plan(semiMembership),
-		"stats_inner_swap":    costed.Plan(innerSwap),
-		"stats_group_par":     costed.Plan(groupBig),
-		"stats_theta_nl":      costed.Plan(theta),
-		"stats_filter_serial": costed.Plan(adl.Sel("p", adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART"))),
+		"stats_reorder_chain3":   Config{Statistics: reorderStats, Parallelism: 4}.Plan(chain3),
+		"stats_noreorder_chain3": Config{Statistics: reorderStats, Parallelism: 4, NoReorder: true}.Plan(chain3),
+		"stats_reorder_bushy4":   Config{Statistics: bushyStats, Parallelism: 4}.Plan(chain4),
+		"stats_reorder_greedy4":  Config{Statistics: bushyStats, Parallelism: 4, MaxDPRelations: 3}.Plan(chain4),
+		"nostats_semijoin":       bare.Plan(semiMembership),
+		"nostats_equijoin":       bare.Plan(innerSwap),
+		"stats_semijoin":         costed.Plan(semiMembership),
+		"stats_inner_swap":       costed.Plan(innerSwap),
+		"stats_group_par":        costed.Plan(groupBig),
+		"stats_theta_nl":         costed.Plan(theta),
+		"stats_filter_serial":    costed.Plan(adl.Sel("p", adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART"))),
 		"stats_map_parallel": costed.Plan(adl.MapE("d", adl.Dot(adl.V("d"), "date"),
 			adl.T("DELIVERY"))),
 		"stats_project_unnest": costed.Plan(adl.Proj(adl.Mu("parts", adl.T("SUPPLIER")), "pid")),

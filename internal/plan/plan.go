@@ -2,15 +2,20 @@
 // The planner realizes the paper's motivation: once the rewriter has
 // produced join operators, "the optimizer may choose from a number of
 // different join processing strategies" (§5.1). With collected statistics
-// (storage.Analyze → Config.Statistics) the choice is cost-based: every
-// applicable physical join operator is priced by the model in cost.go —
-// including build/probe side swapping for inner equi-joins — and the
-// cheapest wins. Without statistics the planner falls back to the original
-// rule-based selection: equi-predicates select hash joins,
-// membership-in-attribute predicates select the set-probe join (the
-// single-segment PNHL core), materialize becomes the pointer-based
-// assembly, everything else nested loops — with a size threshold toggling
-// the parallel partitioned variants when base-table cardinalities are known.
+// (storage.Analyze → Config.Statistics) the planner is a two-phase
+// optimizer: phase 1 decomposes chains of inner joins into a join-graph IR
+// (joingraph.go) and phase 2 enumerates join orders over it — DPsize over
+// connected subgraphs, bushy trees included, with a greedy left-deep
+// fallback past Config.MaxDPRelations (enumerate.go). Each chosen edge is
+// handed to cost-based physical selection: every applicable physical join
+// operator is priced by the model in cost.go — including build/probe side
+// swapping for inner equi-joins — and the cheapest wins. Without statistics
+// the planner falls back to the original rule-based single-pass selection:
+// equi-predicates select hash joins, membership-in-attribute predicates
+// select the set-probe join (the single-segment PNHL core), materialize
+// becomes the pointer-based assembly, everything else nested loops — with a
+// size threshold toggling the parallel partitioned variants when base-table
+// cardinalities are known.
 package plan
 
 import (
@@ -57,6 +62,15 @@ type Config struct {
 	// parallel plan under the threshold fallback; 0 means
 	// DefaultParallelThreshold.
 	ParallelThreshold int
+	// MaxDPRelations caps exhaustive DPsize join-order enumeration; graphs
+	// with more relations fall back to the greedy left-deep heuristic.
+	// 0 means DefaultMaxDPRelations.
+	MaxDPRelations int
+	// NoReorder disables phase-2 join-order enumeration: multi-join queries
+	// compile in the order the rewriter emitted them, with cost-based
+	// physical selection still applied per node. It exists for A/B
+	// comparisons (experiments.B10) and differential tests.
+	NoReorder bool
 }
 
 // threshold resolves the effective parallel threshold.
@@ -104,11 +118,13 @@ func Run(e adl.Expr, db eval.DB) (*value.Set, error) {
 	return exec.Collect(op, &exec.Ctx{DB: db})
 }
 
-// planner carries one compilation's state: the configuration and the
-// estimates accumulated for the annotated plan.
+// planner carries one compilation's state: the configuration, the estimates
+// accumulated for the annotated plan, and the sequence for intermediate join
+// variables minted during join-order recomposition.
 type planner struct {
-	cfg Config
-	est map[exec.Operator]Estimate
+	cfg        Config
+	est        map[exec.Operator]Estimate
+	joinVarSeq int
 }
 
 // statsMode reports whether cost-based selection is active.
@@ -236,6 +252,13 @@ func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
 		return op, ce
 
 	case *adl.Join:
+		// Multi-join chains go through the two-phase optimizer when
+		// statistics are available: decompose to a join graph, enumerate
+		// orders, rebuild the cheapest. Ineligible shapes (and planning
+		// without statistics) keep the rewriter's order.
+		if op, est, ok := p.tryReorder(n); ok {
+			return op, est
+		}
 		return p.compileJoin(n)
 	}
 	// Fallback: evaluate the fragment with the reference interpreter.
@@ -597,17 +620,7 @@ func keyScalar(keys []adl.Expr, v string) exec.Scalar {
 	return exec.NewScalar(t, v)
 }
 
-func conjuncts(e adl.Expr) []adl.Expr {
-	if a, ok := e.(*adl.And); ok {
-		return append(conjuncts(a.L), conjuncts(a.R)...)
-	}
-	if c, ok := e.(*adl.Const); ok {
-		if b, isB := c.Val.(value.Bool); isB && bool(b) {
-			return nil
-		}
-	}
-	return []adl.Expr{e}
-}
+func conjuncts(e adl.Expr) []adl.Expr { return adl.Conjuncts(e) }
 
 // Explain renders a physical plan tree without annotations.
 func Explain(op exec.Operator) string { return explainTree(op, nil) }

@@ -57,6 +57,26 @@ func (d *DBStats) AvgSetSize(extent, attr string) float64 {
 	return d.Tables[extent].AvgSetSize[attr]
 }
 
+// Attributes lists an extent's collected top-level attribute names (scalar
+// and set-valued), sorted, or nil if the extent was not analyzed. The
+// planner's join-order enumerator uses it to resolve which base relation a
+// predicate over concatenated join tuples refers to.
+func (d *DBStats) Attributes(extent string) []string {
+	t, ok := d.Tables[extent]
+	if !ok {
+		return nil
+	}
+	attrs := make([]string, 0, len(t.Distinct)+len(t.AvgSetSize))
+	for a := range t.Distinct {
+		attrs = append(attrs, a)
+	}
+	for a := range t.AvgSetSize {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
+}
+
 // Size makes DBStats double as the planner's legacy cardinality feed
 // (plan.Stats), so one collected object can drive both the threshold
 // fallback and the cost model.
