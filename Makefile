@@ -15,9 +15,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# One iteration of every benchmark — CI's "does it still run" check.
+# One iteration of every benchmark, plus the index-aware experiment with its
+# built-in correctness and plan-choice assertions — CI's "does it still run"
+# check, which keeps the index operator family exercised end to end.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) run ./cmd/adlbench -quick -exp B11 -indexes
 
 # Total-statement-coverage floor enforced by make cover. 80.3% was measured
 # when the gate was introduced; the floor sits just under it to absorb the

@@ -237,6 +237,40 @@ func BenchmarkB10(b *testing.B) {
 	})
 }
 
+// BenchmarkB11 — index-aware planning: the selective lookup join executed by
+// the forced hash join (full inner scan + build) versus the optimizer's
+// index-nested-loop plan probing the secondary index per outer row. The bar:
+// the index plan wins by never touching the bulk of DELIVERY.
+func BenchmarkB11(b *testing.B) {
+	arms := experiments.NewLookupJoin(2000, 50000, -1, true, 94)
+	if err := arms.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := &exec.Ctx{DB: arms.Store}
+	indexPl := arms.PlanOptimizer()
+	if _, ok := indexPl.Root.(*exec.IndexNLJoin); !ok {
+		b.Fatalf("optimizer should plan IndexNLJoin, got %T", indexPl.Root)
+	}
+	// Both plans agree before timing.
+	want, err := arms.RunForcedHash(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := exec.Collect(indexPl.Root, ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !value.Equal(got, want) {
+		b.Fatalf("index plan diverges from forced hash join")
+	}
+	b.Run("forced_hash", func(b *testing.B) {
+		run(b, func() error { _, err := arms.RunForcedHash(true); return err })
+	})
+	b.Run("index_nl", func(b *testing.B) {
+		run(b, func() error { _, err := exec.Collect(indexPl.Root, ctx); return err })
+	})
+}
+
 // BenchmarkParallelPlanner — the same optimized query compiled by the serial
 // planner and by the parallel configuration (stats-fed threshold), end to
 // end through plan.Config.Compile.

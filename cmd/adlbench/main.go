@@ -12,6 +12,9 @@
 //	adlbench -exp B9         # forced strategies vs the cost-based optimizer
 //	adlbench -analyze=false  # B9's optimizer without collected statistics
 //	adlbench -exp B10        # join-order enumeration vs rewriter order
+//	adlbench -exp B11        # index-nested-loop vs forced hash join
+//	adlbench -indexes        # create secondary indexes for B11 (default)
+//	adlbench -indexes=false  # B11 planned without indexes (A/B control)
 //	adlbench -explain        # print each experiment's annotated plan first
 package main
 
@@ -26,10 +29,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (B1..B10); empty = all")
+		exp      = flag.String("exp", "", "experiment to run (B1..B11); empty = all")
 		quick    = flag.Bool("quick", false, "smaller scales")
 		parallel = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
 		analyze  = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
+		indexes  = flag.Bool("indexes", true, "create secondary indexes for B11's workload; -indexes=false plans the same query without them (A/B control)")
 		explain  = flag.Bool("explain", false, "print each experiment's annotated Plan.Explain() before running it")
 	)
 	flag.Parse()
@@ -96,6 +100,10 @@ func main() {
 		{"B10", func() (*bench.Table, error) {
 			return experiments.B10(scale(20000, 2000), scale(2000, 200),
 				scale(400, 80), 8, *parallel, seed)
+		}},
+		{"B11", func() (*bench.Table, error) {
+			return experiments.B11(scale(2000, 200), scale(50000, 5000),
+				*parallel, *indexes, seed)
 		}},
 	}
 

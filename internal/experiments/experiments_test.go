@@ -159,6 +159,37 @@ func TestB10EnumeratedOrderWinsAndAgrees(t *testing.T) {
 	}
 }
 
+func TestB11IndexPlanWinsAndAgrees(t *testing.T) {
+	// B11 fails internally when any arm diverges, when the optimizer does
+	// not choose the index-nested-loop join, or when the index plan is not
+	// strictly cheaper in wall time and page reads — a nil error already is
+	// the claim.
+	tab, err := B11(400, 4000, 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"optimizer chose IndexNLJoin", "index probes", "pages vs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B11 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestB11WithoutIndexesIsInformational(t *testing.T) {
+	tab, err := B11(200, 1000, 2, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "-indexes=false control") {
+		t.Errorf("B11 title should flag the control mode:\n%s", out)
+	}
+	if strings.Contains(out, "IndexNLJoin") {
+		t.Errorf("B11 without indexes must not plan index operators:\n%s", out)
+	}
+}
+
 func TestStarJoinArmsAgree(t *testing.T) {
 	w := NewStarJoin(300, 40, 20, 4, 2, 7)
 	ref, err := w.RunReference()
@@ -178,7 +209,7 @@ func TestStarJoinArmsAgree(t *testing.T) {
 }
 
 func TestExplainPlansCoversEveryExperiment(t *testing.T) {
-	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10"} {
+	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11"} {
 		out, err := ExplainPlans(exp, 2, true, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", exp, err)

@@ -87,6 +87,13 @@ func ExplainPlans(exp string, parallelism int, analyze bool, seed int64) (string
 		b.WriteString(w.Plan(false).Explain())
 		section(w.Name + " enumerated order")
 		b.WriteString(w.Plan(true).Explain())
+	case "B11":
+		w := NewLookupJoin(200, 2000, parallelism, true, seed)
+		section(w.Name + " optimizer arm (indexes on)")
+		b.WriteString(w.PlanOptimizer().Explain())
+		w.Indexed = false
+		section(w.Name + " optimizer arm (-indexes=false control)")
+		b.WriteString(w.PlanOptimizer().Explain())
 	default:
 		return "", fmt.Errorf("explain: unknown experiment %q", exp)
 	}

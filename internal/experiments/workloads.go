@@ -620,6 +620,115 @@ func (a *StarJoinArms) RunReference() (*value.Set, error) {
 	return plan.Run(a.Query, a.Store)
 }
 
+// LookupJoinArms is the B11 workload: a selective lookup join —
+// σ(sname = "supplier-42")(SUPPLIER) ⋈ DELIVERY on eid = supplier — where
+// the filter keeps a single supplier, so probing DELIVERY's secondary index
+// per outer row beats scanning and hashing the whole delivery extent. With
+// Indexed set, an ordered index on SUPPLIER.sname and a hash index on
+// DELIVERY.supplier are created, ANALYZE records them, and the cost model
+// should choose an IndexScan leaf feeding an IndexNLJoin; the forced hash
+// arms expose what the scan-based strategies cost on the same query.
+type LookupJoinArms struct {
+	Name  string
+	Store *storage.Store
+	// Query is the logical selective lookup join.
+	Query adl.Expr
+	// Parallelism feeds the planner's parallel candidates; <= 0 means NumCPU.
+	Parallelism int
+	// Indexed records whether the secondary indexes were created.
+	Indexed bool
+
+	stats *storage.DBStats
+}
+
+// NewLookupJoin builds the B11 workload; indexes toggles index creation (the
+// -indexes=false A/B arm plans the same query without them).
+func NewLookupJoin(suppliers, deliveries, parallelism int, indexes bool, seed int64) *LookupJoinArms {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: 10, Fanout: 2,
+		Deliveries: deliveries, Seed: seed})
+	if indexes {
+		if err := st.CreateIndex("SUPPLIER", "sname", storage.OrderedIndex); err != nil {
+			panic(err)
+		}
+		if err := st.EnsureIndexes("DELIVERY", "supplier"); err != nil {
+			panic(err)
+		}
+	}
+	sel := adl.Sel("s",
+		adl.EqE(adl.Dot(adl.V("s"), "sname"), adl.CStr("supplier-42")),
+		adl.T("SUPPLIER"))
+	q := adl.JoinE(sel, "s", "d",
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+	name := fmt.Sprintf("lookup[%dx%d]", suppliers, deliveries)
+	return &LookupJoinArms{Name: name, Store: st, Query: q,
+		Parallelism: parallelism, Indexed: indexes}
+}
+
+// Statistics runs the ANALYZE pass on first use (recording the indexes).
+func (a *LookupJoinArms) Statistics() *storage.DBStats {
+	if a.stats == nil {
+		a.stats = a.Store.Analyze()
+	}
+	return a.stats
+}
+
+// Warm materializes both extents so no timed arm pays the one-off
+// extent-cache build.
+func (a *LookupJoinArms) Warm() error {
+	for _, ext := range []string{"SUPPLIER", "DELIVERY"} {
+		if _, err := a.Store.Table(ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookupJoinPieces builds the shared scalars of the forced arms.
+func (a *LookupJoinArms) lookupJoinPieces() (filter, lk, rk exec.Scalar) {
+	filter = exec.NewScalar(adl.EqE(adl.Dot(adl.V("s"), "sname"), adl.CStr("supplier-42")), "s")
+	lk = exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")
+	rk = exec.NewScalar(adl.Dot(adl.V("d"), "supplier"), "d")
+	return
+}
+
+// RunForcedHash executes the forced scan-based baseline: filter SUPPLIER by
+// a full scan, hash join with DELIVERY. swap false builds on DELIVERY (the
+// rewriter orientation), true builds on the filtered supplier side — the
+// best plan available without indexes.
+func (a *LookupJoinArms) RunForcedHash(swap bool) (*value.Set, error) {
+	filter, lk, rk := a.lookupJoinPieces()
+	l := exec.Operator(&exec.Filter{Child: &exec.Scan{Table: "SUPPLIER"}, Var: "s", Pred: filter})
+	r := exec.Operator(&exec.Scan{Table: "DELIVERY"})
+	var op exec.Operator
+	if swap {
+		op = &exec.HashJoin{Kind: adl.Inner, L: r, R: l, LVar: "d", RVar: "s",
+			LKey: rk, RKey: lk}
+	} else {
+		op = &exec.HashJoin{Kind: adl.Inner, L: l, R: r, LVar: "s", RVar: "d",
+			LKey: lk, RKey: rk}
+	}
+	return exec.Collect(op, &exec.Ctx{DB: a.Store})
+}
+
+// PlanOptimizer compiles the optimizer arm from collected statistics; with
+// Indexed unset (or noIndexes forced) the planner sees no index entries and
+// stays with the scan-based family.
+func (a *LookupJoinArms) PlanOptimizer() *plan.Plan {
+	cfg := plan.Config{Statistics: a.Statistics(), Parallelism: a.Parallelism,
+		NoIndexes: !a.Indexed}
+	return cfg.Plan(a.Query)
+}
+
+// RunOptimizer executes the optimizer arm, returning the result and a label
+// for the chosen root operator.
+func (a *LookupJoinArms) RunOptimizer() (*value.Set, string, error) {
+	pl := a.PlanOptimizer()
+	label := strings.TrimPrefix(fmt.Sprintf("%T", pl.Root), "*exec.")
+	set, err := exec.Collect(pl.Root, &exec.Ctx{DB: a.Store})
+	return set, label, err
+}
+
 // parallelJoinScalars builds the shared key and right-tuple scalars.
 func parallelJoinScalars() (lk, rk, rfun exec.Scalar) {
 	lk = exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")

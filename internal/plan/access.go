@@ -1,0 +1,230 @@
+// Index access-path selection: the planner-side half of the secondary-index
+// subsystem (storage/index.go holds the structures, exec/index.go the
+// operators). tryIndexSelect replaces a σ over a base extent with an
+// IndexScan leaf when an indexed conjunct is selective enough to beat the
+// sequential sweep, and indexNLCandidate admits the index-nested-loop join
+// into chooseEquiJoin's candidate set when the inner side of an equi-join is
+// a bare extent with an index on a join-key attribute — the access-path
+// choice Selinger-style optimizers price against the scan-based strategies.
+package plan
+
+import (
+	"math"
+
+	"repro/internal/adl"
+	"repro/internal/exec"
+)
+
+// indexAccess describes one usable indexed access of a σ predicate — a
+// single equality conjunct, or the range bounds merged from one or two
+// comparison conjuncts over the same ordered-indexed attribute.
+type indexAccess struct {
+	attr    string  // indexed attribute
+	matches float64 // estimated rows the probe returns
+	// eq is the equality key; nil selects the range form below.
+	eq             adl.Expr
+	lo, hi         adl.Expr
+	loIncl, hiIncl bool
+}
+
+// constExpr reports whether e is evaluable at Open time: no free variables,
+// so neither the iteration variable nor any correlated outer binding.
+func constExpr(e adl.Expr) bool { return len(adl.FreeVars(e)) == 0 }
+
+// indexableConjunct classifies one σ conjunct as an index access over the
+// extent, or reports false. Equality needs any index kind on the attribute;
+// the ordered comparisons need an ordered index.
+func (p *planner) indexableConjunct(c adl.Expr, v, extent string, rows float64) (indexAccess, bool) {
+	cmp, ok := c.(*adl.Cmp)
+	if !ok {
+		return indexAccess{}, false
+	}
+	// Orient the comparison as field-op-constant.
+	attr, other, op := attrOf(cmp.L, v), cmp.R, cmp.Op
+	if attr == "" {
+		attr, other = attrOf(cmp.R, v), cmp.L
+		// Mirror the operator: const < x.a means x.a > const.
+		switch cmp.Op {
+		case adl.Lt:
+			op = adl.Gt
+		case adl.Le:
+			op = adl.Ge
+		case adl.Gt:
+			op = adl.Lt
+		case adl.Ge:
+			op = adl.Le
+		}
+	}
+	if attr == "" || !constExpr(other) {
+		return indexAccess{}, false
+	}
+	kind := p.cfg.Statistics.IndexKind(extent, attr)
+	if kind == "" {
+		return indexAccess{}, false
+	}
+	switch op {
+	case adl.Eq:
+		matches := rows * defaultSelectivity
+		if d := p.cfg.Statistics.DistinctValues(extent, attr); d > 0 {
+			matches = rows / float64(d)
+		}
+		return indexAccess{attr: attr, matches: matches, eq: other}, true
+	case adl.Lt, adl.Le, adl.Gt, adl.Ge:
+		if kind != "ordered" {
+			return indexAccess{}, false
+		}
+		a := indexAccess{attr: attr, matches: rows * defaultSelectivity}
+		switch op {
+		case adl.Lt:
+			a.hi = other
+		case adl.Le:
+			a.hi, a.hiIncl = other, true
+		case adl.Gt:
+			a.lo = other
+		case adl.Ge:
+			a.lo, a.loIncl = other, true
+		}
+		return a, true
+	}
+	return indexAccess{}, false
+}
+
+// tryIndexSelect plans a σ directly over a base extent through a secondary
+// index when that prices below the full scan + filter. The most selective
+// indexable conjunct becomes the IndexScan; the remaining conjuncts stay as
+// a residual Filter on top.
+func (p *planner) tryIndexSelect(n *adl.Select) (exec.Operator, nodeEst, bool) {
+	if !p.statsMode() || p.cfg.NoIndexes {
+		return nil, unknownEst, false
+	}
+	tbl, ok := n.Src.(*adl.Table)
+	if !ok {
+		return nil, unknownEst, false
+	}
+	rows := p.cfg.Statistics.RowCount(tbl.Name)
+	if rows < 0 {
+		return nil, unknownEst, false
+	}
+	cs := conjuncts(n.Pred)
+	best, bestIdx := indexAccess{}, -1
+	for i, c := range cs {
+		a, ok := p.indexableConjunct(c, n.Var, tbl.Name, float64(rows))
+		if !ok {
+			continue
+		}
+		if bestIdx < 0 || a.matches < best.matches {
+			best, bestIdx = a, i
+		}
+	}
+	if bestIdx < 0 {
+		return nil, unknownEst, false
+	}
+	used := map[int]bool{bestIdx: true}
+	if best.eq == nil {
+		// A one-sided range can absorb the complementary bound from another
+		// comparison conjunct over the same attribute, so lo ≤ x.a < hi
+		// probes the ordered index once instead of fetching a half-open
+		// range and filtering the rest away.
+		for i, c := range cs {
+			if used[i] {
+				continue
+			}
+			a, ok := p.indexableConjunct(c, n.Var, tbl.Name, float64(rows))
+			if !ok || a.eq != nil || a.attr != best.attr {
+				continue
+			}
+			switch {
+			case best.lo == nil && a.lo != nil:
+				best.lo, best.loIncl = a.lo, a.loIncl
+				used[i] = true
+			case best.hi == nil && a.hi != nil:
+				best.hi, best.hiIncl = a.hi, a.hiIncl
+				used[i] = true
+			}
+		}
+	}
+	var residual []adl.Expr
+	for i, c := range cs {
+		if !used[i] {
+			residual = append(residual, c)
+		}
+	}
+
+	// Price the index path against the scan + filter the normal path builds.
+	idxCost := costIndexScan(best.matches)
+	if len(residual) > 0 {
+		idxCost += best.matches * cEval
+	}
+	scanCost := float64(rows)*cRow +
+		math.Min(float64(rows)*cEval, costParallelPool(float64(rows), exec.Parallelism(p.cfg.Parallelism)))
+	if idxCost >= scanCost {
+		return nil, unknownEst, false
+	}
+
+	scan := &exec.IndexScan{Table: tbl.Name, Attr: best.attr}
+	note := "index scan on " + tbl.Name + "." + best.attr
+	if best.eq != nil {
+		s := exec.NewScalar(best.eq)
+		scan.Eq = &s
+	} else {
+		if best.lo != nil {
+			s := exec.NewScalar(best.lo)
+			scan.Lo, scan.LoIncl = &s, best.loIncl
+		}
+		if best.hi != nil {
+			s := exec.NewScalar(best.hi)
+			scan.Hi, scan.HiIncl = &s, best.hiIncl
+		}
+		note += " (range)"
+	}
+	scanEst := nodeEst{rows: best.matches, known: true, extent: tbl.Name,
+		cost: costIndexScan(best.matches), note: note}
+	p.record(scan, scanEst)
+	if len(residual) == 0 {
+		return scan, scanEst, true
+	}
+	outRows := best.matches
+	for _, c := range residual {
+		outRows *= p.selectivity(c, n.Var, scanEst)
+	}
+	op := &exec.Filter{Child: scan, Var: n.Var,
+		Pred: exec.NewScalar(adl.AndE(residual...), n.Var)}
+	est := nodeEst{rows: outRows, known: true, extent: tbl.Name,
+		cost: scanEst.cost + best.matches*cEval + outRows*cRow}
+	p.record(op, est)
+	return op, est, true
+}
+
+// indexNLCandidate checks whether the inner side of an equi-key join admits
+// an index-nested-loop probe: the compiled inner operator must be the bare
+// extent scan (an index covers every object of the extent, so any filtered
+// or reshaped inner would let probes resurrect rows the plan already
+// removed), and one inner key must be a plain indexed attribute. It returns
+// the indexed attribute, the outer-side key expression paired with it, and
+// the remaining conjuncts (other key equations plus the residual) that must
+// run as the probe's residual predicate.
+func (p *planner) indexNLCandidate(inner exec.Operator, innerExt, innerVar string,
+	innerKeys, outerKeys []adl.Expr, residual []adl.Expr) (string, adl.Expr, []adl.Expr, bool) {
+	if p.cfg.NoIndexes || innerExt == "" {
+		return "", nil, nil, false
+	}
+	scan, ok := inner.(*exec.Scan)
+	if !ok || scan.Table != innerExt {
+		return "", nil, nil, false
+	}
+	for i := range innerKeys {
+		attr := attrOf(innerKeys[i], innerVar)
+		if attr == "" || p.cfg.Statistics.IndexKind(innerExt, attr) == "" {
+			continue
+		}
+		var resid []adl.Expr
+		for j := range innerKeys {
+			if j != i {
+				resid = append(resid, adl.EqE(outerKeys[j], innerKeys[j]))
+			}
+		}
+		resid = append(resid, residual...)
+		return attr, outerKeys[i], resid, true
+	}
+	return "", nil, nil, false
+}

@@ -34,6 +34,11 @@ type Statistics interface {
 	// attribute predicates over concatenated join tuples to the base
 	// relation owning the accessed attribute.
 	Attributes(extent string) []string
+	// IndexKind reports the secondary index on extent.attr: "hash"
+	// (equality probes), "ordered" (equality and range probes), or "" when
+	// the attribute is not indexed. It gates the index access paths —
+	// IndexScan leaves and the index-nested-loop join.
+	IndexKind(extent, attr string) string
 }
 
 // Estimate annotates a physical operator with the optimizer's prediction.
@@ -57,6 +62,13 @@ const (
 	cHashBuild = 3.5 // insert one row into a hash table
 	cHashProbe = 2.0 // probe one key against a hash table
 	cCmp       = 3.0 // one comparison while sorting or merging
+
+	// cIndexProbe is one key probe against a secondary index (hash bucket
+	// walk or ordered binary search); cIndexFetch is fetching one matching
+	// object through the store's metered lookup path — random-access I/O,
+	// priced above a scan's sequential row hand-off.
+	cIndexProbe = 2.5
+	cIndexFetch = 1.5
 
 	// cParallelStartup is the fixed price of spinning up a partitioned
 	// parallel pipeline (goroutines, channels, partition bookkeeping). It is
@@ -190,21 +202,24 @@ func joinOutRows(kind adl.JoinKind, l, r, ndvL, ndvR float64) float64 {
 	return inner
 }
 
-// selectivity estimates what fraction of rows a σ predicate keeps. Equality
-// against a collected attribute uses 1/NDV; conjunctions multiply; anything
-// else is the default guess.
-func (p *planner) selectivity(pred adl.Expr, src nodeEst) float64 {
+// selectivity estimates what fraction of rows a σ predicate keeps, where v
+// is the σ's iteration variable. An equality over a collected attribute of
+// the iteration variable uses 1/NDV; conjunctions multiply; anything else is
+// the default guess. The rule is bound to the iteration variable through
+// attrOf: a field read off any other variable (x.a = y.b with y free) must
+// not look up the source extent's statistics for the foreign attribute —
+// when attribute names collide across extents that silently used the wrong
+// extent's NDV.
+func (p *planner) selectivity(pred adl.Expr, v string, src nodeEst) float64 {
 	switch n := pred.(type) {
 	case *adl.And:
-		return clamp(p.selectivity(n.L, src)*p.selectivity(n.R, src)*3, 0, 1)
+		return clamp(p.selectivity(n.L, v, src)*p.selectivity(n.R, v, src)*3, 0, 1)
 	case *adl.Cmp:
 		if n.Op == adl.Eq && p.cfg.Statistics != nil && src.extent != "" {
 			for _, side := range []adl.Expr{n.L, n.R} {
-				if f, ok := side.(*adl.Field); ok {
-					if vr, ok := f.X.(*adl.Var); ok {
-						if d := p.cfg.Statistics.DistinctValues(src.extent, f.Name); d > 0 && vr.Name != "" {
-							return clamp(1/float64(d), 0, 1)
-						}
+				if attr := attrOf(side, v); attr != "" {
+					if d := p.cfg.Statistics.DistinctValues(src.extent, attr); d > 0 {
+						return clamp(1/float64(d), 0, 1)
 					}
 				}
 			}
@@ -266,6 +281,24 @@ func costPartitionedHash(build, probe, out, residMatches float64, p int) float64
 func costPNHL(l, avgSet, r, out float64, segments int) float64 {
 	s := math.Max(1, float64(segments))
 	return r*(cEval+cHashBuild) + s*l*avgSet*cHashProbe + out*cRow
+}
+
+// costIndexScan prices an index leaf: one probe plus fetching and emitting
+// the matching objects. Against the full scan + filter's rows*cEval it wins
+// exactly when the predicate is selective — a low-NDV equality or a wide
+// range loses to the sequential sweep.
+func costIndexScan(matches float64) float64 {
+	return cIndexProbe + matches*(cIndexFetch+cRow)
+}
+
+// costIndexNL prices the index-nested-loop join: each of the outer rows
+// evaluates its key and probes the inner extent's index, the matches are
+// fetched, residual conjuncts are evaluated on them, and the output rows
+// emitted. No term scales with the inner extent's cardinality — that is the
+// whole point, and why it beats the hash join's full inner scan when the
+// outer side is small.
+func costIndexNL(outer, matches, residMatches, out float64) float64 {
+	return outer*(cEval+cIndexProbe) + matches*cIndexFetch + residMatches*cEval + out*cRow
 }
 
 // costParallelPool prices a ParallelMap/Filter over n rows against its

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/eval"
 	"repro/internal/exec"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -17,6 +18,7 @@ type fakeStatistics struct {
 	rows map[string]int
 	ndv  map[string]int // keyed "EXTENT.attr"
 	avg  map[string]float64
+	idx  map[string]string // keyed "EXTENT.attr" → "hash"/"ordered"
 }
 
 // Attributes derives the attribute list from the ndv/avg keys, mirroring how
@@ -51,6 +53,9 @@ func (f fakeStatistics) DistinctValues(extent, attr string) int {
 }
 func (f fakeStatistics) AvgSetSize(extent, attr string) float64 {
 	return f.avg[extent+"."+attr]
+}
+func (f fakeStatistics) IndexKind(extent, attr string) string {
+	return f.idx[extent+"."+attr]
 }
 
 func equiJoin(kind adl.JoinKind) *adl.Join {
@@ -280,5 +285,66 @@ func TestCostBasedParallelFilter(t *testing.T) {
 	small := Config{Statistics: fakeStatistics{rows: map[string]int{"X": 100}}, Parallelism: 8}
 	if _, ok := small.Compile(adl.Sel("x", pred, adl.T("X"))).(*exec.Filter); !ok {
 		t.Errorf("small σ should stay serial")
+	}
+}
+
+// TestSelectivityBoundToIterationVariable: the 1/NDV equality rule must only
+// fire for attributes read off the σ's own iteration variable. The old code
+// matched a field off *any* variable, so a correlated predicate x.a = y.b
+// (y free) looked up DistinctValues(X, "b") — the wrong extent's statistics
+// whenever an attribute name collides across extents.
+func TestSelectivityBoundToIterationVariable(t *testing.T) {
+	stats := fakeStatistics{
+		rows: map[string]int{"X": 30000},
+		// X has an attribute named "b" (NDV 100) — the name collision that
+		// used to poison the estimate. X.a is uncollected.
+		ndv: map[string]int{"X.b": 100},
+	}
+	cfg := Config{Statistics: stats}
+
+	// Correlated equality over a foreign variable: the default guess, not
+	// 1/NDV of the colliding local attribute (which estimated 300 rows).
+	corr := adl.Sel("x",
+		adl.EqE(adl.Dot(adl.V("x"), "a"), adl.Dot(adl.V("y"), "b")), adl.T("X"))
+	pl := cfg.Plan(corr)
+	est, ok := pl.Estimate(pl.Root)
+	if !ok {
+		t.Fatal("σ over collected extent must be annotated")
+	}
+	if want := int64(10000); est.Rows != want { // 30000 * 1/3
+		t.Errorf("correlated σ estimate = %d rows, want %d (default guess)", est.Rows, want)
+	}
+
+	// The rule still fires for the iteration variable's own attribute.
+	local := adl.Sel("x", adl.EqE(adl.Dot(adl.V("x"), "b"), adl.CInt(4)), adl.T("X"))
+	pl = cfg.Plan(local)
+	if est, _ := pl.Estimate(pl.Root); est.Rows != 300 { // 30000 / 100
+		t.Errorf("local σ estimate = %d rows, want 300 (1/NDV)", est.Rows)
+	}
+	// Subscript form binds the same way.
+	sub := adl.Sel("x", adl.EqE(adl.SubT(adl.V("x"), "b"), adl.CInt(4)), adl.T("X"))
+	pl = cfg.Plan(sub)
+	if est, _ := pl.Estimate(pl.Root); est.Rows != 300 {
+		t.Errorf("subscript σ estimate = %d rows, want 300 (1/NDV)", est.Rows)
+	}
+}
+
+// TestUnknownExtentSizeIsNotEmpty: DBStats.Size reports -1 for extents that
+// were never analyzed, sending the threshold fallback down its no-stats
+// (serial) path. The old 0 made an unknown extent look empty, and a join
+// pairing one huge analyzed extent with an unknown one crossed the parallel
+// threshold on fabricated numbers.
+func TestUnknownExtentSizeIsNotEmpty(t *testing.T) {
+	stats := &storage.DBStats{Tables: map[string]storage.TableStats{
+		"X": {Rows: 100000},
+	}}
+	if got := stats.Size("Y"); got != -1 {
+		t.Fatalf("Size of unanalyzed extent = %d, want -1", got)
+	}
+	// X analyzed huge, Y never analyzed: the threshold fallback must stay
+	// serial instead of planning the parallel variant from a made-up zero.
+	pl := Config{Stats: stats, Parallelism: 4}.Plan(equiJoin(adl.Inner))
+	if _, ok := pl.Root.(*exec.HashJoin); !ok {
+		t.Fatalf("join with an unknown extent should stay a serial HashJoin, got %T", pl.Root)
 	}
 }

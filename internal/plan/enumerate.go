@@ -172,6 +172,62 @@ func (p *planner) joinOwnCost(g *joinGraph, s1, s2 uint64) float64 {
 	if nResid == 0 {
 		own = math.Min(own, costSortMerge(l, r, out))
 	}
+	if !p.cfg.NoIndexes {
+		// Index-nested-loop candidates, so the order search sees the same
+		// access paths physical selection will admit: when one side of the
+		// split is a single bare-scanned relation with an index on its key
+		// attribute, the other side can probe it per row. Pricing must agree
+		// with chooseEquiJoin or the DP would pick orders whose edges then
+		// compile to something else entirely.
+		idxProbe := func(rel int, key adl.Expr, outerRows, sel float64) (float64, bool) {
+			gr := &g.rels[rel]
+			scan, isScan := gr.op.(*exec.Scan)
+			if !isScan {
+				return 0, false
+			}
+			attr := attrOf(key, gr.leafVar)
+			if attr == "" || p.cfg.Statistics.IndexKind(scan.Table, attr) == "" {
+				return 0, false
+			}
+			matches := finite(outerRows * gr.est.rows * sel)
+			probeResid := 0.0
+			if len(span) > 1 {
+				probeResid = matches
+			}
+			// The DP adds both subtrees' costs to whatever this returns, but
+			// an index probe never executes the inner leaf's scan — subtract
+			// it so the DP's total matches what chooseEquiJoin will record.
+			return costIndexNL(outerRows, matches, probeResid, out) - gr.est.cost, true
+		}
+		for _, ci := range span {
+			c := &g.conjs[ci]
+			if !c.eq {
+				continue
+			}
+			// Either endpoint may be the probed inner: it must sit alone on
+			// its side of the split, with the conjunct's other endpoint on
+			// the outer side (so the probe key is computable there).
+			for _, o := range [...]struct {
+				inner, outer int
+				key          adl.Expr
+			}{
+				{c.lrel, c.rrel, c.lkey},
+				{c.rrel, c.lrel, c.rkey},
+			} {
+				ib, ob := uint64(1)<<o.inner, uint64(1)<<o.outer
+				if s1 == ib && s2&ob != 0 {
+					if v, ok := idxProbe(o.inner, o.key, r, c.sel); ok {
+						own = math.Min(own, v)
+					}
+				}
+				if s2 == ib && s1&ob != 0 {
+					if v, ok := idxProbe(o.inner, o.key, l, c.sel); ok {
+						own = math.Min(own, v)
+					}
+				}
+			}
+		}
+	}
 	return own
 }
 

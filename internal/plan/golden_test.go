@@ -79,9 +79,30 @@ func goldenCases() map[string]*Plan {
 	chain4 := adl.JoinE(b2, "xyz", "w",
 		adl.EqE(adl.Dot(adl.V("xyz"), "c_d"), adl.Dot(adl.V("w"), "d_id")), adl.T("D"))
 
+	// indexStats mirror goldenStats plus secondary indexes, kept separate so
+	// the index access paths show up only in the index golden cases.
+	indexStats := fakeStatistics{
+		rows: map[string]int{"SUPPLIER": 2000, "DELIVERY": 50000},
+		ndv: map[string]int{"SUPPLIER.sname": 2000, "SUPPLIER.eid": 2000,
+			"DELIVERY.supplier": 2000},
+		idx: map[string]string{"SUPPLIER.sname": "ordered", "DELIVERY.supplier": "hash"},
+	}
+	lookupJoin := adl.JoinE(
+		adl.Sel("s", adl.EqE(adl.Dot(adl.V("s"), "sname"), adl.CStr("supplier-42")),
+			adl.T("SUPPLIER")),
+		"s", "d",
+		adl.EqE(adl.Dot(adl.V("s"), "eid"), adl.Dot(adl.V("d"), "supplier")),
+		adl.T("DELIVERY"))
+	rangeSel := adl.Sel("s", adl.AndE(
+		adl.CmpE(adl.Ge, adl.Dot(adl.V("s"), "sname"), adl.CStr("supplier-5")),
+		adl.CmpE(adl.Lt, adl.Dot(adl.V("s"), "sname"), adl.CStr("supplier-6"))),
+		adl.T("SUPPLIER"))
+
 	costed := Config{Statistics: goldenStats, Parallelism: 4}
 	bare := Config{}
 	return map[string]*Plan{
+		"stats_index_lookup":     Config{Statistics: indexStats}.Plan(lookupJoin),
+		"stats_index_range":      Config{Statistics: indexStats}.Plan(rangeSel),
 		"stats_reorder_chain3":   Config{Statistics: reorderStats, Parallelism: 4}.Plan(chain3),
 		"stats_noreorder_chain3": Config{Statistics: reorderStats, Parallelism: 4, NoReorder: true}.Plan(chain3),
 		"stats_reorder_bushy4":   Config{Statistics: bushyStats, Parallelism: 4}.Plan(chain4),

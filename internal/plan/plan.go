@@ -71,6 +71,11 @@ type Config struct {
 	// physical selection still applied per node. It exists for A/B
 	// comparisons (experiments.B10) and differential tests.
 	NoReorder bool
+	// NoIndexes disables index-aware planning — IndexScan leaves and the
+	// index-nested-loop join — even when the statistics report secondary
+	// indexes. It exists for A/B comparisons (experiments.B11) and
+	// differential tests.
+	NoIndexes bool
 }
 
 // threshold resolves the effective parallel threshold.
@@ -155,10 +160,13 @@ func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
 		return op, unknownEst
 
 	case *adl.Select:
+		if op, est, ok := p.tryIndexSelect(n); ok {
+			return op, est
+		}
 		child, ce := p.compile(n.Src)
 		pred := exec.NewScalar(n.Pred, n.Var)
 		if p.statsMode() && ce.known {
-			return p.chooseScalarOp(ce, ce.rows*p.selectivity(n.Pred, ce), ce.extent,
+			return p.chooseScalarOp(ce, ce.rows*p.selectivity(n.Pred, n.Var, ce), ce.extent,
 				func() exec.Operator {
 					return &exec.Filter{Child: child, Var: n.Var, Pred: pred}
 				},
@@ -523,11 +531,16 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 		resSwapped = &s
 	}
 
+	// child is the children's cumulative cost a candidate actually pays:
+	// scan-based strategies drain both compiled operands, the index probes
+	// drop the inner scan entirely — only the outer side's cost is real.
 	type candidate struct {
 		build func() exec.Operator
 		own   float64
+		child float64
 		note  string
 	}
+	bothChildren := le.cost + re.cost
 	cands := []candidate{
 		{
 			build: func() exec.Operator {
@@ -536,7 +549,7 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 					LKey: keyScalar(lkeys, j.LVar), RKey: keyScalar(rkeys, j.RVar),
 					Residual: res, As: j.As, RFun: rfun}
 			},
-			own: costHash(re.rows, le.rows, out, residMatches),
+			own: costHash(re.rows, le.rows, out, residMatches), child: bothChildren,
 		},
 		{
 			build: func() exec.Operator {
@@ -546,7 +559,7 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 					Residual: res, As: j.As, RFun: rfun,
 					Partitions: p.cfg.Parallelism}
 			},
-			own: costPartitionedHash(re.rows, le.rows, out, residMatches, par),
+			own: costPartitionedHash(re.rows, le.rows, out, residMatches, par), child: bothChildren,
 		},
 		{
 			build: func() exec.Operator {
@@ -555,7 +568,7 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 					Pred: exec.NewScalar(j.On, j.LVar, j.RVar),
 					As:   j.As, RFun: rfun}
 			},
-			own: costNL(le.rows, re.rows, out),
+			own: costNL(le.rows, re.rows, out), child: bothChildren,
 		},
 	}
 	if swappable {
@@ -567,8 +580,9 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 						LKey: keyScalar(rkeys, j.RVar), RKey: keyScalar(lkeys, j.LVar),
 						Residual: resSwapped, As: j.As}
 				},
-				own:  costHash(le.rows, re.rows, out, residMatches),
-				note: "build side swapped",
+				own:   costHash(le.rows, re.rows, out, residMatches),
+				child: bothChildren,
+				note:  "build side swapped",
 			},
 			candidate{
 				build: func() exec.Operator {
@@ -578,8 +592,9 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 						Residual: resSwapped, As: j.As,
 						Partitions: p.cfg.Parallelism}
 				},
-				own:  costPartitionedHash(le.rows, re.rows, out, residMatches, par),
-				note: "build side swapped",
+				own:   costPartitionedHash(le.rows, re.rows, out, residMatches, par),
+				child: bothChildren,
+				note:  "build side swapped",
 			})
 	}
 	if (j.Kind == adl.Inner || j.Kind == adl.NestJ) && len(residual) == 0 {
@@ -590,19 +605,73 @@ func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst
 					LKey: keyScalar(lkeys, j.LVar), RKey: keyScalar(rkeys, j.RVar),
 					As: j.As, RFun: rfun}
 			},
-			own: costSortMerge(le.rows, re.rows, out),
+			own: costSortMerge(le.rows, re.rows, out), child: bothChildren,
 		})
+	}
+
+	// Index-nested-loop candidates: probe the inner extent's secondary index
+	// per outer row instead of scanning and hashing the whole inner side.
+	// The outer join needs the inner schema for null padding, which a probe
+	// cannot supply, so it stays with the scan-based family.
+	idxMatches := func(extent, attr string) float64 {
+		ndv := float64(p.cfg.Statistics.DistinctValues(extent, attr))
+		return finite(le.rows * re.rows / clamp(ndv, 1, 1e18))
+	}
+	if j.Kind != adl.Outer {
+		if attr, lkey, residExprs, ok := p.indexNLCandidate(r, re.extent, j.RVar, rkeys, lkeys, residual); ok {
+			m := idxMatches(re.extent, attr)
+			residM := 0.0
+			var res2 *exec.Scalar
+			if len(residExprs) > 0 {
+				s := exec.NewScalar(adl.AndE(residExprs...), j.LVar, j.RVar)
+				res2, residM = &s, m
+			}
+			cands = append(cands, candidate{
+				build: func() exec.Operator {
+					return &exec.IndexNLJoin{Kind: j.Kind, L: l,
+						Table: re.extent, Attr: attr,
+						LVar: j.LVar, RVar: j.RVar,
+						LKey: exec.NewScalar(lkey, j.LVar), Residual: res2,
+						As: j.As, RFun: rfun}
+				},
+				own:   costIndexNL(le.rows, m, residM, out),
+				child: le.cost,
+				note:  "index probe into " + re.extent + "." + attr,
+			})
+		}
+	}
+	if swappable {
+		if attr, rkey, residExprs, ok := p.indexNLCandidate(l, le.extent, j.LVar, lkeys, rkeys, residual); ok {
+			m := idxMatches(le.extent, attr)
+			residM := 0.0
+			var res2 *exec.Scalar
+			if len(residExprs) > 0 {
+				s := exec.NewScalar(adl.AndE(residExprs...), j.RVar, j.LVar)
+				res2, residM = &s, m
+			}
+			cands = append(cands, candidate{
+				build: func() exec.Operator {
+					return &exec.IndexNLJoin{Kind: j.Kind, L: r,
+						Table: le.extent, Attr: attr,
+						LVar: j.RVar, RVar: j.LVar,
+						LKey: exec.NewScalar(rkey, j.RVar), Residual: res2}
+				},
+				own:   costIndexNL(re.rows, m, residM, out),
+				child: re.cost,
+				note:  "index probe into " + le.extent + "." + attr + ", outer side swapped",
+			})
+		}
 	}
 
 	best := 0
 	for i := 1; i < len(cands); i++ {
-		if cands[i].own < cands[best].own {
+		if cands[i].child+cands[i].own < cands[best].child+cands[best].own {
 			best = i
 		}
 	}
 	op := cands[best].build()
 	est := nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
-		cost: le.cost + re.cost + cands[best].own, note: cands[best].note}
+		cost: cands[best].child + cands[best].own, note: cands[best].note}
 	p.record(op, est)
 	return op, est
 }
@@ -651,6 +720,30 @@ func describe(op exec.Operator) (string, []exec.Operator) {
 	switch o := op.(type) {
 	case *exec.Scan:
 		return fmt.Sprintf("Scan(%s)", o.Table), nil
+	case *exec.IndexScan:
+		if o.Eq != nil {
+			return fmt.Sprintf("IndexScan(%s.%s = %s)  -- index access path",
+				o.Table, o.Attr, o.Eq.Expr), nil
+		}
+		lo, hi := "-∞", "+∞"
+		lob, hib := "(", ")"
+		if o.Lo != nil {
+			lo = fmt.Sprint(o.Lo.Expr)
+			if o.LoIncl {
+				lob = "["
+			}
+		}
+		if o.Hi != nil {
+			hi = fmt.Sprint(o.Hi.Expr)
+			if o.HiIncl {
+				hib = "]"
+			}
+		}
+		return fmt.Sprintf("IndexScan(%s.%s in %s%s, %s%s)  -- ordered index range",
+			o.Table, o.Attr, lob, lo, hi, hib), nil
+	case *exec.IndexNLJoin:
+		return fmt.Sprintf("IndexNLJoin[%v on %s -> %s.%s]  -- index nested loop",
+			o.Kind, o.LKey.Expr, o.Table, o.Attr), []exec.Operator{o.L}
 	case *exec.SetScan:
 		return fmt.Sprintf("SetScan(%d elems)", o.Set.Len()), nil
 	case *exec.ExprScan:

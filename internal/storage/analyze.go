@@ -27,6 +27,14 @@ type TableStats struct {
 	// AvgSetSize maps each set-valued attribute to the mean cardinality of
 	// its sets across the extent.
 	AvgSetSize map[string]float64
+	// Mixed lists attributes that are set-valued in only some rows (or
+	// scalar in some, set in others): their statistics are unknown — a
+	// distinct count over just the scalar rows would be an undercount
+	// presented as exact, and an average over just the set rows likewise.
+	Mixed []string
+	// Indexes maps each indexed attribute to its index kind ("hash" or
+	// "ordered"), as registered with Store.CreateIndex at collection time.
+	Indexes map[string]string
 }
 
 // DBStats is the database-wide result of Analyze: extent name → TableStats.
@@ -57,34 +65,44 @@ func (d *DBStats) AvgSetSize(extent, attr string) float64 {
 	return d.Tables[extent].AvgSetSize[attr]
 }
 
-// Attributes lists an extent's collected top-level attribute names (scalar
-// and set-valued), sorted, or nil if the extent was not analyzed. The
+// Attributes lists an extent's collected top-level attribute names (scalar,
+// set-valued, and mixed), sorted, or nil if the extent was not analyzed. The
 // planner's join-order enumerator uses it to resolve which base relation a
-// predicate over concatenated join tuples refers to.
+// predicate over concatenated join tuples refers to, so mixed attributes are
+// listed even though their statistics are unknown.
 func (d *DBStats) Attributes(extent string) []string {
 	t, ok := d.Tables[extent]
 	if !ok {
 		return nil
 	}
-	attrs := make([]string, 0, len(t.Distinct)+len(t.AvgSetSize))
+	attrs := make([]string, 0, len(t.Distinct)+len(t.AvgSetSize)+len(t.Mixed))
 	for a := range t.Distinct {
 		attrs = append(attrs, a)
 	}
 	for a := range t.AvgSetSize {
 		attrs = append(attrs, a)
 	}
+	attrs = append(attrs, t.Mixed...)
 	sort.Strings(attrs)
 	return attrs
 }
 
+// IndexKind reports the kind of the secondary index on extent.attr at
+// ANALYZE time ("hash" or "ordered"), or "" when the attribute is not
+// indexed. The planner uses it to admit index access paths.
+func (d *DBStats) IndexKind(extent, attr string) string {
+	return d.Tables[extent].Indexes[attr]
+}
+
 // Size makes DBStats double as the planner's legacy cardinality feed
 // (plan.Stats), so one collected object can drive both the threshold
-// fallback and the cost model.
+// fallback and the cost model. An extent that was never analyzed reports -1
+// (unknown), not 0: reporting 0 made the threshold fallback treat unknown
+// extents as empty and lock in the serial operators no matter how large the
+// extent really was. A negative size sends the planner down its no-stats
+// path instead.
 func (d *DBStats) Size(extent string) int {
-	if n := d.RowCount(extent); n >= 0 {
-		return n
-	}
-	return 0
+	return d.RowCount(extent)
 }
 
 // String renders the collected statistics as a small report, one block per
@@ -99,20 +117,25 @@ func (d *DBStats) String() string {
 	for _, n := range names {
 		t := d.Tables[n]
 		fmt.Fprintf(&b, "%s: %d rows\n", n, t.Rows)
-		attrs := make([]string, 0, len(t.Distinct)+len(t.AvgSetSize))
-		for a := range t.Distinct {
-			attrs = append(attrs, a)
+		attrs := d.Attributes(n)
+		mixed := map[string]bool{}
+		for _, a := range t.Mixed {
+			mixed[a] = true
 		}
-		for a := range t.AvgSetSize {
-			attrs = append(attrs, a)
-		}
-		sort.Strings(attrs)
 		for _, a := range attrs {
-			if avg, ok := t.AvgSetSize[a]; ok {
-				fmt.Fprintf(&b, "  .%s: set-valued, avg %.1f elems\n", a, avg)
-				continue
+			idx := ""
+			if kind, ok := t.Indexes[a]; ok {
+				idx = fmt.Sprintf(" [%s index]", kind)
 			}
-			fmt.Fprintf(&b, "  .%s: %d distinct\n", a, t.Distinct[a])
+			avg, isSet := t.AvgSetSize[a]
+			switch {
+			case mixed[a]:
+				fmt.Fprintf(&b, "  .%s: mixed scalar/set, statistics unknown%s\n", a, idx)
+			case isSet:
+				fmt.Fprintf(&b, "  .%s: set-valued, avg %.1f elems%s\n", a, avg, idx)
+			default:
+				fmt.Fprintf(&b, "  .%s: %d distinct%s\n", a, t.Distinct[a], idx)
+			}
 		}
 	}
 	return b.String()
@@ -173,13 +196,37 @@ func (s *Store) Analyze() *DBStats {
 				c.add(v)
 			}
 		}
+		mixed := map[string]bool{}
 		for name, c := range counters {
+			if setRows[name] > 0 {
+				// Set-valued in some rows, scalar in others: a Distinct
+				// count over just the scalar rows would be an undercount
+				// presented as exact. Record the attribute as unknown.
+				mixed[name] = true
+				continue
+			}
 			ts.Distinct[name] = c.n
 		}
 		for name, rows := range setRows {
-			// Only attributes that are sets in every row count as set-valued.
+			if mixed[name] {
+				continue
+			}
+			// Only attributes that are sets in every row count as set-valued;
+			// sets in only some rows (absent elsewhere) are unknown too.
 			if rows == ts.Rows && rows > 0 {
 				ts.AvgSetSize[name] = float64(setElems[name]) / float64(rows)
+			} else if rows > 0 {
+				mixed[name] = true
+			}
+		}
+		for name := range mixed {
+			ts.Mixed = append(ts.Mixed, name)
+		}
+		sort.Strings(ts.Mixed)
+		if idxs := s.IndexedAttrs(ext); len(idxs) > 0 {
+			ts.Indexes = map[string]string{}
+			for attr, kind := range idxs {
+				ts.Indexes[attr] = kind.String()
 			}
 		}
 		db.Tables[ext] = ts

@@ -82,12 +82,122 @@ func TestAnalyzeCollectsTableStats(t *testing.T) {
 		t.Errorf("AvgSetSize(SUPPLIER, sname) = %v, want 0", got)
 	}
 
-	// The legacy Size feed agrees with RowCount, and is 0 for unknowns.
+	// The legacy Size feed agrees with RowCount — including -1 (unknown) for
+	// extents that were never analyzed. Reporting 0 made the planner's
+	// threshold fallback treat unknown extents as empty (see
+	// TestUnknownExtentSizeIsNotEmpty in internal/plan).
 	if got := stats.Size("SUPPLIER"); got != 4 {
 		t.Errorf("Size(SUPPLIER) = %d, want 4", got)
 	}
-	if got := stats.Size("NOPE"); got != 0 {
-		t.Errorf("Size(NOPE) = %d, want 0", got)
+	if got := stats.Size("NOPE"); got != -1 {
+		t.Errorf("Size(NOPE) = %d, want -1 (unknown, not empty)", got)
+	}
+}
+
+// TestAnalyzeMixedScalarSetAttribute: an attribute that is a set in some
+// rows and a scalar in others must be recorded as unknown. The old behavior
+// skipped the set rows but still emitted a Distinct entry covering only the
+// scalar rows — an undercounted NDV presented as exact — and dropped the
+// AvgSetSize silently.
+func TestAnalyzeMixedScalarSetAttribute(t *testing.T) {
+	st := New(schema.SupplierPart())
+	// Three suppliers: "parts" is a set for two of them, a scalar for one.
+	for i := 0; i < 2; i++ {
+		if _, err := st.Insert("SUPPLIER", value.NewTuple(
+			"sname", value.String("n"),
+			"parts", value.NewSet(value.NewTuple("pid", value.OID(1))),
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Insert("SUPPLIER", value.NewTuple(
+		"sname", value.String("n"),
+		"parts", value.Int(7),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Analyze()
+
+	if got := stats.DistinctValues("SUPPLIER", "parts"); got != 0 {
+		t.Errorf("mixed attribute has Distinct = %d, want 0 (unknown)", got)
+	}
+	if got := stats.AvgSetSize("SUPPLIER", "parts"); got != 0 {
+		t.Errorf("mixed attribute has AvgSetSize = %v, want 0 (unknown)", got)
+	}
+	ts := stats.Tables["SUPPLIER"]
+	if len(ts.Mixed) != 1 || ts.Mixed[0] != "parts" {
+		t.Errorf("Mixed = %v, want [parts]", ts.Mixed)
+	}
+	// Mixed attributes still appear in the attribute listing (the join-order
+	// enumerator resolves predicates through it).
+	found := false
+	for _, a := range stats.Attributes("SUPPLIER") {
+		if a == "parts" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Attributes(SUPPLIER) = %v misses the mixed attribute", stats.Attributes("SUPPLIER"))
+	}
+	// Scalar statistics of the other attributes are unaffected.
+	if got := stats.DistinctValues("SUPPLIER", "sname"); got != 1 {
+		t.Errorf("DistinctValues(sname) = %d, want 1", got)
+	}
+	if !strings.Contains(stats.String(), "mixed scalar/set") {
+		t.Errorf("stats report does not mark the mixed attribute:\n%s", stats.String())
+	}
+}
+
+// TestAnalyzePartiallySetAttribute: set-valued in some rows, absent in the
+// rest — shape unknown, no AvgSetSize, listed as mixed.
+func TestAnalyzePartiallySetAttribute(t *testing.T) {
+	st := New(schema.SupplierPart())
+	if _, err := st.Insert("SUPPLIER", value.NewTuple(
+		"sname", value.String("a"),
+		"parts", value.NewSet(value.NewTuple("pid", value.OID(1))),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Insert("SUPPLIER", value.NewTuple(
+		"sname", value.String("b"),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Analyze()
+	if got := stats.AvgSetSize("SUPPLIER", "parts"); got != 0 {
+		t.Errorf("partially-set attribute has AvgSetSize = %v, want 0", got)
+	}
+	if ts := stats.Tables["SUPPLIER"]; len(ts.Mixed) != 1 || ts.Mixed[0] != "parts" {
+		t.Errorf("Mixed = %v, want [parts]", ts.Mixed)
+	}
+}
+
+// TestAnalyzeRecordsIndexes: Analyze surfaces the index registry so the
+// planner can admit index access paths.
+func TestAnalyzeRecordsIndexes(t *testing.T) {
+	st := analyzeFixture(t)
+	if err := st.CreateIndex("PART", "color", HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateIndex("PART", "price", OrderedIndex); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Analyze()
+	if got := stats.IndexKind("PART", "color"); got != "hash" {
+		t.Errorf("IndexKind(PART, color) = %q, want hash", got)
+	}
+	if got := stats.IndexKind("PART", "price"); got != "ordered" {
+		t.Errorf("IndexKind(PART, price) = %q, want ordered", got)
+	}
+	if got := stats.IndexKind("PART", "pname"); got != "" {
+		t.Errorf("IndexKind(PART, pname) = %q, want \"\"", got)
+	}
+	if got := stats.IndexKind("NOPE", "x"); got != "" {
+		t.Errorf("IndexKind(NOPE, x) = %q, want \"\"", got)
+	}
+	if !strings.Contains(stats.String(), "[hash index]") ||
+		!strings.Contains(stats.String(), "[ordered index]") {
+		t.Errorf("stats report does not mark indexed attributes:\n%s", stats.String())
 	}
 }
 

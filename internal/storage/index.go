@@ -1,0 +1,275 @@
+// Secondary indexes. The paper's optimizer "may choose from a number of
+// different join processing strategies" (§5.1); Selinger-style access-path
+// selection widens that choice below the join operators: with a secondary
+// index on an extent attribute, a selective predicate or join key no longer
+// forces a full extent scan. Two kinds are supported: a hash index answers
+// equality probes, an ordered index additionally answers range probes.
+// Indexes are built eagerly by CreateIndex, invalidated by Insert, and
+// rebuilt lazily on the next probe; probes are safe for concurrent use by
+// the parallel execution operators.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// IndexKind enumerates the secondary index implementations.
+type IndexKind int
+
+const (
+	// HashIndex buckets oids by key hash; it answers equality probes only.
+	HashIndex IndexKind = iota + 1
+	// OrderedIndex keeps (key, oids) entries sorted by value.Compare; it
+	// answers both equality and range probes.
+	OrderedIndex
+)
+
+// String names the kind the way Analyze reports it.
+func (k IndexKind) String() string {
+	switch k {
+	case HashIndex:
+		return "hash"
+	case OrderedIndex:
+		return "ordered"
+	}
+	return "unknown"
+}
+
+// indexEntry groups the oids of all objects sharing one key value.
+type indexEntry struct {
+	key  value.Value
+	oids []value.OID
+}
+
+// extIndex is one secondary index over extent.attr. Exactly one of buckets
+// (hash) or entries (ordered) is populated. dirty marks the index stale
+// after an Insert; the next probe rebuilds it under the store's index lock.
+// buildErr records a failed (re)build — an object lacking the indexed
+// attribute — and poisons every probe until a rebuild succeeds, so an index
+// access path fails exactly where the equivalent scan + field read would.
+type extIndex struct {
+	extent, attr string
+	kind         IndexKind
+	dirty        bool
+	buildErr     error
+
+	buckets map[uint64][]*indexEntry // hash kind: key hash → entries
+	entries []*indexEntry            // ordered kind: sorted by key
+}
+
+// CreateIndex builds a secondary index on an extent attribute, replacing any
+// existing index on the same attribute. Every object of the extent must
+// carry the attribute: silently skipping incomplete rows would let an index
+// plan succeed where the scan-based plan's field read errors, and the two
+// must stay interchangeable.
+func (s *Store) CreateIndex(extent, attr string, kind IndexKind) error {
+	if _, ok := s.cat.ByExtent(extent); !ok {
+		return fmt.Errorf("storage: unknown extent %q", extent)
+	}
+	if kind != HashIndex && kind != OrderedIndex {
+		return fmt.Errorf("storage: unknown index kind %d", kind)
+	}
+	idx := &extIndex{extent: extent, attr: attr, kind: kind}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	s.rebuild(idx)
+	if idx.buildErr != nil {
+		return idx.buildErr
+	}
+	if s.indexes == nil {
+		s.indexes = map[string]map[string]*extIndex{}
+	}
+	if s.indexes[extent] == nil {
+		s.indexes[extent] = map[string]*extIndex{}
+	}
+	s.indexes[extent][attr] = idx
+	return nil
+}
+
+// EnsureIndexes creates hash indexes on the given extent attributes, keeping
+// any index (of either kind) that already exists.
+func (s *Store) EnsureIndexes(extent string, attrs ...string) error {
+	for _, attr := range attrs {
+		s.idxMu.RLock()
+		_, exists := s.indexes[extent][attr]
+		s.idxMu.RUnlock()
+		if exists {
+			continue
+		}
+		if err := s.CreateIndex(extent, attr, HashIndex); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexedAttrs reports the indexed attributes of an extent and their kinds.
+func (s *Store) IndexedAttrs(extent string) map[string]IndexKind {
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
+	if len(s.indexes[extent]) == 0 {
+		return nil
+	}
+	out := make(map[string]IndexKind, len(s.indexes[extent]))
+	for attr, idx := range s.indexes[extent] {
+		out[attr] = idx.kind
+	}
+	return out
+}
+
+// rebuild (re)populates an index from the extent: one shared grouping pass
+// buckets oids by key, then the ordered kind sorts the entries and drops the
+// buckets. Caller holds idxMu.
+func (s *Store) rebuild(idx *extIndex) {
+	idx.buckets, idx.entries, idx.buildErr = nil, nil, nil
+	buckets := map[uint64][]*indexEntry{}
+	var entries []*indexEntry
+	for _, oid := range s.extents[idx.extent] {
+		v, ok := s.objects[oid].Get(idx.attr)
+		if !ok {
+			idx.buildErr = fmt.Errorf("storage: cannot index %s.%s: object %v lacks the attribute",
+				idx.extent, idx.attr, oid)
+			idx.dirty = false
+			return
+		}
+		h := value.Hash(v)
+		var e *indexEntry
+		for _, cand := range buckets[h] {
+			if value.Equal(cand.key, v) {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			e = &indexEntry{key: v}
+			buckets[h] = append(buckets[h], e)
+			entries = append(entries, e)
+		}
+		e.oids = append(e.oids, oid)
+	}
+	if idx.kind == OrderedIndex {
+		sort.Slice(entries, func(i, j int) bool {
+			return value.Compare(entries[i].key, entries[j].key) < 0
+		})
+		idx.entries = entries
+	} else {
+		idx.buckets = buckets
+	}
+	idx.dirty = false
+}
+
+// probe runs f on a ready (built, non-dirty) index under at least a read
+// lock, then fetches the matched oids through the metered Lookup path — an
+// index probe pays per-object I/O, unlike an extent scan's page-granular
+// sweep.
+func (s *Store) probe(extent, attr string, f func(*extIndex) ([]value.OID, error)) ([]value.Value, error) {
+	s.idxMu.RLock()
+	idx := s.indexes[extent][attr]
+	if idx == nil {
+		s.idxMu.RUnlock()
+		return nil, fmt.Errorf("storage: no index on %s.%s", extent, attr)
+	}
+	if idx.dirty {
+		s.idxMu.RUnlock()
+		s.idxMu.Lock()
+		if idx.dirty {
+			s.rebuild(idx)
+		}
+		s.idxMu.Unlock()
+		s.idxMu.RLock()
+	}
+	if idx.buildErr != nil {
+		err := idx.buildErr
+		s.idxMu.RUnlock()
+		return nil, err
+	}
+	oids, err := f(idx)
+	s.idxMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	s.indexProbes.Add(1)
+	out := make([]value.Value, 0, len(oids))
+	for _, oid := range oids {
+		if obj, ok := s.Lookup(oid); ok {
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}
+
+// IndexLookup returns the objects of an extent whose indexed attribute
+// equals key, in insertion order. Both index kinds answer it.
+func (s *Store) IndexLookup(extent, attr string, key value.Value) ([]value.Value, error) {
+	return s.probe(extent, attr, func(idx *extIndex) ([]value.OID, error) {
+		switch idx.kind {
+		case HashIndex:
+			for _, e := range idx.buckets[value.Hash(key)] {
+				if value.Equal(e.key, key) {
+					return e.oids, nil
+				}
+			}
+			return nil, nil
+		default:
+			i := sort.Search(len(idx.entries), func(i int) bool {
+				return value.Compare(idx.entries[i].key, key) >= 0
+			})
+			if i < len(idx.entries) && value.Equal(idx.entries[i].key, key) {
+				return idx.entries[i].oids, nil
+			}
+			return nil, nil
+		}
+	})
+}
+
+// IndexRange returns the objects whose indexed attribute falls in the range
+// [lo, hi] (nil bound = unbounded; loIncl/hiIncl select open or closed
+// ends). It requires an ordered index.
+func (s *Store) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool) ([]value.Value, error) {
+	return s.probe(extent, attr, func(idx *extIndex) ([]value.OID, error) {
+		if idx.kind != OrderedIndex {
+			return nil, fmt.Errorf("storage: range probe needs an ordered index on %s.%s (have %s)",
+				extent, attr, idx.kind)
+		}
+		start := 0
+		if lo != nil {
+			start = sort.Search(len(idx.entries), func(i int) bool {
+				c := value.Compare(idx.entries[i].key, lo)
+				if loIncl {
+					return c >= 0
+				}
+				return c > 0
+			})
+		}
+		end := len(idx.entries)
+		if hi != nil {
+			end = sort.Search(len(idx.entries), func(i int) bool {
+				c := value.Compare(idx.entries[i].key, hi)
+				if hiIncl {
+					return c > 0
+				}
+				return c >= 0
+			})
+		}
+		var oids []value.OID
+		for i := start; i < end; i++ {
+			oids = append(oids, idx.entries[i].oids...)
+		}
+		return oids, nil
+	})
+}
+
+// invalidateIndexes marks every index of an extent stale; the next probe
+// rebuilds. Called by Insert, which is single-threaded by contract, but the
+// flag is still set under the index lock so probes racing a rebuild are
+// safe.
+func (s *Store) invalidateIndexes(extent string) {
+	s.idxMu.Lock()
+	for _, idx := range s.indexes[extent] {
+		idx.dirty = true
+	}
+	s.idxMu.Unlock()
+}

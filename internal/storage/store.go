@@ -31,10 +31,15 @@ type Stats struct {
 	ObjectReads int
 	// PageReads counts page touches, where consecutive touches of the same
 	// page as the previous fetch are free (sequential locality), modelling a
-	// one-page buffer.
+	// one-page buffer. A whole-extent scan (Table) counts one touch per page
+	// of the extent — the meter models the logical I/O of the access path,
+	// not the Go-level extent cache.
 	PageReads int
 	// ExtentScans counts whole-extent scans.
 	ExtentScans int
+	// IndexProbes counts secondary-index probes (equality or range); the
+	// objects each probe fetches are metered as ObjectReads/PageReads.
+	IndexProbes int
 }
 
 // Store is an object store plus extents. Loads, inserts and schema tuning
@@ -51,11 +56,18 @@ type Store struct {
 	extentCache map[string]*value.Set
 	cacheMu     sync.RWMutex
 
+	// indexes is the secondary-index registry (index.go): extent → attr →
+	// index. Probes take idxMu for reading; Insert invalidates and the next
+	// probe rebuilds under the write lock.
+	indexes map[string]map[string]*extIndex
+	idxMu   sync.RWMutex
+
 	objectsPerPage int
 	lastPage       atomic.Int64
 	objectReads    atomic.Int64
 	pageReads      atomic.Int64
 	extentScans    atomic.Int64
+	indexProbes    atomic.Int64
 }
 
 // New creates an empty store for the given catalog.
@@ -103,6 +115,7 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	s.cacheMu.Lock()
 	delete(s.extentCache, extent)
 	s.cacheMu.Unlock()
+	s.invalidateIndexes(extent)
 	return oid, nil
 }
 
@@ -143,7 +156,7 @@ func (s *Store) Table(name string) (*value.Set, error) {
 	cached, ok := s.extentCache[name]
 	s.cacheMu.RUnlock()
 	if ok {
-		s.extentScans.Add(1)
+		s.meterScan(name)
 		return cached, nil
 	}
 	oids, ok := s.extents[name]
@@ -160,8 +173,20 @@ func (s *Store) Table(name string) (*value.Set, error) {
 	s.cacheMu.Lock()
 	s.extentCache[name] = set
 	s.cacheMu.Unlock()
-	s.extentScans.Add(1)
+	s.meterScan(name)
 	return set, nil
+}
+
+// meterScan charges one whole-extent scan: the scan counter plus one page
+// touch per page of the extent — charged even when the materialized set is
+// cached, because the meter models the access path's logical I/O, not the
+// Go-level memoization. The sweep also evicts the one-page lookup buffer.
+func (s *Store) meterScan(name string) {
+	s.extentScans.Add(1)
+	if n := len(s.extents[name]); n > 0 {
+		s.pageReads.Add(int64((n + s.objectsPerPage - 1) / s.objectsPerPage))
+	}
+	s.lastPage.Store(-1)
 }
 
 // OIDs returns the oids of an extent in insertion order.
@@ -178,6 +203,7 @@ func (s *Store) Stats() Stats {
 		ObjectReads: int(s.objectReads.Load()),
 		PageReads:   int(s.pageReads.Load()),
 		ExtentScans: int(s.extentScans.Load()),
+		IndexProbes: int(s.indexProbes.Load()),
 	}
 }
 
@@ -186,6 +212,7 @@ func (s *Store) ResetStats() {
 	s.objectReads.Store(0)
 	s.pageReads.Store(0)
 	s.extentScans.Store(0)
+	s.indexProbes.Store(0)
 	s.lastPage.Store(-1)
 }
 
