@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-json bench-smoke fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,28 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# One iteration of every benchmark, plus the index-aware experiment with its
-# built-in correctness and plan-choice assertions — CI's "does it still run"
-# check, which keeps the index operator family exercised end to end.
+# One iteration of every benchmark, plus the index-aware and histogram
+# experiments with their built-in correctness and plan-choice assertions —
+# CI's "does it still run" check, which keeps the index operator family and
+# the histogram estimator exercised end to end.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 	$(GO) run ./cmd/adlbench -quick -exp B11 -indexes
+	$(GO) run ./cmd/adlbench -quick -exp B12
+
+# Benchmark iteration budget for the JSON artifact. 1x keeps CI fast; bump
+# locally (make bench-json BENCHTIME=5s) for stable numbers.
+BENCHTIME ?= 1x
+
+# Runs the benchmark suite and archives the measurements as a JSON
+# perf-trajectory file (cmd/benchjson). CI uploads BENCH_RESULTS.json as an
+# artifact per commit so regressions show up as a number series. A temp file
+# rather than a pipe: a pipeline's exit status would be benchjson's, letting
+# a failing benchmark upload a partial trajectory as green.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > bench-raw.txt
+	$(GO) run ./cmd/benchjson -out BENCH_RESULTS.json < bench-raw.txt
+	@rm -f bench-raw.txt
 
 # Total-statement-coverage floor enforced by make cover. 80.3% was measured
 # when the gate was introduced; the floor sits just under it to absorb the

@@ -15,6 +15,7 @@
 //	adlbench -exp B11        # index-nested-loop vs forced hash join
 //	adlbench -indexes        # create secondary indexes for B11 (default)
 //	adlbench -indexes=false  # B11 planned without indexes (A/B control)
+//	adlbench -exp B12        # histogram estimates vs the NDV-only model
 //	adlbench -explain        # print each experiment's annotated plan first
 package main
 
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (B1..B11); empty = all")
+		exp      = flag.String("exp", "", "experiment to run (B1..B12); empty = all")
 		quick    = flag.Bool("quick", false, "smaller scales")
 		parallel = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
 		analyze  = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
@@ -104,6 +105,10 @@ func main() {
 		{"B11", func() (*bench.Table, error) {
 			return experiments.B11(scale(2000, 200), scale(50000, 5000),
 				*parallel, *indexes, seed)
+		}},
+		{"B12", func() (*bench.Table, error) {
+			return experiments.B12(scale(20000, 5000), scale(400, 200),
+				*parallel, seed)
 		}},
 	}
 

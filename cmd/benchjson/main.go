@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output into a machine-
+// readable JSON perf-trajectory file. CI runs the benchmark suite once per
+// commit and archives the result (make bench-json → BENCH_RESULTS.json), so
+// regressions show up as a number series across commits instead of
+// anecdotes in PR descriptions.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run '^$' . | benchjson -out BENCH_RESULTS.json
+//
+// Only benchmark result lines are parsed; everything else (pass/fail
+// trailers, goos/goarch headers) is carried into the metadata block or
+// ignored. The tool never fails on unparseable lines — a half-broken
+// benchmark run should still archive what it produced.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the emitted artifact shape.
+type File struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkB12/histograms-8   42   2271934 ns/op   2303776 B/op   19052 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(lines *bufio.Scanner) File {
+	var f File
+	for lines.Scan() {
+		line := lines.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			f.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			r := Result{Name: m[1]}
+			r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			f.Results = append(f.Results, r)
+		}
+	}
+	return f
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	f := parse(bufio.NewScanner(os.Stdin))
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(f.Results), *out)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkB12/ndv_only-8         	       1	  18377058 ns/op	 8551600 B/op	   67582 allocs/op
+BenchmarkB12/histograms-8       	       3	   2271934 ns/op	 2303776 B/op	   19052 allocs/op
+BenchmarkPlain 	     100	  1234.5 ns/op
+some unrelated line
+PASS
+ok  	repro	0.168s
+`
+	f := parse(bufio.NewScanner(strings.NewReader(in)))
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.Pkg != "repro" || f.CPU == "" {
+		t.Errorf("metadata mis-parsed: %+v", f)
+	}
+	if len(f.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(f.Results), f.Results)
+	}
+	r := f.Results[0]
+	if r.Name != "BenchmarkB12/ndv_only" || r.Iterations != 1 ||
+		r.NsPerOp != 18377058 || r.BytesPerOp != 8551600 || r.AllocsPerOp != 67582 {
+		t.Errorf("first result mis-parsed: %+v", r)
+	}
+	if p := f.Results[2]; p.Name != "BenchmarkPlain" || p.NsPerOp != 1234.5 || p.BytesPerOp != 0 {
+		t.Errorf("plain result mis-parsed: %+v", p)
+	}
+}

@@ -1,0 +1,187 @@
+// Zipf-skewed workload generator. The supplier-part generator (gen.go)
+// draws every attribute uniformly, which is exactly the world where the
+// planner's 1/NDV uniformity assumption is harmless. Real categorical
+// attributes and foreign keys are skewed; GenerateSkew builds a
+// fact-with-two-dimensions database whose distributions follow a Zipf law,
+// so ANALYZE-collected histograms and the NDV rules genuinely disagree —
+// the substrate of experiments.B12.
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// SkewConfig parameterizes the skewed fact-dimension generator. Zero values
+// get sensible defaults from Defaults.
+type SkewConfig struct {
+	// Facts is the FACT extent cardinality; each fact references one DIMA
+	// and one DIMB object uniformly.
+	Facts int
+	// DimA and DimB are the dimension extent cardinalities.
+	DimA, DimB int
+	// CatValues is the domain size of DIMA.cat; CatSkew the Zipf s
+	// parameter of its distribution (must be > 1; larger is more skewed —
+	// at the default 2.5 the hottest category holds roughly 3/4 of DIMA).
+	CatValues int
+	CatSkew   float64
+	// GrpValues is the domain size of DIMB.grp, drawn uniformly — the
+	// control attribute whose NDV estimate is actually right.
+	GrpValues int
+	// SevValues/SevSkew shape FACT.sev, a Zipf-skewed measure attribute;
+	// QtyMax bounds FACT.qty, drawn uniformly from [1, QtyMax].
+	SevValues int
+	SevSkew   float64
+	QtyMax    int
+	Seed      int64
+}
+
+// Defaults fills unset fields.
+func (c SkewConfig) Defaults() SkewConfig {
+	if c.Facts == 0 {
+		c.Facts = 20000
+	}
+	if c.DimA == 0 {
+		c.DimA = 400
+	}
+	if c.DimB == 0 {
+		c.DimB = 400
+	}
+	if c.CatValues == 0 {
+		c.CatValues = 40
+	}
+	if c.CatSkew == 0 {
+		c.CatSkew = 2.5
+	}
+	if c.GrpValues == 0 {
+		c.GrpValues = 8
+	}
+	if c.SevValues == 0 {
+		c.SevValues = 50
+	}
+	if c.SevSkew == 0 {
+		c.SevSkew = 2.5
+	}
+	if c.QtyMax == 0 {
+		c.QtyMax = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 94
+	}
+	return c
+}
+
+// SkewCatalog is the star schema of the skewed workload:
+// FACT(fa → DimA, fb → DimB, sev, qty), DIMA(cat), DIMB(grp).
+func SkewCatalog() *schema.Catalog {
+	c := schema.NewCatalog()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(c.Define(&schema.Class{
+		Name: "DimA", Extent: "DIMA", IDField: "aid",
+		Attrs: []schema.Attr{
+			{Name: "cat", Kind: schema.Plain, Type: types.IntType},
+		},
+	}))
+	must(c.Define(&schema.Class{
+		Name: "DimB", Extent: "DIMB", IDField: "bid",
+		Attrs: []schema.Attr{
+			{Name: "grp", Kind: schema.Plain, Type: types.IntType},
+		},
+	}))
+	must(c.Define(&schema.Class{
+		Name: "Fact", Extent: "FACT", IDField: "fid",
+		Attrs: []schema.Attr{
+			{Name: "fa", Kind: schema.Ref, RefClass: "DimA"},
+			{Name: "fb", Kind: schema.Ref, RefClass: "DimB"},
+			{Name: "sev", Kind: schema.Plain, Type: types.IntType},
+			{Name: "qty", Kind: schema.Plain, Type: types.IntType},
+		},
+	}))
+	return c
+}
+
+// zipfDraw builds a deterministic Zipf sampler over [0, n): value 0 is the
+// heavy hitter. A degenerate domain (n < 2) or skew (s <= 1) collapses to
+// the constant 0.
+func zipfDraw(rng *rand.Rand, s float64, n int) func() int64 {
+	if n < 2 || s <= 1 {
+		return func() int64 { return 0 }
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int64 { return int64(z.Uint64()) }
+}
+
+// GenerateSkew builds a deterministic Zipf-skewed fact-dimension database.
+func GenerateSkew(cfg SkewConfig) *storage.Store {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := storage.New(SkewCatalog())
+	ins := func(extent string, t *value.Tuple) value.OID {
+		oid, err := st.Insert(extent, t)
+		if err != nil {
+			panic(err)
+		}
+		return oid
+	}
+
+	// Every category occurs at least once (the first CatValues rows count
+	// round-robin) before the Zipf draw piles the rest onto the head: the
+	// observed NDV is then exactly CatValues at any scale, so the uniform
+	// 1/NDV estimate is deterministically — and badly — below the heavy
+	// hitter's true frequency.
+	catDraw := zipfDraw(rng, cfg.CatSkew, cfg.CatValues)
+	aOIDs := make([]value.OID, cfg.DimA)
+	for i := range aOIDs {
+		cat := int64(i % cfg.CatValues)
+		if i >= cfg.CatValues {
+			cat = catDraw()
+		}
+		aOIDs[i] = ins("DIMA", value.NewTuple("cat", value.Int(cat)))
+	}
+	bOIDs := make([]value.OID, cfg.DimB)
+	for i := range bOIDs {
+		bOIDs[i] = ins("DIMB", value.NewTuple(
+			"grp", value.Int(int64(i%cfg.GrpValues))))
+	}
+	sevDraw := zipfDraw(rng, cfg.SevSkew, cfg.SevValues)
+	for i := 0; i < cfg.Facts; i++ {
+		ins("FACT", value.NewTuple(
+			"fa", aOIDs[rng.Intn(len(aOIDs))],
+			"fb", bOIDs[rng.Intn(len(bOIDs))],
+			"sev", value.Int(sevDraw()),
+			"qty", value.Int(int64(rng.Intn(cfg.QtyMax)+1)),
+		))
+	}
+	return st
+}
+
+// HotCategory reports the most frequent DIMA.cat value of a generated store
+// and the number of DIMA rows holding it — experiments pick their skewed
+// filter constant from it rather than assuming which value won the draw.
+func HotCategory(st *storage.Store) (value.Value, int) {
+	tbl, err := st.Table("DIMA")
+	if err != nil {
+		panic(err)
+	}
+	counts := map[int64]int{}
+	for _, row := range tbl.Elems() {
+		t := row.(*value.Tuple)
+		v, _ := t.Get("cat")
+		counts[int64(v.(value.Int))]++
+	}
+	bestV, bestN := int64(0), -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < bestV) {
+			bestV, bestN = v, n
+		}
+	}
+	return value.Int(bestV), bestN
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestGenerateSkewDeterministic(t *testing.T) {
+	cfg := SkewConfig{Facts: 500, DimA: 50, DimB: 40, Seed: 7}
+	a, b := GenerateSkew(cfg), GenerateSkew(cfg)
+	for _, ext := range []string{"FACT", "DIMA", "DIMB"} {
+		ta, err := a.Table(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.Table(ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.Equal(ta, tb) {
+			t.Errorf("%s differs across runs with the same seed", ext)
+		}
+	}
+	if got := a.Size("FACT"); got != 500 {
+		t.Errorf("FACT size = %d, want 500", got)
+	}
+}
+
+// TestGenerateSkewIsSkewed: the hottest DIMA category must hold far more
+// than the uniform share — otherwise B12's premise (NDV ≠ truth) is gone.
+func TestGenerateSkewIsSkewed(t *testing.T) {
+	st := GenerateSkew(SkewConfig{})
+	hot, n := HotCategory(st)
+	dimA := st.Size("DIMA")
+	uniformShare := dimA / 40 // CatValues default
+	if n < 5*uniformShare {
+		t.Fatalf("hot category %v holds %d of %d rows — not skewed (uniform share %d)",
+			hot, n, dimA, uniformShare)
+	}
+	// The skewed FACT.sev distribution shows up in collected histograms: the
+	// heavy hitter's frequency dwarfs 1/NDV.
+	stats := st.Analyze()
+	h := stats.Histogram("FACT", "sev")
+	if h == nil {
+		t.Fatal("no histogram collected for FACT.sev")
+	}
+	hotFrac := h.EqFraction(value.Int(0))
+	if hotFrac < 0.5 {
+		t.Errorf("hot sev fraction = %v, want > 0.5 under the default skew", hotFrac)
+	}
+}

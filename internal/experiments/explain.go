@@ -94,6 +94,15 @@ func ExplainPlans(exp string, parallelism int, analyze bool, seed int64) (string
 		w.Indexed = false
 		section(w.Name + " optimizer arm (-indexes=false control)")
 		b.WriteString(w.PlanOptimizer().Explain())
+	case "B12":
+		w := NewSkewJoin(5000, 200, parallelism, seed)
+		if err := w.Warm(); err != nil {
+			return "", err
+		}
+		section(w.Name + " NDV-only arm (NoHistograms control)")
+		b.WriteString(w.Plan(true).Explain())
+		section(w.Name + " histogram arm")
+		b.WriteString(w.Plan(false).Explain())
 	default:
 		return "", fmt.Errorf("explain: unknown experiment %q", exp)
 	}

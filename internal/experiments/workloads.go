@@ -729,6 +729,94 @@ func (a *LookupJoinArms) RunOptimizer() (*value.Set, string, error) {
 	return set, label, err
 }
 
+// SkewJoinArms is the B12 workload: a three-relation star join over
+// Zipf-skewed data. FACT references DIMA and DIMB uniformly; the query
+// filters DIMA to its heavy-hitter category (which truly keeps most of the
+// dimension, while the uniform 1/NDV rule estimates a sliver) and DIMB to
+// one uniform group (estimated correctly by both models). Hash indexes on
+// FACT.fa and FACT.fb let either dimension probe the bare FACT extent with
+// an index-nested-loop join, so the join-order choice decides how many
+// random FACT fetches the plan pays. With histograms the DP enumerator sees
+// the hot filter for what it is and joins the genuinely selective DIMB side
+// first; the NoHistograms arm is lured into probing with the "small" σDIMA
+// and drags a several-times-larger intermediate through the rest of the
+// plan — same result, strictly more pages and time.
+type SkewJoinArms struct {
+	Name  string
+	Store *storage.Store
+	// Query is the star join in written order (FACT ⋈ DIMA first).
+	Query adl.Expr
+	// HotCat is the skewed filter constant (the most frequent DIMA.cat).
+	HotCat value.Value
+	// Parallelism feeds the planner's parallel candidates; <= 0 means NumCPU.
+	Parallelism int
+
+	stats *storage.DBStats
+}
+
+// NewSkewJoin builds the B12 workload at the given scale.
+func NewSkewJoin(facts, dims, parallelism int, seed int64) *SkewJoinArms {
+	st := bench.GenerateSkew(bench.SkewConfig{
+		Facts: facts, DimA: dims, DimB: dims, Seed: seed})
+	if err := st.EnsureIndexes("FACT", "fa", "fb"); err != nil {
+		panic(err)
+	}
+	hot, _ := bench.HotCategory(st)
+	j1 := adl.JoinE(adl.T("FACT"), "f", "a",
+		adl.AndE(
+			adl.EqE(adl.Dot(adl.V("f"), "fa"), adl.Dot(adl.V("a"), "aid")),
+			adl.EqE(adl.Dot(adl.V("a"), "cat"), adl.C(hot))),
+		adl.T("DIMA"))
+	q := adl.JoinE(j1, "fa2", "b",
+		adl.AndE(
+			adl.EqE(adl.Dot(adl.V("fa2"), "fb"), adl.Dot(adl.V("b"), "bid")),
+			adl.EqE(adl.Dot(adl.V("b"), "grp"), adl.CInt(3))),
+		adl.T("DIMB"))
+	name := fmt.Sprintf("skew[%dx%d]", facts, dims)
+	return &SkewJoinArms{Name: name, Store: st, Query: q, HotCat: hot,
+		Parallelism: parallelism}
+}
+
+// Statistics runs the ANALYZE pass (histograms included) on first use.
+func (a *SkewJoinArms) Statistics() *storage.DBStats {
+	if a.stats == nil {
+		a.stats = a.Store.Analyze()
+	}
+	return a.stats
+}
+
+// Warm materializes every extent so no timed arm pays the one-off
+// extent-cache build.
+func (a *SkewJoinArms) Warm() error {
+	for _, ext := range []string{"FACT", "DIMA", "DIMB"} {
+		if _, err := a.Store.Table(ext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan compiles the query cost-based from the same collected statistics;
+// noHist true is the A/B control arm (plan.Config.NoHistograms).
+func (a *SkewJoinArms) Plan(noHist bool) *plan.Plan {
+	cfg := plan.Config{Statistics: a.Statistics(), Parallelism: a.Parallelism,
+		NoHistograms: noHist}
+	return cfg.Plan(a.Query)
+}
+
+// Run executes one arm.
+func (a *SkewJoinArms) Run(noHist bool) (*value.Set, *plan.Plan, error) {
+	pl := a.Plan(noHist)
+	set, err := exec.Collect(pl.Root, &exec.Ctx{DB: a.Store})
+	return set, pl, err
+}
+
+// RunReference executes the query rule-based (no statistics, serial) as the
+// independent correctness baseline.
+func (a *SkewJoinArms) RunReference() (*value.Set, error) {
+	return plan.Run(a.Query, a.Store)
+}
+
 // parallelJoinScalars builds the shared key and right-tuple scalars.
 func parallelJoinScalars() (lk, rk, rfun exec.Scalar) {
 	lk = exec.NewScalar(adl.Dot(adl.V("s"), "eid"), "s")

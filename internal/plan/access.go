@@ -33,28 +33,16 @@ func constExpr(e adl.Expr) bool { return len(adl.FreeVars(e)) == 0 }
 
 // indexableConjunct classifies one σ conjunct as an index access over the
 // extent, or reports false. Equality needs any index kind on the attribute;
-// the ordered comparisons need an ordered index.
+// the ordered comparisons need an ordered index. Match counts come from the
+// shared estimator: histogram density for equalities, interpolated bucket
+// fractions for range bounds, the NDV/default rules without histograms.
 func (p *planner) indexableConjunct(c adl.Expr, v, extent string, rows float64) (indexAccess, bool) {
 	cmp, ok := c.(*adl.Cmp)
 	if !ok {
 		return indexAccess{}, false
 	}
 	// Orient the comparison as field-op-constant.
-	attr, other, op := attrOf(cmp.L, v), cmp.R, cmp.Op
-	if attr == "" {
-		attr, other = attrOf(cmp.R, v), cmp.L
-		// Mirror the operator: const < x.a means x.a > const.
-		switch cmp.Op {
-		case adl.Lt:
-			op = adl.Gt
-		case adl.Le:
-			op = adl.Ge
-		case adl.Gt:
-			op = adl.Lt
-		case adl.Ge:
-			op = adl.Le
-		}
-	}
+	attr, other, op := orientCmp(cmp, v)
 	if attr == "" || !constExpr(other) {
 		return indexAccess{}, false
 	}
@@ -64,16 +52,13 @@ func (p *planner) indexableConjunct(c adl.Expr, v, extent string, rows float64) 
 	}
 	switch op {
 	case adl.Eq:
-		matches := rows * defaultSelectivity
-		if d := p.cfg.Statistics.DistinctValues(extent, attr); d > 0 {
-			matches = rows / float64(d)
-		}
+		matches := rows * p.card.eqSelectivity(extent, attr, other)
 		return indexAccess{attr: attr, matches: matches, eq: other}, true
 	case adl.Lt, adl.Le, adl.Gt, adl.Ge:
 		if kind != "ordered" {
 			return indexAccess{}, false
 		}
-		a := indexAccess{attr: attr, matches: rows * defaultSelectivity}
+		a := indexAccess{attr: attr}
 		switch op {
 		case adl.Lt:
 			a.hi = other
@@ -84,6 +69,7 @@ func (p *planner) indexableConjunct(c adl.Expr, v, extent string, rows float64) 
 		case adl.Ge:
 			a.lo, a.loIncl = other, true
 		}
+		a.matches = rows * p.card.boundsSelectivity(extent, attr, a.lo, a.hi, a.loIncl, a.hiIncl)
 		return a, true
 	}
 	return indexAccess{}, false
@@ -125,6 +111,7 @@ func (p *planner) tryIndexSelect(n *adl.Select) (exec.Operator, nodeEst, bool) {
 		// comparison conjunct over the same attribute, so lo ≤ x.a < hi
 		// probes the ordered index once instead of fetching a half-open
 		// range and filtering the rest away.
+		merged := false
 		for i, c := range cs {
 			if used[i] {
 				continue
@@ -136,11 +123,18 @@ func (p *planner) tryIndexSelect(n *adl.Select) (exec.Operator, nodeEst, bool) {
 			switch {
 			case best.lo == nil && a.lo != nil:
 				best.lo, best.loIncl = a.lo, a.loIncl
-				used[i] = true
+				used[i], merged = true, true
 			case best.hi == nil && a.hi != nil:
 				best.hi, best.hiIncl = a.hi, a.hiIncl
-				used[i] = true
+				used[i], merged = true, true
 			}
+		}
+		if merged {
+			// Re-price the probe for the merged two-sided range: it returns
+			// the rows between both bounds, not the one-sided (or flat
+			// defaultSelectivity) guess either conjunct priced alone.
+			best.matches = float64(rows) * p.card.boundsSelectivity(
+				tbl.Name, best.attr, best.lo, best.hi, best.loIncl, best.hiIncl)
 		}
 	}
 	var residual []adl.Expr
@@ -183,10 +177,7 @@ func (p *planner) tryIndexSelect(n *adl.Select) (exec.Operator, nodeEst, bool) {
 	if len(residual) == 0 {
 		return scan, scanEst, true
 	}
-	outRows := best.matches
-	for _, c := range residual {
-		outRows *= p.selectivity(c, n.Var, scanEst)
-	}
+	outRows := best.matches * p.card.selectivity(adl.AndE(residual...), n.Var, tbl.Name)
 	op := &exec.Filter{Child: scan, Var: n.Var,
 		Pred: exec.NewScalar(adl.AndE(residual...), n.Var)}
 	est := nodeEst{rows: outRows, known: true, extent: tbl.Name,

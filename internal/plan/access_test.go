@@ -7,6 +7,7 @@ import (
 	"repro/internal/adl"
 	"repro/internal/bench"
 	"repro/internal/exec"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -94,6 +95,50 @@ func TestIndexScanMergesTwoSidedRange(t *testing.T) {
 	}
 	if idx.Lo == nil || !idx.LoIncl || idx.Hi == nil || idx.HiIncl {
 		t.Fatalf("bounds mis-merged: %+v", idx)
+	}
+}
+
+// TestTwoSidedRangeNotPricedAsUnknownPredicate is the regression test for
+// the old access-path pricing: a merged two-sided range probe kept the
+// one-sided conjunct's rows·defaultSelectivity guess — the same estimate as
+// a predicate the model cannot see at all. The estimator now re-prices the
+// merged probe: with a histogram the bounds interpolate to the actual
+// fraction, and even without one the two bounds must price strictly below
+// the flat one-third guess.
+func TestTwoSidedRangeNotPricedAsUnknownPredicate(t *testing.T) {
+	twoSided := adl.Sel("x", adl.AndE(
+		adl.CmpE(adl.Ge, adl.Dot(adl.V("x"), "a"), adl.CInt(40)),
+		adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "a"), adl.CInt(50))), adl.T("X"))
+
+	// Without histograms: strictly below rows·defaultSelectivity.
+	noHist := lookupStats()
+	pl := Config{Statistics: noHist}.Plan(twoSided)
+	idx, ok := pl.Root.(*exec.IndexScan)
+	if !ok {
+		t.Fatalf("two-sided range should plan a bare IndexScan, got:\n%s", pl.Explain())
+	}
+	est, ok := pl.Estimate(idx)
+	if !ok {
+		t.Fatal("IndexScan not annotated")
+	}
+	flatGuess := 2000 * defaultSelectivity
+	if float64(est.Rows) >= flatGuess {
+		t.Errorf("merged range priced at %d rows — not below the %.0f unknown-predicate guess",
+			est.Rows, flatGuess)
+	}
+
+	// With a histogram: the interpolated fraction of the actual bounds.
+	// X.a uniform over [0,1000) → [40,50) holds ≈1% of 2000 rows.
+	withHist := lookupStats()
+	withHist.hist = map[string]*stats.Histogram{"X.a": uniformHist(2000, 1000)}
+	pl = Config{Statistics: withHist}.Plan(twoSided)
+	idx, ok = pl.Root.(*exec.IndexScan)
+	if !ok {
+		t.Fatalf("two-sided range should plan a bare IndexScan, got:\n%s", pl.Explain())
+	}
+	est, _ = pl.Estimate(idx)
+	if est.Rows < 5 || est.Rows > 60 {
+		t.Errorf("histogram-priced merged range = %d rows, want ≈20 (1%% of 2000)", est.Rows)
 	}
 }
 

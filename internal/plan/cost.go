@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/adl"
+	"repro/internal/stats"
 )
 
 // Statistics is the collected-statistics view of the database the cost model
@@ -39,6 +40,13 @@ type Statistics interface {
 	// the attribute is not indexed. It gates the index access paths —
 	// IndexScan leaves and the index-nested-loop join.
 	IndexKind(extent, attr string) string
+	// Histogram reports the equi-depth histogram collected for extent.attr
+	// (the element distribution for a set-valued attribute), or nil when
+	// none was collected. The estimator prices equality predicates by bucket
+	// density, range predicates by bucket interpolation, and join-key
+	// overlap by histogram intersection; a nil histogram falls back to the
+	// NDV rules.
+	Histogram(extent, attr string) *stats.Histogram
 }
 
 // Estimate annotates a physical operator with the optimizer's prediction.
@@ -148,44 +156,17 @@ func attrOf(key adl.Expr, v string) string {
 	return ""
 }
 
-// keyNDV estimates the number of distinct join-key values on one side. For a
-// single collected attribute it is exact; composite keys multiply, capped at
-// the row count; unknown keys fall back to rows/10 (a mild "some
-// duplication" guess).
-func (p *planner) keyNDV(e nodeEst, keys []adl.Expr, v string) float64 {
-	ndv := 1.0
-	resolved := false
-	if p.cfg.Statistics != nil && e.extent != "" {
-		ndv, resolved = 1.0, true
-		for _, k := range keys {
-			attr := attrOf(k, v)
-			if attr == "" {
-				resolved = false
-				break
-			}
-			d := p.cfg.Statistics.DistinctValues(e.extent, attr)
-			if d <= 0 {
-				resolved = false
-				break
-			}
-			ndv *= float64(d)
-		}
-	}
-	if !resolved {
-		ndv = e.rows / 10
-	}
-	return clamp(finite(ndv), 1, math.Max(1, finite(e.rows)))
-}
-
 // clamp bounds v to [lo, hi].
 func clamp(v, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, v))
 }
 
-// joinOutRows estimates a join's output cardinality from the input sizes and
-// the key distinct counts, per kind.
-func joinOutRows(kind adl.JoinKind, l, r, ndvL, ndvR float64) float64 {
-	inner := finite(l * r / math.Max(1, math.Max(ndvL, ndvR)))
+// joinOutRows estimates a join's output cardinality per kind, from the input
+// sizes, the estimated inner-join output (supplied by the estimator — NDV
+// containment or histogram intersection) and the key distinct counts that
+// drive the filtering kinds' match fraction.
+func joinOutRows(kind adl.JoinKind, l, r, inner, ndvL, ndvR float64) float64 {
+	inner = finite(inner)
 	matchFrac := clamp(finite(ndvR/math.Max(1, ndvL)), 0, 1)
 	switch kind {
 	case adl.Inner:
@@ -200,43 +181,6 @@ func joinOutRows(kind adl.JoinKind, l, r, ndvL, ndvR float64) float64 {
 		return l // the nestjoin emits exactly one row per left row
 	}
 	return inner
-}
-
-// selectivity estimates what fraction of rows a σ predicate keeps, where v
-// is the σ's iteration variable. An equality over a collected attribute of
-// the iteration variable uses 1/NDV; conjunctions multiply; anything else is
-// the default guess. The rule is bound to the iteration variable through
-// attrOf: a field read off any other variable (x.a = y.b with y free) must
-// not look up the source extent's statistics for the foreign attribute —
-// when attribute names collide across extents that silently used the wrong
-// extent's NDV.
-func (p *planner) selectivity(pred adl.Expr, v string, src nodeEst) float64 {
-	switch n := pred.(type) {
-	case *adl.And:
-		return clamp(p.selectivity(n.L, v, src)*p.selectivity(n.R, v, src)*3, 0, 1)
-	case *adl.Cmp:
-		if n.Op == adl.Eq && p.cfg.Statistics != nil && src.extent != "" {
-			for _, side := range []adl.Expr{n.L, n.R} {
-				if attr := attrOf(side, v); attr != "" {
-					if d := p.cfg.Statistics.DistinctValues(src.extent, attr); d > 0 {
-						return clamp(1/float64(d), 0, 1)
-					}
-				}
-			}
-		}
-	}
-	return defaultSelectivity
-}
-
-// avgSetSize estimates the mean cardinality of a set-valued attribute of the
-// given subtree's rows.
-func (p *planner) avgSetSize(e nodeEst, attr string) float64 {
-	if p.cfg.Statistics != nil && e.extent != "" {
-		if s := p.cfg.Statistics.AvgSetSize(e.extent, attr); s > 0 {
-			return s
-		}
-	}
-	return defaultSetSize
 }
 
 // ---------------------------------------------------------------------------

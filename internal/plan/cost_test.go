@@ -9,6 +9,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/eval"
 	"repro/internal/exec"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -18,7 +19,8 @@ type fakeStatistics struct {
 	rows map[string]int
 	ndv  map[string]int // keyed "EXTENT.attr"
 	avg  map[string]float64
-	idx  map[string]string // keyed "EXTENT.attr" → "hash"/"ordered"
+	idx  map[string]string           // keyed "EXTENT.attr" → "hash"/"ordered"
+	hist map[string]*stats.Histogram // keyed "EXTENT.attr"
 }
 
 // Attributes derives the attribute list from the ndv/avg keys, mirroring how
@@ -56,6 +58,9 @@ func (f fakeStatistics) AvgSetSize(extent, attr string) float64 {
 }
 func (f fakeStatistics) IndexKind(extent, attr string) string {
 	return f.idx[extent+"."+attr]
+}
+func (f fakeStatistics) Histogram(extent, attr string) *stats.Histogram {
+	return f.hist[extent+"."+attr]
 }
 
 func equiJoin(kind adl.JoinKind) *adl.Join {

@@ -106,10 +106,11 @@ func TestZeroRowReorderStaysFinite(t *testing.T) {
 func TestJoinOutRowsGuards(t *testing.T) {
 	kinds := []adl.JoinKind{adl.Inner, adl.Semi, adl.Anti, adl.NestJ, adl.Outer}
 	for _, kind := range kinds {
-		for _, in := range [][4]float64{
-			{0, 0, 0, 0}, {0, 10, 0, 5}, {10, 0, 5, 0}, {1e18, 1e18, 1, 1},
+		for _, in := range [][5]float64{
+			{0, 0, 0, 0, 0}, {0, 10, 0, 0, 5}, {10, 0, 0, 5, 0},
+			{1e18, 1e18, math.Inf(1), 1, 1}, {10, 10, math.NaN(), 0, 0},
 		} {
-			out := joinOutRows(kind, in[0], in[1], in[2], in[3])
+			out := joinOutRows(kind, in[0], in[1], in[2], in[3], in[4])
 			if math.IsNaN(out) || math.IsInf(out, 0) || out < 0 {
 				t.Errorf("joinOutRows(%v, %v) = %v", kind, in, out)
 			}

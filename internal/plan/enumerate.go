@@ -146,12 +146,12 @@ func (p *planner) joinOwnCost(g *joinGraph, s1, s2 uint64) float64 {
 	span := g.spanningConjs(s1, s2)
 
 	nKeys, nResid := 0, 0
-	eqSel := 1.0
+	var keySels []float64
 	for _, ci := range span {
 		c := &g.conjs[ci]
 		if c.eq && oppositeSides(c, s1, s2) {
 			nKeys++
-			eqSel *= c.sel
+			keySels = append(keySels, c.sel)
 		} else {
 			nResid++
 		}
@@ -159,7 +159,7 @@ func (p *planner) joinOwnCost(g *joinGraph, s1, s2 uint64) float64 {
 	if nKeys == 0 {
 		return costNL(l, r, out)
 	}
-	matches := finite(l * r * eqSel)
+	matches := finite(l * r * combineConj(keySels))
 	residMatches := 0.0
 	if nResid > 0 {
 		residMatches = matches

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/adl"
+	"repro/internal/stats"
 )
 
 // -update regenerates the golden files:
@@ -98,22 +99,53 @@ func goldenCases() map[string]*Plan {
 		adl.CmpE(adl.Lt, adl.Dot(adl.V("s"), "sname"), adl.CStr("supplier-6"))),
 		adl.T("SUPPLIER"))
 
+	// histStats carry equi-depth histograms: EVT.sev is Zipf-shaped (value 0
+	// holds 70% of the rows), EVT.qty uniform over [0,100). The histogram
+	// cases show estimates the NDV rules cannot produce — the exact heavy-
+	// hitter equality, the interpolated two-sided range — and the nohist
+	// control renders the same queries under Config.NoHistograms.
+	sevVals := make([]int64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		v := int64(1 + i%40)
+		if i < 1400 {
+			v = 0
+		}
+		sevVals = append(sevVals, v)
+	}
+	histStats := fakeStatistics{
+		rows: map[string]int{"EVT": 2000},
+		ndv:  map[string]int{"EVT.sev": 41, "EVT.qty": 100},
+		idx:  map[string]string{"EVT.sev": "hash", "EVT.qty": "ordered"},
+		hist: map[string]*stats.Histogram{
+			"EVT.sev": histOf(sevVals...),
+			"EVT.qty": uniformHist(2000, 100),
+		},
+	}
+	hotEq := adl.Sel("e", adl.EqE(adl.Dot(adl.V("e"), "sev"), adl.CInt(0)), adl.T("EVT"))
+	qtyRange := adl.Sel("e", adl.AndE(
+		adl.CmpE(adl.Ge, adl.Dot(adl.V("e"), "qty"), adl.CInt(20)),
+		adl.CmpE(adl.Lt, adl.Dot(adl.V("e"), "qty"), adl.CInt(30))), adl.T("EVT"))
+
 	costed := Config{Statistics: goldenStats, Parallelism: 4}
 	bare := Config{}
 	return map[string]*Plan{
-		"stats_index_lookup":     Config{Statistics: indexStats}.Plan(lookupJoin),
-		"stats_index_range":      Config{Statistics: indexStats}.Plan(rangeSel),
-		"stats_reorder_chain3":   Config{Statistics: reorderStats, Parallelism: 4}.Plan(chain3),
-		"stats_noreorder_chain3": Config{Statistics: reorderStats, Parallelism: 4, NoReorder: true}.Plan(chain3),
-		"stats_reorder_bushy4":   Config{Statistics: bushyStats, Parallelism: 4}.Plan(chain4),
-		"stats_reorder_greedy4":  Config{Statistics: bushyStats, Parallelism: 4, MaxDPRelations: 3}.Plan(chain4),
-		"nostats_semijoin":       bare.Plan(semiMembership),
-		"nostats_equijoin":       bare.Plan(innerSwap),
-		"stats_semijoin":         costed.Plan(semiMembership),
-		"stats_inner_swap":       costed.Plan(innerSwap),
-		"stats_group_par":        costed.Plan(groupBig),
-		"stats_theta_nl":         costed.Plan(theta),
-		"stats_filter_serial":    costed.Plan(adl.Sel("p", adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART"))),
+		"stats_hist_hot_eq":        Config{Statistics: histStats, Parallelism: 4}.Plan(hotEq),
+		"stats_nohist_hot_eq":      Config{Statistics: histStats, Parallelism: 4, NoHistograms: true}.Plan(hotEq),
+		"stats_hist_range_probe":   Config{Statistics: histStats, Parallelism: 4}.Plan(qtyRange),
+		"stats_nohist_range_probe": Config{Statistics: histStats, Parallelism: 4, NoHistograms: true}.Plan(qtyRange),
+		"stats_index_lookup":       Config{Statistics: indexStats}.Plan(lookupJoin),
+		"stats_index_range":        Config{Statistics: indexStats}.Plan(rangeSel),
+		"stats_reorder_chain3":     Config{Statistics: reorderStats, Parallelism: 4}.Plan(chain3),
+		"stats_noreorder_chain3":   Config{Statistics: reorderStats, Parallelism: 4, NoReorder: true}.Plan(chain3),
+		"stats_reorder_bushy4":     Config{Statistics: bushyStats, Parallelism: 4}.Plan(chain4),
+		"stats_reorder_greedy4":    Config{Statistics: bushyStats, Parallelism: 4, MaxDPRelations: 3}.Plan(chain4),
+		"nostats_semijoin":         bare.Plan(semiMembership),
+		"nostats_equijoin":         bare.Plan(innerSwap),
+		"stats_semijoin":           costed.Plan(semiMembership),
+		"stats_inner_swap":         costed.Plan(innerSwap),
+		"stats_group_par":          costed.Plan(groupBig),
+		"stats_theta_nl":           costed.Plan(theta),
+		"stats_filter_serial":      costed.Plan(adl.Sel("p", adl.EqE(adl.Dot(adl.V("p"), "color"), adl.CStr("red")), adl.T("PART"))),
 		"stats_map_parallel": costed.Plan(adl.MapE("d", adl.Dot(adl.V("d"), "date"),
 			adl.T("DELIVERY"))),
 		"stats_project_unnest": costed.Plan(adl.Proj(adl.Mu("parts", adl.T("SUPPLIER")), "pid")),

@@ -10,7 +10,6 @@ package plan
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 
 	"repro/internal/adl"
@@ -184,22 +183,25 @@ func soleLeafVar(e adl.Expr, varBit map[string]int) (int, bool) {
 }
 
 // conjSelectivity estimates what fraction of the Cartesian pairs a graph
-// conjunct keeps: equi-key edges use the larger key NDV (containment
-// assumption), everything else the default guess.
+// conjunct keeps: equi-key edges through the shared estimator (histogram
+// intersection when both key attributes carry histograms, the larger-NDV
+// containment rule otherwise), everything else the default guess.
 func (p *planner) conjSelectivity(g *joinGraph, c *graphConj) float64 {
 	if !c.eq {
 		return defaultSelectivity
 	}
 	lrel, rrel := &g.rels[c.lrel], &g.rels[c.rrel]
-	ndvL := p.keyNDV(lrel.est, []adl.Expr{c.lkey}, lrel.leafVar)
-	ndvR := p.keyNDV(rrel.est, []adl.Expr{c.rkey}, rrel.leafVar)
-	return 1 / math.Max(1, math.Max(ndvL, ndvR))
+	return p.card.joinEqSelectivity(lrel.est, c.lkey, lrel.leafVar,
+		rrel.est, c.rkey, rrel.leafVar)
 }
 
 // rows estimates the output cardinality of joining the relation subset mask:
-// the product of the member cardinalities and the selectivities of every
-// conjunct internal to the subset. The estimate depends only on the subset,
-// never on a join order, which keeps the DP's per-subset memoization sound.
+// the product of the member cardinalities times the combined selectivity of
+// every conjunct internal to the subset (combineConj — the same exponential
+// backoff the σ estimator uses, so multi-conjunct subsets never estimate
+// above their most selective edge applied alone). The estimate depends only
+// on the subset, never on a join order, which keeps the DP's per-subset
+// memoization sound.
 func (g *joinGraph) rows(mask uint64) float64 {
 	if v, ok := g.rowsMemo[mask]; ok {
 		return v
@@ -210,12 +212,13 @@ func (g *joinGraph) rows(mask uint64) float64 {
 			rows *= g.rels[i].est.rows
 		}
 	}
+	var sels []float64
 	for i := range g.conjs {
 		if g.conjs[i].mask&^mask == 0 {
-			rows *= g.conjs[i].sel
+			sels = append(sels, g.conjs[i].sel)
 		}
 	}
-	rows = finite(rows)
+	rows = finite(rows * combineConj(sels))
 	g.rowsMemo[mask] = rows
 	return rows
 }

@@ -20,6 +20,7 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/adl"
@@ -76,6 +77,11 @@ type Config struct {
 	// indexes. It exists for A/B comparisons (experiments.B11) and
 	// differential tests.
 	NoIndexes bool
+	// NoHistograms makes the estimator ignore collected histograms and fall
+	// back to the pre-histogram model (1/NDV equality, defaultSelectivity
+	// ranges, min-NDV join keys). It exists for A/B comparisons
+	// (experiments.B12) and differential tests.
+	NoHistograms bool
 }
 
 // threshold resolves the effective parallel threshold.
@@ -112,7 +118,7 @@ func (c Config) Compile(e adl.Expr) exec.Operator { return c.Plan(e).Root }
 
 // Plan compiles a (set-valued) ADL expression into an annotated plan.
 func (c Config) Plan(e adl.Expr) *Plan {
-	p := &planner{cfg: c, est: map[exec.Operator]Estimate{}}
+	p := &planner{cfg: c, card: newEstimator(c), est: map[exec.Operator]Estimate{}}
 	root, _ := p.compile(e)
 	return &Plan{Root: root, est: p.est}
 }
@@ -123,11 +129,13 @@ func Run(e adl.Expr, db eval.DB) (*value.Set, error) {
 	return exec.Collect(op, &exec.Ctx{DB: db})
 }
 
-// planner carries one compilation's state: the configuration, the estimates
-// accumulated for the annotated plan, and the sequence for intermediate join
-// variables minted during join-order recomposition.
+// planner carries one compilation's state: the configuration, the shared
+// cardinality estimator (estimator.go), the estimates accumulated for the
+// annotated plan, and the sequence for intermediate join variables minted
+// during join-order recomposition.
 type planner struct {
 	cfg        Config
+	card       estimator
 	est        map[exec.Operator]Estimate
 	joinVarSeq int
 }
@@ -166,7 +174,7 @@ func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
 		child, ce := p.compile(n.Src)
 		pred := exec.NewScalar(n.Pred, n.Var)
 		if p.statsMode() && ce.known {
-			return p.chooseScalarOp(ce, ce.rows*p.selectivity(n.Pred, n.Var, ce), ce.extent,
+			return p.chooseScalarOp(ce, ce.rows*p.card.selectivity(n.Pred, n.Var, ce.extent), ce.extent,
 				func() exec.Operator {
 					return &exec.Filter{Child: child, Var: n.Var, Pred: pred}
 				},
@@ -211,7 +219,7 @@ func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
 	case *adl.Unnest:
 		child, ce := p.compile(n.X)
 		op := &exec.UnnestOp{Child: child, Attr: n.Attr}
-		rows := ce.rows * p.avgSetSize(ce, n.Attr)
+		rows := ce.rows * p.card.avgSetSize(ce, n.Attr)
 		est := ce.withOwn(rows, ce.rows*cRow+rows*cRow)
 		est.extent = ""
 		p.record(op, est)
@@ -428,8 +436,9 @@ func (p *planner) compileJoin(j *adl.Join) (exec.Operator, nodeEst) {
 			return sp, unknownEst
 		}
 		// Price the single-segment PNHL core against the nested loop.
-		avg := p.avgSetSize(le, attr)
-		out := joinOutRows(j.Kind, le.rows, re.rows, le.rows, re.rows)
+		avg := p.card.avgSetSize(le, attr)
+		inner := finite(le.rows * re.rows / math.Max(1, math.Max(le.rows, re.rows)))
+		out := joinOutRows(j.Kind, le.rows, re.rows, inner, le.rows, re.rows)
 		spOwn := costPNHL(le.rows, avg, re.rows, out, 1)
 		nlOwn := costNL(le.rows, re.rows, out)
 		child := le.cost + re.cost
@@ -490,9 +499,12 @@ func (p *planner) compileJoin(j *adl.Join) (exec.Operator, nodeEst) {
 		As:   j.As, RFun: rfun,
 	}
 	if costed {
-		out := le.rows * re.rows * defaultSelectivity
+		// No usable equi key: the estimator prices the theta predicate
+		// conjunct by conjunct (formerly a flat cross-product ·1/3 guess).
+		sel := p.card.joinPredSelectivity(cs, j.LVar, le, j.RVar, re)
+		out := le.rows * re.rows * sel
 		if j.Kind == adl.Semi || j.Kind == adl.Anti || j.Kind == adl.NestJ {
-			out = joinOutRows(j.Kind, le.rows, re.rows, le.rows, re.rows)
+			out = joinOutRows(j.Kind, le.rows, re.rows, out, le.rows, re.rows)
 		}
 		est := nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
 			cost: le.cost + re.cost + costNL(le.rows, re.rows, out)}
@@ -510,13 +522,18 @@ func (p *planner) compileJoin(j *adl.Join) (exec.Operator, nodeEst) {
 func (p *planner) chooseEquiJoin(j *adl.Join, l, r exec.Operator, le, re nodeEst,
 	lkeys, rkeys, residual []adl.Expr, res *exec.Scalar, rfun *exec.Scalar) (exec.Operator, nodeEst) {
 
-	ndvL := p.keyNDV(le, lkeys, j.LVar)
-	ndvR := p.keyNDV(re, rkeys, j.RVar)
-	out := joinOutRows(j.Kind, le.rows, re.rows, ndvL, ndvR)
-	matches := le.rows * re.rows / clamp(ndvL, 1, 1e18)
-	if ndvR > ndvL {
-		matches = le.rows * re.rows / ndvR
+	ndvL := p.card.keyNDV(le, lkeys, j.LVar)
+	ndvR := p.card.keyNDV(re, rkeys, j.RVar)
+	// The inner-join output estimate: the containment rule for composite
+	// keys, histogram intersection for a single key pair when both sides
+	// carry histograms.
+	eqSel := 1 / math.Max(1, math.Max(ndvL, ndvR))
+	if len(lkeys) == 1 {
+		eqSel = p.card.joinEqSelectivity(le, lkeys[0], j.LVar, re, rkeys[0], j.RVar)
 	}
+	inner := finite(le.rows * re.rows * eqSel)
+	out := joinOutRows(j.Kind, le.rows, re.rows, inner, ndvL, ndvR)
+	matches := inner
 	residMatches := 0.0
 	if len(residual) > 0 {
 		residMatches = matches

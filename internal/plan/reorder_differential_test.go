@@ -171,8 +171,11 @@ func TestDifferentialReorderedEquivalence(t *testing.T) {
 // storeRelations mirrors randRelations on a real storage.Store with
 // secondary indexes — ordered on each t{i}k, hash on each t{i}j — so the
 // indexed arms probe real index structures and ANALYZE-collected statistics
-// (index kinds included) drive the planner.
-func storeRelations(t *testing.T, rng *rand.Rand, nt int) *storage.Store {
+// (index kinds included) drive the planner. With skewed set, the key
+// attributes are drawn from a Zipf distribution instead of uniformly, so
+// the collected histograms have heavy hitters to disagree with the NDV
+// rules about.
+func storeRelations(t *testing.T, rng *rand.Rand, nt int, skewed bool) *storage.Store {
 	t.Helper()
 	cat := schema.NewCatalog()
 	for i := 0; i < nt; i++ {
@@ -197,10 +200,15 @@ func storeRelations(t *testing.T, rng *rand.Rand, nt int) *storage.Store {
 			rows = 0
 		}
 		dom := int64(1 + rng.Intn(6))
+		draw := func() value.Value { return value.Int(rng.Int63n(dom)) }
+		if skewed && dom > 1 {
+			zipf := rand.NewZipf(rng, 1.8, 1, uint64(dom-1))
+			draw = func() value.Value { return value.Int(int64(zipf.Uint64())) }
+		}
 		for r := 0; r < rows; r++ {
 			if _, err := st.Insert(name, value.NewTuple(
-				fmt.Sprintf("t%dk", i), value.Int(rng.Int63n(dom)),
-				fmt.Sprintf("t%dj", i), value.Int(rng.Int63n(dom)),
+				fmt.Sprintf("t%dk", i), draw(),
+				fmt.Sprintf("t%dj", i), draw(),
 				fmt.Sprintf("t%dv", i), value.Int(int64(rng.Intn(25))),
 			)); err != nil {
 				t.Fatal(err)
@@ -225,7 +233,7 @@ func TestDifferentialIndexedEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 25; seed++ {
 		rng := rand.New(rand.NewSource(seed + 900))
 		nt := 3 + rng.Intn(2)
-		st := storeRelations(t, rng, nt)
+		st := storeRelations(t, rng, nt, false)
 		stats := st.Analyze()
 		leaves := rng.Perm(nt)
 		tg := &treeGen{rng: rng}

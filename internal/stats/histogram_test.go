@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func ints(vs ...int64) []value.Value {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		out[i] = value.Int(v)
+	}
+	return out
+}
+
+func TestNewEquiDepthEmpty(t *testing.T) {
+	if h := NewEquiDepth(nil, 8); h != nil {
+		t.Fatalf("histogram over no values should be nil, got %v", h)
+	}
+	// A nil histogram is safe to query.
+	var h *Histogram
+	if f := h.EqFraction(value.Int(1)); f != 0 {
+		t.Errorf("nil EqFraction = %v, want 0", f)
+	}
+	if f := h.LessFraction(value.Int(1), true); f != 0 {
+		t.Errorf("nil LessFraction = %v, want 0", f)
+	}
+	if f := h.RangeFraction(value.Int(0), value.Int(1), true, true); f != 0 {
+		t.Errorf("nil RangeFraction = %v, want 0", f)
+	}
+	if s := h.String(); s != "<no histogram>" {
+		t.Errorf("nil String = %q", s)
+	}
+}
+
+func TestNewEquiDepthSingleValue(t *testing.T) {
+	h := NewEquiDepth(ints(7, 7, 7, 7, 7), 4)
+	if len(h.Buckets) != 1 || h.Rows != 5 {
+		t.Fatalf("single-value histogram = %v", h)
+	}
+	b := h.Buckets[0]
+	if b.NDV != 1 || b.Rows != 5 || value.Compare(b.Lo, b.Hi) != 0 {
+		t.Fatalf("single-value bucket = %+v", b)
+	}
+	if f := h.EqFraction(value.Int(7)); f != 1 {
+		t.Errorf("EqFraction(7) = %v, want 1", f)
+	}
+	if f := h.EqFraction(value.Int(8)); f != 0 {
+		t.Errorf("EqFraction(8) = %v, want 0", f)
+	}
+	if h.NDV() != 1 {
+		t.Errorf("NDV = %d, want 1", h.NDV())
+	}
+}
+
+// TestEquiDepthHeavyHitter: a run of equal values is never split, so the hot
+// value's frequency is exact while the uniform 1/NDV rule would be off by an
+// order of magnitude.
+func TestEquiDepthHeavyHitter(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 700; i++ {
+		vals = append(vals, value.Int(0)) // the heavy hitter
+	}
+	for i := 0; i < 300; i++ {
+		vals = append(vals, value.Int(int64(1+i%30)))
+	}
+	h := NewEquiDepth(vals, 16)
+	got := h.EqFraction(value.Int(0))
+	if math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("heavy hitter EqFraction = %v, want exactly 0.7", got)
+	}
+	// A cold value estimates near its bucket's average, far below 0.7.
+	if cold := h.EqFraction(value.Int(5)); cold <= 0 || cold > 0.1 {
+		t.Errorf("cold value EqFraction = %v, want small positive", cold)
+	}
+	// Buckets must cover every row exactly once.
+	rows := 0
+	for _, b := range h.Buckets {
+		rows += b.Rows
+	}
+	if rows != len(vals) {
+		t.Errorf("bucket rows sum to %d, want %d", rows, len(vals))
+	}
+	if h.NDV() != 31 {
+		t.Errorf("NDV = %d, want 31", h.NDV())
+	}
+}
+
+// TestEquiDepthHeavyHitterMidDomain: the exact-frequency invariant must
+// hold wherever the heavy hitter sorts, not only at the domain minimum. A
+// bucket-sized run arriving at a partially-filled bucket must open its own
+// bucket instead of being diluted by the bucket's earlier values.
+func TestEquiDepthHeavyHitterMidDomain(t *testing.T) {
+	var vals []value.Value
+	for v := int64(0); v < 3; v++ { // small values sorting before the hitter
+		for i := 0; i < 10; i++ {
+			vals = append(vals, value.Int(v))
+		}
+	}
+	for i := 0; i < 1400; i++ {
+		vals = append(vals, value.Int(5)) // the heavy hitter, mid-domain
+	}
+	for i := 0; i < 570; i++ {
+		vals = append(vals, value.Int(int64(10+i%30)))
+	}
+	h := NewEquiDepth(vals, 16)
+	if got := h.EqFraction(value.Int(5)); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("mid-domain heavy hitter EqFraction = %v, want exactly 0.7", got)
+	}
+	// And the strict-less fraction excludes the hitter's own rows: only the
+	// 30 smaller rows are below it.
+	if got := h.LessFraction(value.Int(5), false); math.Abs(got-30.0/2000) > 1e-9 {
+		t.Errorf("LessFraction(hitter, strict) = %v, want %v", got, 30.0/2000)
+	}
+}
+
+// TestLessFractionSingletonBucket: a heavy hitter's singleton bucket
+// contributes nothing to the strictly-less fraction of its own value, and
+// everything to the or-equal fraction.
+func TestLessFractionSingletonBucket(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 1400; i++ {
+		vals = append(vals, value.Int(0))
+	}
+	for i := 0; i < 600; i++ {
+		vals = append(vals, value.Int(int64(1+i%30)))
+	}
+	h := NewEquiDepth(vals, 16)
+	if got := h.LessFraction(value.Int(0), false); got != 0 {
+		t.Errorf("LessFraction(0, strict) = %v, want 0 — nothing sorts below the minimum", got)
+	}
+	if got := h.LessFraction(value.Int(0), true); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("LessFraction(0, orEqual) = %v, want 0.7", got)
+	}
+	// The derived one-sided selectivities: sev >= 0 keeps everything,
+	// sev < 0 nothing.
+	if got := h.RangeFraction(value.Int(0), nil, true, false); got != 1 {
+		t.Errorf("RangeFraction[0,∞) = %v, want 1", got)
+	}
+	if got := h.RangeFraction(nil, value.Int(0), false, false); got != 0 {
+		t.Errorf("RangeFraction(-∞,0) = %v, want 0", got)
+	}
+}
+
+// TestLessFractionUniform: range interpolation over a uniform domain should
+// land near the true fraction.
+func TestLessFractionUniform(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.Int(int64(i%100)))
+	}
+	h := NewEquiDepth(vals, 20)
+	cases := []struct {
+		v    int64
+		want float64
+	}{
+		{50, 0.5}, {90, 0.9}, {10, 0.1},
+	}
+	for _, c := range cases {
+		got := h.LessFraction(value.Int(c.v), false)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("LessFraction(%d) = %v, want ≈%v", c.v, got, c.want)
+		}
+	}
+	if f := h.LessFraction(value.Int(1000), true); f != 1 {
+		t.Errorf("LessFraction above the domain = %v, want 1", f)
+	}
+	if f := h.LessFraction(value.Int(-5), false); f != 0 {
+		t.Errorf("LessFraction below the domain = %v, want 0", f)
+	}
+}
+
+func TestRangeFractionTwoSided(t *testing.T) {
+	var vals []value.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, value.Int(int64(i%100)))
+	}
+	h := NewEquiDepth(vals, 20)
+	got := h.RangeFraction(value.Int(20), value.Int(30), true, false)
+	if math.Abs(got-0.1) > 0.05 {
+		t.Errorf("RangeFraction[20,30) = %v, want ≈0.1", got)
+	}
+	// One-sided ranges fall back to the matching LessFraction.
+	lo := h.RangeFraction(value.Int(90), nil, true, false)
+	if math.Abs(lo-0.1) > 0.05 {
+		t.Errorf("RangeFraction[90,∞) = %v, want ≈0.1", lo)
+	}
+	if f := h.RangeFraction(value.Int(70), value.Int(20), true, true); f != 0 {
+		t.Errorf("inverted range = %v, want 0", f)
+	}
+}
+
+// TestJoinSelectivity: overlapping uniform domains reproduce the containment
+// estimate; disjoint domains estimate (near) zero, which the global min-NDV
+// rule cannot do.
+func TestJoinSelectivity(t *testing.T) {
+	uni := func(n, dom int) *Histogram {
+		var vals []value.Value
+		for i := 0; i < n; i++ {
+			vals = append(vals, value.Int(int64(i%dom)))
+		}
+		return NewEquiDepth(vals, 16)
+	}
+	a, b := uni(1000, 100), uni(500, 100)
+	sel, ok := JoinSelectivity(a, b)
+	if !ok {
+		t.Fatal("join selectivity not computed")
+	}
+	if math.Abs(sel-0.01) > 0.005 {
+		t.Errorf("same-domain join selectivity = %v, want ≈1/100", sel)
+	}
+
+	var shifted []value.Value
+	for i := 0; i < 500; i++ {
+		shifted = append(shifted, value.Int(int64(1000+i%100)))
+	}
+	c := NewEquiDepth(shifted, 16)
+	sel, ok = JoinSelectivity(a, c)
+	if !ok {
+		t.Fatal("disjoint join selectivity not computed")
+	}
+	if sel > 0.0001 {
+		t.Errorf("disjoint-domain join selectivity = %v, want ≈0", sel)
+	}
+	if _, ok := JoinSelectivity(a, nil); ok {
+		t.Error("nil histogram should report not-ok")
+	}
+}
+
+// TestJoinSelectivityHotKey: a skewed probe side joined with a uniform key
+// side estimates far more matches than the min-NDV rule would.
+func TestJoinSelectivityHotKey(t *testing.T) {
+	var fact []value.Value
+	for i := 0; i < 1000; i++ {
+		v := int64(i % 50)
+		if i < 700 {
+			v = 3 // hot foreign key
+		}
+		fact = append(fact, value.Int(v))
+	}
+	var dim []value.Value
+	for i := 0; i < 50; i++ {
+		dim = append(dim, value.Int(int64(i)))
+	}
+	sel, ok := JoinSelectivity(NewEquiDepth(fact, 16), NewEquiDepth(dim, 16))
+	if !ok {
+		t.Fatal("not computed")
+	}
+	// True selectivity: every fact row matches exactly one dim row →
+	// 1000 matches / (1000·50) = 1/50 = 0.02.
+	if math.Abs(sel-0.02) > 0.01 {
+		t.Errorf("hot-key join selectivity = %v, want ≈0.02", sel)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewEquiDepth(ints(1, 1, 2, 3, 9), 2)
+	s := h.String()
+	for _, want := range []string{"equi-depth 5 rows", "buckets:", "×"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestNonNumericKinds: strings order correctly and interpolate at the
+// half-bucket default instead of failing.
+func TestNonNumericKinds(t *testing.T) {
+	var vals []value.Value
+	for _, s := range []string{"ant", "bee", "cat", "dog", "eel", "fox"} {
+		vals = append(vals, value.String(s))
+	}
+	h := NewEquiDepth(vals, 3)
+	if f := h.EqFraction(value.String("cat")); f <= 0 {
+		t.Errorf("string EqFraction = %v, want > 0", f)
+	}
+	lt := h.LessFraction(value.String("cap"), false)
+	if lt <= 0 || lt >= 1 {
+		t.Errorf("string LessFraction = %v, want interior", lt)
+	}
+}

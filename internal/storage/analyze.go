@@ -2,9 +2,13 @@
 // join strategies to "the optimizer" (§5.1) without saying where its
 // knowledge comes from; a modern engine answers with collected statistics.
 // Analyze scans every extent once and records, per base table, the row
-// count, per-attribute distinct-value counts, and the average cardinality of
-// set-valued attributes. The result feeds the cost model in internal/plan,
-// which prices the physical join operators and picks the cheapest.
+// count, per-attribute distinct-value counts, equi-depth histograms of the
+// scalar attribute values (and of set-element values), and the average
+// cardinality of set-valued attributes. The result feeds the estimator in
+// internal/plan, which prices the physical join operators and picks the
+// cheapest. The collected DBStats is memoized on the store and invalidated
+// by Insert and index registration, so repeated Analyze calls between
+// mutations are free.
 package storage
 
 import (
@@ -12,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/stats"
 	"repro/internal/value"
 )
 
@@ -35,6 +40,14 @@ type TableStats struct {
 	// Indexes maps each indexed attribute to its index kind ("hash" or
 	// "ordered"), as registered with Store.CreateIndex at collection time.
 	Indexes map[string]string
+	// Hist maps each scalar attribute to the equi-depth histogram of its
+	// values; Mixed attributes get none (the same undercount argument as
+	// Distinct applies).
+	Hist map[string]*stats.Histogram
+	// ElemHist maps each set-valued attribute to the equi-depth histogram of
+	// the elements pooled across all of the extent's sets — the element
+	// distribution a membership probe runs against.
+	ElemHist map[string]*stats.Histogram
 }
 
 // DBStats is the database-wide result of Analyze: extent name → TableStats.
@@ -87,6 +100,21 @@ func (d *DBStats) Attributes(extent string) []string {
 	return attrs
 }
 
+// Histogram reports the equi-depth histogram collected for extent.attr, or
+// nil when none was (unknown extent, mixed attribute, empty extent). For a
+// scalar attribute it describes the attribute's values; for a set-valued
+// attribute, the distribution of the set elements across the extent.
+func (d *DBStats) Histogram(extent, attr string) *stats.Histogram {
+	t, ok := d.Tables[extent]
+	if !ok {
+		return nil
+	}
+	if h, ok := t.Hist[attr]; ok {
+		return h
+	}
+	return t.ElemHist[attr]
+}
+
 // IndexKind reports the kind of the secondary index on extent.attr at
 // ANALYZE time ("hash" or "ordered"), or "" when the attribute is not
 // indexed. The planner uses it to admit index access paths.
@@ -127,14 +155,18 @@ func (d *DBStats) String() string {
 			if kind, ok := t.Indexes[a]; ok {
 				idx = fmt.Sprintf(" [%s index]", kind)
 			}
+			hist := ""
+			if h := d.Histogram(n, a); h != nil {
+				hist = fmt.Sprintf(", hist(%d buckets)", len(h.Buckets))
+			}
 			avg, isSet := t.AvgSetSize[a]
 			switch {
 			case mixed[a]:
 				fmt.Fprintf(&b, "  .%s: mixed scalar/set, statistics unknown%s\n", a, idx)
 			case isSet:
-				fmt.Fprintf(&b, "  .%s: set-valued, avg %.1f elems%s\n", a, avg, idx)
+				fmt.Fprintf(&b, "  .%s: set-valued, avg %.1f elems%s%s\n", a, avg, hist, idx)
 			default:
-				fmt.Fprintf(&b, "  .%s: %d distinct%s\n", a, t.Distinct[a], idx)
+				fmt.Fprintf(&b, "  .%s: %d distinct%s%s\n", a, t.Distinct[a], hist, idx)
 			}
 		}
 	}
@@ -166,8 +198,16 @@ func (c *distinctCounter) add(v value.Value) {
 
 // Analyze scans every extent of the store and collects statistics. It uses
 // the raw object map rather than Table so collection does not perturb the
-// I/O meters or the extent cache.
+// I/O meters or the extent cache. The result is memoized: repeated calls
+// return the same *DBStats until an Insert or index registration invalidates
+// it, at which point the next call rebuilds (histograms included).
 func (s *Store) Analyze() *DBStats {
+	s.cacheMu.RLock()
+	cached := s.statsCache
+	s.cacheMu.RUnlock()
+	if cached != nil {
+		return cached
+	}
 	db := &DBStats{Tables: map[string]TableStats{}}
 	for _, ext := range s.cat.Extents() {
 		oids := s.extents[ext]
@@ -177,14 +217,15 @@ func (s *Store) Analyze() *DBStats {
 			AvgSetSize: map[string]float64{},
 		}
 		counters := map[string]*distinctCounter{}
-		setElems := map[string]int{} // total elements per set-valued attr
-		setRows := map[string]int{}  // rows carrying that attr
+		vals := map[string][]value.Value{}  // scalar values per attr, all rows
+		elems := map[string][]value.Value{} // pooled set elements per attr
+		setRows := map[string]int{}         // rows carrying that attr as a set
 		for _, oid := range oids {
 			obj := s.objects[oid]
 			for i := 0; i < obj.Len(); i++ {
 				name, v := obj.At(i)
 				if set, ok := v.(*value.Set); ok {
-					setElems[name] += set.Len()
+					elems[name] = append(elems[name], set.Elems()...)
 					setRows[name]++
 					continue
 				}
@@ -194,6 +235,7 @@ func (s *Store) Analyze() *DBStats {
 					counters[name] = c
 				}
 				c.add(v)
+				vals[name] = append(vals[name], v)
 			}
 		}
 		mixed := map[string]bool{}
@@ -214,9 +256,28 @@ func (s *Store) Analyze() *DBStats {
 			// Only attributes that are sets in every row count as set-valued;
 			// sets in only some rows (absent elsewhere) are unknown too.
 			if rows == ts.Rows && rows > 0 {
-				ts.AvgSetSize[name] = float64(setElems[name]) / float64(rows)
+				ts.AvgSetSize[name] = float64(len(elems[name])) / float64(rows)
 			} else if rows > 0 {
 				mixed[name] = true
+			}
+		}
+		// Histograms, under the same unknown-handling as the counts: scalar
+		// attributes over their values, set-valued attributes over the pooled
+		// elements, mixed attributes none.
+		for name := range ts.Distinct {
+			if h := stats.NewEquiDepth(vals[name], stats.DefaultBuckets); h != nil {
+				if ts.Hist == nil {
+					ts.Hist = map[string]*stats.Histogram{}
+				}
+				ts.Hist[name] = h
+			}
+		}
+		for name := range ts.AvgSetSize {
+			if h := stats.NewEquiDepth(elems[name], stats.DefaultBuckets); h != nil {
+				if ts.ElemHist == nil {
+					ts.ElemHist = map[string]*stats.Histogram{}
+				}
+				ts.ElemHist[name] = h
 			}
 		}
 		for name := range mixed {
@@ -231,5 +292,8 @@ func (s *Store) Analyze() *DBStats {
 		}
 		db.Tables[ext] = ts
 	}
+	s.cacheMu.Lock()
+	s.statsCache = db
+	s.cacheMu.Unlock()
 	return db
 }

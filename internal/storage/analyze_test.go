@@ -210,6 +210,145 @@ func TestAnalyzeDoesNotPerturbIOMeters(t *testing.T) {
 	}
 }
 
+// TestAnalyzeBuildsHistograms: scalar attributes get value histograms,
+// set-valued attributes element histograms, and the fractions line up with
+// the fixture's known distribution.
+func TestAnalyzeBuildsHistograms(t *testing.T) {
+	st := analyzeFixture(t)
+	stats := st.Analyze()
+
+	h := stats.Histogram("PART", "color")
+	if h == nil {
+		t.Fatal("no histogram for PART.color")
+	}
+	if got := h.EqFraction(value.String("red")); got != 2.0/3.0 {
+		t.Errorf("EqFraction(red) = %v, want 2/3", got)
+	}
+	if got := h.EqFraction(value.String("blue")); got != 1.0/3.0 {
+		t.Errorf("EqFraction(blue) = %v, want 1/3", got)
+	}
+	// The set-valued attribute's histogram describes the pooled elements:
+	// sets of sizes 0,1,2,3 over pid tuples → 6 elements total.
+	eh := stats.Histogram("SUPPLIER", "parts")
+	if eh == nil {
+		t.Fatal("no element histogram for SUPPLIER.parts")
+	}
+	if eh.Rows != 6 {
+		t.Errorf("element histogram rows = %d, want 6", eh.Rows)
+	}
+	if got := stats.Histogram("SUPPLIER", "nope"); got != nil {
+		t.Errorf("unknown attribute histogram = %v, want nil", got)
+	}
+	if got := stats.Histogram("NOPE", "x"); got != nil {
+		t.Errorf("unknown extent histogram = %v, want nil", got)
+	}
+}
+
+// TestAnalyzeHistogramEdgeCases: an empty extent has no histograms at all, a
+// single-valued attribute collapses to one exact bucket, and a mixed
+// scalar/set attribute stays unknown — no histogram that would present a
+// partial distribution as the whole.
+func TestAnalyzeHistogramEdgeCases(t *testing.T) {
+	st := analyzeFixture(t)
+	stats := st.Analyze()
+	// DELIVERY is empty: analyzed (rows 0) but without histograms.
+	if ts, ok := stats.Tables["DELIVERY"]; !ok {
+		t.Fatal("empty extent not analyzed")
+	} else if len(ts.Hist) != 0 || len(ts.ElemHist) != 0 {
+		t.Errorf("empty extent has histograms: %v %v", ts.Hist, ts.ElemHist)
+	}
+
+	// Single-value attribute: one bucket, exact.
+	single := New(schema.SupplierPart())
+	for i := 0; i < 5; i++ {
+		if _, err := single.Insert("PART", value.NewTuple(
+			"pname", value.String("same"), "price", value.Int(9),
+			"color", value.String("red"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := single.Analyze().Histogram("PART", "pname")
+	if h == nil || len(h.Buckets) != 1 || h.Buckets[0].NDV != 1 || h.Buckets[0].Rows != 5 {
+		t.Fatalf("single-value histogram = %v, want one exact bucket", h)
+	}
+	if got := h.EqFraction(value.String("same")); got != 1 {
+		t.Errorf("EqFraction(same) = %v, want 1", got)
+	}
+
+	// Mixed scalar/set: no histogram under either map.
+	mixed := New(schema.SupplierPart())
+	if _, err := mixed.Insert("SUPPLIER", value.NewTuple(
+		"sname", value.String("a"),
+		"parts", value.NewSet(value.NewTuple("pid", value.OID(1))))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mixed.Insert("SUPPLIER", value.NewTuple(
+		"sname", value.String("b"), "parts", value.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	if got := mixed.Analyze().Histogram("SUPPLIER", "parts"); got != nil {
+		t.Errorf("mixed attribute has a histogram: %v", got)
+	}
+}
+
+// TestAnalyzeMemoizedAndInvalidated: Analyze memoizes its result; Insert and
+// CreateIndex invalidate it, and the rebuilt statistics (histograms
+// included) reflect the new state.
+func TestAnalyzeMemoizedAndInvalidated(t *testing.T) {
+	st := analyzeFixture(t)
+	first := st.Analyze()
+	if second := st.Analyze(); second != first {
+		t.Fatal("Analyze did not memoize between mutations")
+	}
+
+	if _, err := st.Insert("PART", value.NewTuple(
+		"pname", value.String("d"), "price", value.Int(99),
+		"color", value.String("green"))); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := st.Analyze()
+	if rebuilt == first {
+		t.Fatal("Analyze result not invalidated by Insert")
+	}
+	if got := rebuilt.RowCount("PART"); got != 4 {
+		t.Errorf("rebuilt RowCount(PART) = %d, want 4", got)
+	}
+	h := rebuilt.Histogram("PART", "color")
+	if h == nil || h.EqFraction(value.String("green")) != 0.25 {
+		t.Errorf("rebuilt histogram misses the inserted row: %v", h)
+	}
+	// Stale pre-insert statistics still answer from their snapshot.
+	if old := first.Histogram("PART", "color"); old.EqFraction(value.String("green")) != 0 {
+		t.Errorf("old snapshot mutated: %v", old)
+	}
+
+	// Index registration invalidates too (index kinds are collected).
+	if err := st.CreateIndex("PART", "color", HashIndex); err != nil {
+		t.Fatal(err)
+	}
+	withIdx := st.Analyze()
+	if withIdx == rebuilt {
+		t.Fatal("Analyze result not invalidated by CreateIndex")
+	}
+	if got := withIdx.IndexKind("PART", "color"); got != "hash" {
+		t.Errorf("rebuilt IndexKind = %q, want hash", got)
+	}
+}
+
+// TestDBStatsStringHistograms: the report marks attributes that carry
+// histograms, and Histogram.String renders buckets.
+func TestDBStatsStringHistograms(t *testing.T) {
+	stats := analyzeFixture(t).Analyze()
+	out := stats.String()
+	if !strings.Contains(out, "hist(") {
+		t.Errorf("stats report does not mention histograms:\n%s", out)
+	}
+	hs := stats.Histogram("PART", "price").String()
+	if !strings.Contains(hs, "equi-depth 3 rows") {
+		t.Errorf("histogram rendering = %q", hs)
+	}
+}
+
 func TestDBStatsString(t *testing.T) {
 	stats := analyzeFixture(t).Analyze()
 	out := stats.String()

@@ -86,6 +86,11 @@ func (s *Store) CreateIndex(extent, attr string, kind IndexKind) error {
 		s.indexes[extent] = map[string]*extIndex{}
 	}
 	s.indexes[extent][attr] = idx
+	// Collected statistics record index kinds, so a memoized Analyze result
+	// is stale the moment an index appears.
+	s.cacheMu.Lock()
+	s.statsCache = nil
+	s.cacheMu.Unlock()
 	return nil
 }
 

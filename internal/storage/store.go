@@ -54,7 +54,10 @@ type Store struct {
 	extents map[string][]value.OID
 	// extentCache holds materialized extent sets; invalidated on insert.
 	extentCache map[string]*value.Set
-	cacheMu     sync.RWMutex
+	// statsCache memoizes the last Analyze result (analyze.go); invalidated
+	// on insert and on index registration, rebuilt by the next Analyze.
+	statsCache *DBStats
+	cacheMu    sync.RWMutex
 
 	// indexes is the secondary-index registry (index.go): extent → attr →
 	// index. Probes take idxMu for reading; Insert invalidates and the next
@@ -114,6 +117,7 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	s.extents[extent] = append(s.extents[extent], oid)
 	s.cacheMu.Lock()
 	delete(s.extentCache, extent)
+	s.statsCache = nil
 	s.cacheMu.Unlock()
 	s.invalidateIndexes(extent)
 	return oid, nil
