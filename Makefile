@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-json bench-smoke serve-smoke bench-serve fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,11 @@ bench-smoke:
 # locally (make bench-json BENCHTIME=5s) for stable numbers.
 BENCHTIME ?= 1x
 
+# Output file for bench-json. CI's regression job writes a fresh run to a
+# scratch path (BENCH_OUT=fresh.json) and compares it against the committed
+# BENCH_RESULTS.json with `benchjson -compare`.
+BENCH_OUT ?= BENCH_RESULTS.json
+
 # Runs the benchmark suite and archives the measurements as a JSON
 # perf-trajectory file (cmd/benchjson). CI uploads BENCH_RESULTS.json as an
 # artifact per commit so regressions show up as a number series. A temp file
@@ -35,8 +40,37 @@ BENCHTIME ?= 1x
 # a failing benchmark upload a partial trajectory as green.
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > bench-raw.txt
-	$(GO) run ./cmd/benchjson -out BENCH_RESULTS.json < bench-raw.txt
+	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench-raw.txt
 	@rm -f bench-raw.txt
+
+# Serving-layer smoke: boots the OOSQL server binary and drives it over HTTP
+# with the closed-loop load generator, then repeats the workload in-process
+# under the race detector with 256 clients on a small dataset (the
+# differential verification arm re-executes the untransformed nested form —
+# the paper's quadratic baseline — so the extent must stay small to bound
+# -race runtime). The driver exits non-zero on any request error or any
+# non-linearizable verified read, which fails this target.
+SERVE_ADDR ?= 127.0.0.1:18094
+serve-smoke:
+	$(GO) build -o adlserve.smoke ./cmd/adlserve
+	@./adlserve.smoke -addr $(SERVE_ADDR) -suppliers 100 -parts 200 -deliveries 50 & \
+	srv=$$!; trap 'kill $$srv 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	$(GO) run ./cmd/adlload -addr http://$(SERVE_ADDR) -clients 64 -duration 2s \
+		-insert-frac 0.2 -verify-frac 0.05 || exit 1
+	@rm -f adlserve.smoke
+	$(GO) run -race ./cmd/adlload -clients 256 -duration 2s -insert-frac 0.2 \
+		-verify-frac 0.05 -suppliers 100 -parts 200 -deliveries 50
+
+# Closed-loop serving benchmark: 1000 concurrent clients, plan cache on vs
+# off, asserting identical results per query and a p50 win for the cached
+# arm, then folds the measurements into the committed perf trajectory.
+bench-serve:
+	$(GO) run ./cmd/adlload -clients 1000 -duration 3s -compare-cache -assert \
+		-json serve-results.json
+	$(GO) run ./cmd/benchjson -merge serve-results.json -out BENCH_RESULTS.json
+	@rm -f serve-results.json
 
 # Total-statement-coverage floor enforced by make cover. 80.3% was measured
 # when the gate was introduced; the floor sits just under it to absorb the
@@ -82,4 +116,4 @@ staticcheck:
 
 # Exactly what .github/workflows/ci.yml runs. staticcheck is separate from
 # `ci` so the aggregate target stays runnable offline; CI runs both.
-ci: fmt-check vet build race cover fuzz-smoke bench-smoke
+ci: fmt-check vet build race cover fuzz-smoke bench-smoke serve-smoke

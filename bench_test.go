@@ -18,6 +18,8 @@ import (
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -409,4 +411,44 @@ func exec_compile(e adl.Expr) exec.Operator {
 		return &exec.Scan{Table: t.Name}
 	}
 	return &exec.ExprScan{Expr: e}
+}
+
+// BenchmarkServeQuery — the serving layer's plan cache: repeated execution
+// of one query through the server engine with the cache on (plan once, clone
+// the operator tree per run) vs off (full parse/typecheck/rewrite/plan every
+// time). The replan arm measures the cost of one epoch-drift re-plan per
+// iteration, the upper bound a client sees right after bulk inserts.
+func BenchmarkServeQuery(b *testing.B) {
+	const q = `select p.pname from p in PART where p.color = "red"`
+	mk := func(noCache bool) *server.Engine {
+		st := bench.Generate(bench.Config{Suppliers: 200, Parts: 400, Deliveries: 100, Seed: 94})
+		if err := st.CreateIndex("PART", "color", storage.HashIndex); err != nil {
+			b.Fatal(err)
+		}
+		st.Analyze()
+		return server.New(st, server.Options{NoPlanCache: noCache, Parallelism: 1})
+	}
+	b.Run("plancache", func(b *testing.B) {
+		eng := mk(false)
+		if _, err := eng.Query(q); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		run(b, func() error { _, err := eng.Query(q); return err })
+	})
+	b.Run("no_cache", func(b *testing.B) {
+		eng := mk(true)
+		run(b, func() error { _, err := eng.Query(q); return err })
+	})
+	b.Run("replan", func(b *testing.B) {
+		eng := mk(false)
+		run(b, func() error {
+			// Invalidate by bumping the stats epoch the way CreateIndex does:
+			// drop and recreate an orthogonal index.
+			if err := eng.Store().CreateIndex("PART", "price", storage.OrderedIndex); err != nil {
+				return err
+			}
+			_, err := eng.Query(q)
+			return err
+		})
+	})
 }

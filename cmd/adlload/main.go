@@ -1,0 +1,377 @@
+// Command adlload is the closed-loop load driver for the serving layer: N
+// concurrent clients each issue a mixed stream of OOSQL reads and PART
+// inserts as fast as the engine answers, for a fixed duration. It reports
+// p50/p99 latency and sustained QPS, and writes them as a benchjson fragment
+// (-json) for merging into BENCH_RESULTS.json.
+//
+// By default the driver runs in-process: it builds the store, wraps it in
+// the serving engine, and drives it directly — this is the mode CI runs
+// under -race, and the mode that can differentially verify reads. A
+// fraction of reads (-verify-frac) re-execute the untransformed nested form
+// serially against the same pinned snapshot and fail the run on any
+// mismatch — the reads-under-writes linearizability arm: under concurrent
+// inserts, a pinned snapshot must answer exactly as it would have with the
+// world stopped.
+//
+// With -addr the driver targets a running adlserve over HTTP instead.
+//
+// With -compare-cache the workload runs twice on identical fresh stores —
+// plan cache on, then off — after first asserting both engines return
+// identical results for every query in the pool; -assert additionally fails
+// the run unless the cached arm wins on p50.
+//
+//	adlload -clients 1000 -duration 5s -insert-frac 0.2 -verify-frac 0.02
+//	adlload -compare-cache -assert -json serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// queryPool is the read mix: equality and range selections an index can
+// serve, a full scan, and two of the paper's join-shaped example queries
+// (the §4 semijoin and select-clause nesting) so the cache holds plans the
+// optimizer actually had to think about.
+var queryPool = []struct{ name, src string }{
+	{"red-parts", `select p.pname from p in PART where p.color = "red"`},
+	{"cheap-parts", `select p.pname from p in PART where p.price < 10`},
+	{"all-suppliers", `select s.sname from s in SUPPLIER`},
+	{"semijoin", `select s from s in SUPPLIER
+ where exists x in s.parts_supplied : exists p in PART : x = p and p.color = "red"`},
+	{"nested-select", `select (sname = s.sname,
+        pnames = select p.pname from p in s.parts_supplied where p.color = "red")
+ from s in SUPPLIER`},
+}
+
+var partColors = []string{"red", "green", "blue"}
+
+type config struct {
+	clients    int
+	duration   time.Duration
+	insertFrac float64
+	verifyFrac float64
+	seed       int64
+}
+
+// client issues one operation against either the in-process engine or a
+// remote adlserve.
+type client interface {
+	query(src string, verify bool) error
+	insert(t *value.Tuple) error
+}
+
+type localClient struct{ eng *server.Engine }
+
+func (c localClient) query(src string, verify bool) error {
+	var err error
+	if verify {
+		_, err = c.eng.QueryVerified(src)
+	} else {
+		_, err = c.eng.Query(src)
+	}
+	return err
+}
+
+func (c localClient) insert(t *value.Tuple) error {
+	_, err := c.eng.Insert("PART", t)
+	return err
+}
+
+type httpClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c httpClient) post(path string, body any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, msg)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func (c httpClient) query(src string, verify bool) error {
+	return c.post("/query", map[string]any{"query": src, "verify": verify})
+}
+
+func (c httpClient) insert(t *value.Tuple) error {
+	enc, err := value.EncodeJSON(t)
+	if err != nil {
+		return err
+	}
+	return c.post("/insert", map[string]any{"extent": "PART", "object": json.RawMessage(enc)})
+}
+
+func newPart(rng *rand.Rand, id int64) *value.Tuple {
+	return value.NewTuple(
+		"pname", value.String(fmt.Sprintf("load-part-%d", id)),
+		"price", value.Int(rng.Int63n(100)+1),
+		"color", value.String(partColors[rng.Intn(len(partColors))]),
+	)
+}
+
+// runResult aggregates one closed-loop run.
+type runResult struct {
+	ops, reads, writes, verified int
+	p50, p99                     time.Duration
+	qps                          float64
+	elapsed                      time.Duration
+	errs                         []error
+}
+
+// run drives cfg.clients concurrent closed loops against mk's client for
+// cfg.duration.
+func run(cfg config, mk func() client) runResult {
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, cfg.clients)
+	errs := make([][]error, cfg.clients)
+	counts := make([][3]int, cfg.clients) // reads, writes, verified
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := mk()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
+			for n := 0; time.Now().Before(deadline); n++ {
+				t0 := time.Now()
+				var err error
+				if rng.Float64() < cfg.insertFrac {
+					err = cl.insert(newPart(rng, int64(i)<<32|int64(n)))
+					counts[i][1]++
+				} else {
+					q := queryPool[rng.Intn(len(queryPool))]
+					verify := rng.Float64() < cfg.verifyFrac
+					err = cl.query(q.src, verify)
+					counts[i][0]++
+					if verify {
+						counts[i][2]++
+					}
+				}
+				lats[i] = append(lats[i], time.Since(t0))
+				if err != nil {
+					errs[i] = append(errs[i], err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var res runResult
+	res.elapsed = elapsed
+	var all []time.Duration
+	for i := range lats {
+		all = append(all, lats[i]...)
+		res.errs = append(res.errs, errs[i]...)
+		res.reads += counts[i][0]
+		res.writes += counts[i][1]
+		res.verified += counts[i][2]
+	}
+	res.ops = len(all)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		res.p50 = all[len(all)/2]
+		res.p99 = all[len(all)*99/100]
+		res.qps = float64(len(all)) / elapsed.Seconds()
+	}
+	return res
+}
+
+func (r runResult) report(label string, cfg config) {
+	fmt.Printf("%-12s %d clients, %v: %d ops (%d reads, %d writes, %d verified) — p50 %v, p99 %v, %.0f ops/s, %d errors\n",
+		label, cfg.clients, r.elapsed.Round(time.Millisecond), r.ops, r.reads, r.writes, r.verified,
+		r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond), r.qps, len(r.errs))
+	for i, err := range r.errs {
+		if i >= 5 {
+			fmt.Printf("  ... %d more errors\n", len(r.errs)-5)
+			break
+		}
+		fmt.Printf("  error: %v\n", err)
+	}
+}
+
+// benchResult / benchFile mirror cmd/benchjson's artifact shape so the
+// fragment this driver writes merges cleanly into BENCH_RESULTS.json.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Results []benchResult `json:"results"`
+}
+
+func (r runResult) bench(name string, cfg config) benchResult {
+	return benchResult{
+		Name:       name,
+		Iterations: int64(r.ops),
+		NsPerOp:    float64(r.p50.Nanoseconds()),
+		Metrics: map[string]float64{
+			"clients":  float64(cfg.clients),
+			"p50_ns":   float64(r.p50.Nanoseconds()),
+			"p99_ns":   float64(r.p99.Nanoseconds()),
+			"qps":      r.qps,
+			"reads":    float64(r.reads),
+			"writes":   float64(r.writes),
+			"verified": float64(r.verified),
+			"errors":   float64(len(r.errs)),
+		},
+	}
+}
+
+func buildEngine(suppliers, parts, deliveries int, seed int64, noCache bool) *server.Engine {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: parts, Deliveries: deliveries, Seed: seed})
+	if err := st.CreateIndex("PART", "color", storage.HashIndex); err != nil {
+		fatal(err)
+	}
+	if err := st.CreateIndex("PART", "price", storage.OrderedIndex); err != nil {
+		fatal(err)
+	}
+	st.Analyze()
+	return server.New(st, server.Options{NoPlanCache: noCache, Parallelism: 1})
+}
+
+// assertEqualResults proves the two engines (plan cache on/off) answer every
+// pool query identically over identical stores, before any insert diverges
+// them — the "equal results" leg of the plan-cache claim.
+func assertEqualResults(a, b *server.Engine) {
+	for _, q := range queryPool {
+		ra, err := a.QueryVerified(q.src)
+		if err != nil {
+			fatal(fmt.Errorf("compare %s (cached engine): %w", q.name, err))
+		}
+		rb, err := b.QueryVerified(q.src)
+		if err != nil {
+			fatal(fmt.Errorf("compare %s (uncached engine): %w", q.name, err))
+		}
+		if ra.Set.Len() != rb.Set.Len() || !ra.Set.SubsetOf(rb.Set) {
+			fatal(fmt.Errorf("compare %s: cached engine returned %d rows, uncached %d",
+				q.name, ra.Set.Len(), rb.Set.Len()))
+		}
+	}
+	fmt.Printf("result equivalence: %d pool queries identical across cached/uncached engines (differentially verified)\n",
+		len(queryPool))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "adlload: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		clients      = flag.Int("clients", 1000, "concurrent closed-loop clients")
+		duration     = flag.Duration("duration", 5*time.Second, "run duration")
+		insertFrac   = flag.Float64("insert-frac", 0.2, "fraction of operations that insert a PART")
+		verifyFrac   = flag.Float64("verify-frac", 0.02, "fraction of reads differentially verified against a serial re-execution")
+		addr         = flag.String("addr", "", "drive a running adlserve at this base URL (e.g. http://localhost:8080) instead of in-process")
+		suppliers    = flag.Int("suppliers", 400, "generated SUPPLIER rows (in-process)")
+		parts        = flag.Int("parts", 800, "generated PART rows (in-process)")
+		deliveries   = flag.Int("deliveries", 200, "generated DELIVERY rows (in-process)")
+		seed         = flag.Int64("seed", 94, "workload seed")
+		noCache      = flag.Bool("no-plan-cache", false, "disable the plan cache (in-process)")
+		compareCache = flag.Bool("compare-cache", false, "run the workload twice, plan cache on and off, and compare p50")
+		assertWin    = flag.Bool("assert", false, "exit non-zero unless the cached arm wins p50 in -compare-cache (and on any error always)")
+		jsonOut      = flag.String("json", "", "write results as a benchjson fragment to this file")
+		namePrefix   = flag.String("name", "Serve", "benchmark name prefix for the JSON fragment")
+	)
+	flag.Parse()
+
+	cfg := config{
+		clients:    *clients,
+		duration:   *duration,
+		insertFrac: *insertFrac,
+		verifyFrac: *verifyFrac,
+		seed:       *seed,
+	}
+	var results []benchResult
+	failed := false
+
+	switch {
+	case *addr != "":
+		hc := &http.Client{Timeout: 30 * time.Second}
+		res := run(cfg, func() client { return httpClient{base: *addr, hc: hc} })
+		res.report("http", cfg)
+		results = append(results, res.bench(*namePrefix+"/http", cfg))
+		failed = len(res.errs) > 0
+
+	case *compareCache:
+		cached := buildEngine(*suppliers, *parts, *deliveries, *seed, false)
+		uncached := buildEngine(*suppliers, *parts, *deliveries, *seed, true)
+		assertEqualResults(cached, uncached)
+		resCached := run(cfg, func() client { return localClient{eng: cached} })
+		resCached.report("plancache", cfg)
+		resUncached := run(cfg, func() client { return localClient{eng: uncached} })
+		resUncached.report("replan", cfg)
+		m := cached.Metrics()
+		fmt.Printf("plan cache: %d hits, %d misses, %d epoch-drift replans\n", m.CacheHits, m.CacheMiss, m.Replans)
+		speedup := float64(resUncached.p50) / float64(resCached.p50)
+		fmt.Printf("p50 plancache %v vs replan %v (%.2fx)\n",
+			resCached.p50.Round(time.Microsecond), resUncached.p50.Round(time.Microsecond), speedup)
+		results = append(results,
+			resCached.bench(*namePrefix+"/plancache", cfg),
+			resUncached.bench(*namePrefix+"/replan", cfg))
+		failed = len(resCached.errs) > 0 || len(resUncached.errs) > 0
+		if *assertWin && resCached.p50 > resUncached.p50 {
+			fmt.Fprintln(os.Stderr, "adlload: ASSERT FAILED: plan-cache arm lost on p50")
+			failed = true
+		}
+
+	default:
+		eng := buildEngine(*suppliers, *parts, *deliveries, *seed, *noCache)
+		res := run(cfg, func() client { return localClient{eng: eng} })
+		label := "plancache"
+		if *noCache {
+			label = "replan"
+		}
+		res.report(label, cfg)
+		m := eng.Metrics()
+		fmt.Printf("plan cache: %d hits, %d misses, %d epoch-drift replans; store at seq %d, stats epoch %d\n",
+			m.CacheHits, m.CacheMiss, m.Replans, m.Seq, m.StatsEpoch)
+		results = append(results, res.bench(*namePrefix+"/"+label, cfg))
+		failed = len(res.errs) > 0
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(benchFile{Results: results}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(results), *jsonOut)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

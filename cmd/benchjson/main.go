@@ -7,11 +7,22 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run '^$' . | benchjson -out BENCH_RESULTS.json
+//	benchjson -merge serve.json -out BENCH_RESULTS.json
+//	benchjson -compare -threshold 25 BENCH_RESULTS.json fresh.json
 //
 // Only benchmark result lines are parsed; everything else (pass/fail
 // trailers, goos/goarch headers) is carried into the metadata block or
 // ignored. The tool never fails on unparseable lines — a half-broken
 // benchmark run should still archive what it produced.
+//
+// -merge folds the results of another benchjson file (for example the
+// closed-loop serving results cmd/adlload emits) into the output, replacing
+// same-named entries and keeping the rest; with no stdin piped in, -merge
+// updates -out in place. -compare is the CI regression gate: it compares a
+// baseline file against a fresh run and fails (exit 1) when any benchmark
+// present in both regressed its wall time by more than -threshold percent.
+// Serving metrics (Metrics map) ride along in both modes but are reported
+// only — run-to-run QPS on shared CI runners is too noisy to gate on.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,6 +44,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics carries named measurements that are not per-op wall time —
+	// the serving driver records p50_ns, p99_ns, qps, clients here.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the emitted artifact shape.
@@ -82,11 +97,120 @@ func parse(lines *bufio.Scanner) File {
 	return f
 }
 
+func readFile(path string) (File, error) {
+	var f File
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(blob, &f)
+	return f, err
+}
+
+// merge folds extra into base: same-named results are replaced, new ones
+// appended; base order is preserved so diffs against the committed baseline
+// stay minimal.
+func merge(base, extra File) File {
+	pos := map[string]int{}
+	for i, r := range base.Results {
+		pos[r.Name] = i
+	}
+	for _, r := range extra.Results {
+		if i, ok := pos[r.Name]; ok {
+			base.Results[i] = r
+		} else {
+			pos[r.Name] = len(base.Results)
+			base.Results = append(base.Results, r)
+		}
+	}
+	if base.Goos == "" {
+		base.Goos, base.Goarch, base.Pkg, base.CPU = extra.Goos, extra.Goarch, extra.Pkg, extra.CPU
+	}
+	return base
+}
+
+// compare reports the benchmarks present in both files whose fresh wall
+// time regressed beyond the threshold.
+func compare(base, fresh File, thresholdPct float64, w *os.File) (regressed int, compared int) {
+	baseline := map[string]Result{}
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	names := make([]string, 0, len(fresh.Results))
+	for _, r := range fresh.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	freshBy := map[string]Result{}
+	for _, r := range fresh.Results {
+		freshBy[r.Name] = r
+	}
+	for _, name := range names {
+		nr := freshBy[name]
+		br, ok := baseline[name]
+		if !ok || br.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		pct := (nr.NsPerOp - br.NsPerOp) / br.NsPerOp * 100
+		if pct > thresholdPct {
+			regressed++
+			fmt.Fprintf(w, "REGRESSION %-60s %12.0f → %12.0f ns/op (%+.1f%% > %.0f%%)\n",
+				name, br.NsPerOp, nr.NsPerOp, pct, thresholdPct)
+		}
+	}
+	return regressed, compared
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	mergePath := flag.String("merge", "", "benchjson file whose results are folded into the output")
+	comparePair := flag.Bool("compare", false, "compare two files: baseline fresh; exit 1 on regression")
+	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -compare")
 	flag.Parse()
 
-	f := parse(bufio.NewScanner(os.Stdin))
+	if *comparePair {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: baseline fresh")
+			os.Exit(2)
+		}
+		base, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, err := readFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		regressed, compared := compare(base, fresh, *threshold, os.Stdout)
+		fmt.Printf("benchjson: compared %d benchmarks against %s, %d regressed beyond %.0f%%\n",
+			compared, flag.Arg(0), regressed, *threshold)
+		if regressed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var f File
+	stat, _ := os.Stdin.Stat()
+	if stat != nil && stat.Mode()&os.ModeCharDevice == 0 {
+		f = parse(bufio.NewScanner(os.Stdin))
+	} else if *mergePath != "" && *out != "" {
+		// In-place merge: start from the existing output file.
+		if existing, err := readFile(*out); err == nil {
+			f = existing
+		}
+	}
+	if *mergePath != "" {
+		extra, err := readFile(*mergePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		f = merge(f, extra)
+	}
 	blob, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"os"
 	"strings"
 	"testing"
 )
@@ -32,5 +33,60 @@ ok  	repro	0.168s
 	}
 	if p := f.Results[2]; p.Name != "BenchmarkPlain" || p.NsPerOp != 1234.5 || p.BytesPerOp != 0 {
 		t.Errorf("plain result mis-parsed: %+v", p)
+	}
+}
+
+func TestMergeReplacesAndAppends(t *testing.T) {
+	base := File{
+		Goos: "linux",
+		Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100},
+			{Name: "BenchmarkB", NsPerOp: 200},
+		},
+	}
+	extra := File{Results: []Result{
+		{Name: "BenchmarkB", NsPerOp: 250, Metrics: map[string]float64{"qps": 1000}},
+		{Name: "BenchmarkServe", NsPerOp: 50},
+	}}
+	got := merge(base, extra)
+	if len(got.Results) != 3 {
+		t.Fatalf("merged %d results, want 3: %+v", len(got.Results), got.Results)
+	}
+	// Base order preserved, same-named entry replaced in place.
+	if got.Results[0].Name != "BenchmarkA" || got.Results[1].Name != "BenchmarkB" ||
+		got.Results[2].Name != "BenchmarkServe" {
+		t.Fatalf("order = %+v", got.Results)
+	}
+	if got.Results[1].NsPerOp != 250 || got.Results[1].Metrics["qps"] != 1000 {
+		t.Fatalf("replaced entry = %+v", got.Results[1])
+	}
+	if got.Goos != "linux" {
+		t.Fatalf("base metadata lost: %q", got.Goos)
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := File{Results: []Result{
+		{Name: "BenchmarkStable", NsPerOp: 100},
+		{Name: "BenchmarkSlower", NsPerOp: 100},
+		{Name: "BenchmarkFaster", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+	}}
+	fresh := File{Results: []Result{
+		{Name: "BenchmarkStable", NsPerOp: 110}, // +10% — under threshold
+		{Name: "BenchmarkSlower", NsPerOp: 200}, // +100% — regression
+		{Name: "BenchmarkFaster", NsPerOp: 50},  // improvement
+		{Name: "BenchmarkNew", NsPerOp: 9999},   // no baseline — skipped
+	}}
+	regressed, compared := compare(base, fresh, 25, os.Stdout)
+	if compared != 3 {
+		t.Fatalf("compared = %d, want 3 (common names only)", compared)
+	}
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (only the +100%% entry)", regressed)
+	}
+	// A looser threshold lets everything pass.
+	if r, _ := compare(base, fresh, 150, os.Stdout); r != 0 {
+		t.Fatalf("regressed = %d at 150%% threshold, want 0", r)
 	}
 }

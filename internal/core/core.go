@@ -47,6 +47,15 @@ type Query struct {
 // Prepare parses, typechecks, translates, optimizes and plans an OOSQL
 // query against a catalog.
 func Prepare(src string, cat *schema.Catalog) (*Query, error) {
+	return PrepareCfg(src, cat, plan.Config{})
+}
+
+// PrepareCfg is Prepare with an explicit physical-planner configuration, so
+// callers holding collected statistics (or tuning parallelism) get a
+// cost-based plan instead of the zero-config heuristics. The serving layer
+// prepares through this entry and caches the result keyed on the statistics
+// epoch the Config's stats were published under.
+func PrepareCfg(src string, cat *schema.Catalog, cfg plan.Config) (*Query, error) {
 	ast, err := oosql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -62,7 +71,7 @@ func Prepare(src string, cat *schema.Catalog) (*Query, error) {
 		ADL:       e,
 		Type:      t,
 		Rewritten: res,
-		Plan:      plan.Compile(res.Expr),
+		Plan:      cfg.Compile(res.Expr),
 		cat:       cat,
 	}, nil
 }

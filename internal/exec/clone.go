@@ -1,0 +1,47 @@
+package exec
+
+import "reflect"
+
+// CloneTree returns a fresh copy of an operator tree that can be Opened and
+// drained independently of the original — the mechanism behind a prepared-
+// plan cache: one planned tree is cached, and every execution runs a clone,
+// so concurrent requests never share iterator state.
+//
+// The copy relies on a structural convention every operator in this package
+// follows: exported struct fields are immutable configuration fixed at plan
+// time (child operators, Scalar programs, table and attribute names),
+// unexported fields are per-run iterator state created by Open and
+// abandoned by Close. CloneTree copies the exported configuration — cloning
+// recursively through any field that holds an Operator — and leaves the
+// unexported state zero, which is exactly the state a freshly constructed
+// operator has. A non-pointer or non-struct Operator implementation is
+// returned as-is (it has no per-run state to share).
+func CloneTree(op Operator) Operator {
+	if op == nil {
+		return nil
+	}
+	v := reflect.ValueOf(op)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return op
+	}
+	src := v.Elem()
+	dst := reflect.New(src.Type())
+	de := dst.Elem()
+	t := src.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue // per-run iterator state: stays zero in the clone
+		}
+		fv := src.Field(i)
+		if child, ok := fv.Interface().(Operator); ok {
+			cl := CloneTree(child)
+			if cl != nil {
+				de.Field(i).Set(reflect.ValueOf(cl))
+			}
+			continue
+		}
+		de.Field(i).Set(fv)
+	}
+	return dst.Interface().(Operator)
+}

@@ -1,0 +1,198 @@
+// Package server is the serving layer: a long-lived query engine over one
+// storage.Store that executes OOSQL against pinned MVCC snapshots while
+// concurrent inserts land, planning through a prepared-query plan cache.
+//
+// The cache is keyed on (query source, stats epoch). Statistics drift only
+// changes which plan is cheapest, never what a plan returns — the
+// differential suite proves every physical strategy result-equal — so a
+// cached plan is correct at any epoch; the epoch key exists to bound
+// staleness of plan *quality*. When the store's epoch moves past a cached
+// entry's (enough inserts since the last bump, or an index change), the
+// next request re-plans against freshly published statistics. Each
+// execution runs a clone of the cached operator tree (exec.CloneTree), so
+// concurrent requests never share iterator state.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// PlanCache disables the prepared-plan cache when false is explicitly
+	// requested via NoPlanCache; the zero Options enables it.
+	NoPlanCache bool
+	// Parallelism is passed through to the physical planner; 0 means
+	// runtime.NumCPU.
+	Parallelism int
+}
+
+// Engine serves OOSQL queries and inserts over one store.
+type Engine struct {
+	st   *storage.Store
+	opts Options
+
+	cacheMu sync.Mutex
+	cache   map[string]*cacheEntry
+
+	queries atomic.Int64
+	inserts atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	replans atomic.Int64
+}
+
+// cacheEntry is one prepared query: the plan and the stats epoch it was
+// priced under.
+type cacheEntry struct {
+	epoch uint64
+	q     *core.Query
+}
+
+// New builds an engine over a populated store.
+func New(st *storage.Store, opts Options) *Engine {
+	return &Engine{st: st, opts: opts, cache: map[string]*cacheEntry{}}
+}
+
+// Store exposes the underlying store (for diagnostics and direct loading).
+func (e *Engine) Store() *storage.Store { return e.st }
+
+// Result is one query execution: the result set and the consistency
+// metadata of the snapshot it ran against.
+type Result struct {
+	Set *value.Set
+	// Seq is the pinned version's sequence number; Epoch the stats epoch
+	// the plan was keyed on.
+	Seq   uint64
+	Epoch uint64
+	// CacheHit reports whether the plan came from the cache; Replanned
+	// whether a cached plan existed but was re-planned on epoch drift.
+	CacheHit  bool
+	Replanned bool
+}
+
+// prepare resolves the plan for a query source at the given epoch, through
+// the cache unless disabled.
+func (e *Engine) prepare(src string, epoch uint64) (*core.Query, bool, bool, error) {
+	if e.opts.NoPlanCache {
+		q, err := e.plan(src)
+		return q, false, false, err
+	}
+	e.cacheMu.Lock()
+	ent := e.cache[src]
+	e.cacheMu.Unlock()
+	if ent != nil && ent.epoch == epoch {
+		e.hits.Add(1)
+		return ent.q, true, false, nil
+	}
+	// Miss or drift: plan outside the cache lock — planning can be costly
+	// and concurrent requests for other queries must not serialize on it.
+	q, err := e.plan(src)
+	if err != nil {
+		return nil, false, false, err
+	}
+	replanned := ent != nil
+	if replanned {
+		e.replans.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	e.cacheMu.Lock()
+	e.cache[src] = &cacheEntry{epoch: epoch, q: q}
+	e.cacheMu.Unlock()
+	return q, false, replanned, nil
+}
+
+// plan prepares a query against freshly published statistics.
+func (e *Engine) plan(src string) (*core.Query, error) {
+	stats := e.st.Analyze()
+	return core.PrepareCfg(src, e.st.Catalog(), plan.Config{
+		Statistics:  stats,
+		Stats:       stats,
+		Parallelism: e.opts.Parallelism,
+	})
+}
+
+// Query executes an OOSQL query against a snapshot pinned at call time:
+// the result reflects exactly the inserts published before the pin, no
+// matter how many land while the query runs.
+func (e *Engine) Query(src string) (*Result, error) {
+	e.queries.Add(1)
+	sn := e.st.Snapshot()
+	q, hit, replanned, err := e.prepare(src, sn.StatsEpoch())
+	if err != nil {
+		return nil, err
+	}
+	set, err := exec.Collect(exec.CloneTree(q.Plan), &exec.Ctx{DB: sn})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Set: set, Seq: sn.Seq(), Epoch: sn.StatsEpoch(), CacheHit: hit, Replanned: replanned}, nil
+}
+
+// QueryVerified executes like Query, then re-executes the untransformed
+// nested form tuple-at-a-time against the same pinned snapshot and fails if
+// the two result sets differ — the reads-under-writes differential arm: a
+// mismatch means either the rewrite/planner broke result equivalence or the
+// snapshot was not actually immutable under concurrent inserts.
+func (e *Engine) QueryVerified(src string) (*Result, error) {
+	e.queries.Add(1)
+	sn := e.st.Snapshot()
+	q, hit, replanned, err := e.prepare(src, sn.StatsEpoch())
+	if err != nil {
+		return nil, err
+	}
+	set, err := exec.Collect(exec.CloneTree(q.Plan), &exec.Ctx{DB: sn})
+	if err != nil {
+		return nil, err
+	}
+	want, err := q.ExecuteNaive(sn)
+	if err != nil {
+		return nil, fmt.Errorf("server: serial re-execution failed: %w", err)
+	}
+	if set.Len() != want.Len() || !set.SubsetOf(want) {
+		return nil, fmt.Errorf("server: non-linearizable read at seq %d: plan returned %d rows, serial re-execution %d",
+			sn.Seq(), set.Len(), want.Len())
+	}
+	return &Result{Set: set, Seq: sn.Seq(), Epoch: sn.StatsEpoch(), CacheHit: hit, Replanned: replanned}, nil
+}
+
+// Insert stores an object in the named extent, visible to every snapshot
+// pinned after it returns.
+func (e *Engine) Insert(extent string, t *value.Tuple) (value.OID, error) {
+	e.inserts.Add(1)
+	return e.st.Insert(extent, t)
+}
+
+// Metrics is a point-in-time counter snapshot.
+type Metrics struct {
+	Queries    int64  `json:"queries"`
+	Inserts    int64  `json:"inserts"`
+	CacheHits  int64  `json:"cache_hits"`
+	CacheMiss  int64  `json:"cache_misses"`
+	Replans    int64  `json:"replans"`
+	StatsEpoch uint64 `json:"stats_epoch"`
+	Seq        uint64 `json:"seq"`
+}
+
+// Metrics reports the engine counters and current store position.
+func (e *Engine) Metrics() Metrics {
+	sn := e.st.Snapshot()
+	return Metrics{
+		Queries:    e.queries.Load(),
+		Inserts:    e.inserts.Load(),
+		CacheHits:  e.hits.Load(),
+		CacheMiss:  e.misses.Load(),
+		Replans:    e.replans.Load(),
+		StatsEpoch: sn.StatsEpoch(),
+		Seq:        sn.Seq(),
+	}
+}

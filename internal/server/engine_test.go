@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+const redParts = `select p.pname from p in PART where p.color = "red"`
+
+func newEngine(t testing.TB, opts Options) *Engine {
+	t.Helper()
+	st := bench.Generate(bench.Config{Suppliers: 50, Parts: 100, Deliveries: 20, Seed: 94})
+	st.Analyze()
+	return New(st, opts)
+}
+
+func newPart(i int, color string) *value.Tuple {
+	return value.NewTuple(
+		"pname", value.String(fmt.Sprintf("t-part-%d", i)),
+		"price", value.Int(int64(i%50+1)),
+		"color", value.String(color),
+	)
+}
+
+func TestPlanCacheHitMissReplan(t *testing.T) {
+	eng := newEngine(t, Options{Parallelism: 1})
+
+	r1, err := eng.Query(redParts)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r1.CacheHit {
+		t.Fatalf("first execution must be a cache miss")
+	}
+	r2, err := eng.Query(redParts)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !r2.CacheHit {
+		t.Fatalf("second execution must hit the cache")
+	}
+	// A handful of inserts stays under the drift floor: still a hit.
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Insert("PART", newPart(i, "red")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	r3, err := eng.Query(redParts)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !r3.CacheHit {
+		t.Fatalf("sub-floor drift must not invalidate the cached plan")
+	}
+	// The snapshot still sees the new rows — cache staleness is about plan
+	// choice, never visibility.
+	if r3.Set.Len() <= r1.Set.Len() {
+		t.Fatalf("red rows did not grow: %d → %d", r1.Set.Len(), r3.Set.Len())
+	}
+
+	// An index creation bumps the stats epoch: next execution re-plans.
+	if err := eng.Store().CreateIndex("PART", "color", storage.HashIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	r4, err := eng.Query(redParts)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r4.CacheHit || !r4.Replanned {
+		t.Fatalf("epoch drift must re-plan: hit=%v replanned=%v", r4.CacheHit, r4.Replanned)
+	}
+	if r4.Set.Len() != r3.Set.Len() {
+		t.Fatalf("re-planned query changed its result: %d vs %d rows", r4.Set.Len(), r3.Set.Len())
+	}
+	m := eng.Metrics()
+	if m.CacheHits != 2 || m.CacheMiss != 1 || m.Replans != 1 {
+		t.Fatalf("metrics = %+v, want 2 hits / 1 miss / 1 replan", m)
+	}
+}
+
+func TestNoPlanCache(t *testing.T) {
+	eng := newEngine(t, Options{NoPlanCache: true, Parallelism: 1})
+	for i := 0; i < 2; i++ {
+		r, err := eng.Query(redParts)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if r.CacheHit || r.Replanned {
+			t.Fatalf("NoPlanCache engine must never report cache activity")
+		}
+	}
+	if m := eng.Metrics(); m.CacheHits != 0 && m.CacheMiss != 0 {
+		t.Fatalf("metrics = %+v, want no cache counters", m)
+	}
+}
+
+// TestQueryVerifiedUnderConcurrentInserts is the reads-under-writes
+// differential arm in miniature: while a writer streams inserts, every
+// verified query must match a serial re-execution of the untransformed
+// nested form against the same pinned snapshot.
+func TestQueryVerifiedUnderConcurrentInserts(t *testing.T) {
+	eng := newEngine(t, Options{Parallelism: 1})
+
+	// The writer is bounded: the naive re-execution inside QueryVerified is
+	// the paper's quadratic baseline, so letting the extent grow without
+	// limit makes each verification slower than the last (pathological
+	// under -race on small CI machines).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 150; i++ {
+			if _, err := eng.Insert("PART", newPart(i, []string{"red", "green", "blue"}[i%3])); err != nil {
+				t.Errorf("Insert: %v", err)
+				return
+			}
+		}
+	}()
+	queries := []string{
+		redParts,
+		`select p.pname from p in PART where p.price < 10`,
+		`select s from s in SUPPLIER
+ where exists x in s.parts_supplied : exists p in PART : x = p and p.color = "red"`,
+	}
+	for i := 0; i < 24; i++ {
+		if _, err := eng.QueryVerified(queries[i%len(queries)]); err != nil {
+			t.Fatalf("verified query %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	// And once more against the quiesced store.
+	for _, q := range queries {
+		if _, err := eng.QueryVerified(q); err != nil {
+			t.Fatalf("verified query after writer drained: %v", err)
+		}
+	}
+}
+
+func TestQueryError(t *testing.T) {
+	eng := newEngine(t, Options{Parallelism: 1})
+	if _, err := eng.Query(`select x from x in NO_SUCH_EXTENT`); err == nil {
+		t.Fatalf("bad query must error")
+	}
+	if _, err := eng.Insert("NO_SUCH_EXTENT", value.EmptyTuple()); err == nil {
+		t.Fatalf("bad insert must error")
+	}
+}

@@ -81,6 +81,61 @@ func NewEquiDepth(vals []value.Value, maxBuckets int) *Histogram {
 	return h
 }
 
+// Clone returns an independent deep copy. The storage layer's incremental
+// ANALYZE maintenance mutates a live histogram per insert (Absorb) and
+// publishes immutable copies to the planner; Clone is that publication step.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := &Histogram{Rows: h.Rows, Buckets: make([]Bucket, len(h.Buckets))}
+	copy(c.Buckets, h.Buckets)
+	return c
+}
+
+// Absorb folds one new value into the histogram in place — the incremental
+// counterpart of NewEquiDepth for a store that keeps statistics fresh across
+// inserts without re-scanning the extent. A value inside an existing bucket
+// bumps that bucket (its NDV only when the bucket was a different singleton
+// run is unknowable, so NDV is left alone — an equi-depth bucket's density
+// estimate tolerates that); a value outside every bucket gets a singleton
+// bucket of its own, so new heavy hitters stay exact. When the bucket list
+// grows past four times the default budget, adjacent buckets are merged
+// pairwise to bound the footprint.
+func (h *Histogram) Absorb(v value.Value) {
+	h.Rows++
+	i := sort.Search(len(h.Buckets), func(i int) bool {
+		return value.Compare(h.Buckets[i].Hi, v) >= 0
+	})
+	if i < len(h.Buckets) && value.Compare(h.Buckets[i].Lo, v) <= 0 {
+		h.Buckets[i].Rows++
+		return
+	}
+	// v falls in the gap before bucket i: insert a singleton bucket.
+	h.Buckets = append(h.Buckets, Bucket{})
+	copy(h.Buckets[i+1:], h.Buckets[i:])
+	h.Buckets[i] = Bucket{Lo: v, Hi: v, Rows: 1, NDV: 1}
+	if len(h.Buckets) > 4*DefaultBuckets {
+		h.compact()
+	}
+}
+
+// compact halves the bucket count by merging adjacent pairs.
+func (h *Histogram) compact() {
+	out := h.Buckets[:0]
+	for i := 0; i < len(h.Buckets); i += 2 {
+		b := h.Buckets[i]
+		if i+1 < len(h.Buckets) {
+			n := h.Buckets[i+1]
+			b.Hi = n.Hi
+			b.Rows += n.Rows
+			b.NDV += n.NDV
+		}
+		out = append(out, b)
+	}
+	h.Buckets = out
+}
+
 // NDV reports the total number of distinct values the histogram saw.
 func (h *Histogram) NDV() int {
 	n := 0

@@ -282,3 +282,75 @@ func TestNonNumericKinds(t *testing.T) {
 		t.Errorf("string LessFraction = %v, want interior", lt)
 	}
 }
+
+func TestAbsorbIncremental(t *testing.T) {
+	h := NewEquiDepth(ints(1, 2, 3, 4, 5, 6, 7, 8), 4)
+	rows := h.Rows
+	// In-range value lands in an existing bucket.
+	h.Absorb(value.Int(3))
+	if h.Rows != rows+1 {
+		t.Fatalf("Rows = %d, want %d", h.Rows, rows+1)
+	}
+	if f := h.EqFraction(value.Int(3)); f <= 0 {
+		t.Errorf("EqFraction(3) = %v after absorb, want > 0", f)
+	}
+	// Out-of-range value grows a singleton bucket, so it estimates exactly.
+	h.Absorb(value.Int(100))
+	if f := h.EqFraction(value.Int(100)); f != 1.0/float64(h.Rows) {
+		t.Errorf("EqFraction(100) = %v, want exact 1/%d", f, h.Rows)
+	}
+	// Absorb into a fresh zero histogram is the degenerate bootstrap case the
+	// live statistics layer relies on for extents analyzed while empty.
+	var z Histogram
+	z.Absorb(value.Int(9))
+	z.Absorb(value.Int(9))
+	if z.Rows != 2 || len(z.Buckets) != 1 || z.Buckets[0].Rows != 2 {
+		t.Fatalf("bootstrap absorb = %+v", z)
+	}
+}
+
+func TestAbsorbCompactBoundsBuckets(t *testing.T) {
+	var h Histogram
+	n := 16 * DefaultBuckets
+	for i := 0; i < n; i++ {
+		h.Absorb(value.Int(int64(i)))
+	}
+	if h.Rows != n {
+		t.Fatalf("Rows = %d, want %d", h.Rows, n)
+	}
+	if len(h.Buckets) > 4*DefaultBuckets {
+		t.Fatalf("compact failed to bound buckets: %d > %d", len(h.Buckets), 4*DefaultBuckets)
+	}
+	if h.NDV() != n {
+		t.Errorf("NDV = %d, want %d (compaction must preserve distinct counts)", h.NDV(), n)
+	}
+	// Mass is conserved across compactions.
+	total := 0
+	for _, b := range h.Buckets {
+		total += b.Rows
+	}
+	if total != n {
+		t.Errorf("bucket mass = %d, want %d", total, n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	if (*Histogram)(nil).Clone() != nil {
+		t.Fatalf("nil Clone must stay nil")
+	}
+	h := NewEquiDepth(ints(1, 2, 3, 4, 5), 4)
+	c := h.Clone()
+	if c == h {
+		t.Fatalf("Clone returned the receiver")
+	}
+	rows, buckets := c.Rows, len(c.Buckets)
+	// Mutating the original (the live copy) must not leak into the clone
+	// (the published copy) — this is the stats-publication contract.
+	for i := 0; i < 64; i++ {
+		h.Absorb(value.Int(int64(1000 + i)))
+	}
+	if c.Rows != rows || len(c.Buckets) != buckets {
+		t.Fatalf("published clone mutated: rows %d→%d buckets %d→%d",
+			rows, c.Rows, buckets, len(c.Buckets))
+	}
+}

@@ -1,14 +1,17 @@
 // ANALYZE-style statistics collection. The paper leaves the choice among
 // join strategies to "the optimizer" (§5.1) without saying where its
 // knowledge comes from; a modern engine answers with collected statistics.
-// Analyze scans every extent once and records, per base table, the row
-// count, per-attribute distinct-value counts, equi-depth histograms of the
-// scalar attribute values (and of set-element values), and the average
-// cardinality of set-valued attributes. The result feeds the estimator in
-// internal/plan, which prices the physical join operators and picks the
-// cheapest. The collected DBStats is memoized on the store and invalidated
-// by Insert and index registration, so repeated Analyze calls between
-// mutations are free.
+// The first Analyze scans every extent once and records, per base table, the
+// row count, per-attribute distinct-value counts, equi-depth histograms of
+// the scalar attribute values (and of set-element values), and the average
+// cardinality of set-valued attributes. From then on the store maintains
+// that state incrementally: every Insert absorbs the new row into the live
+// counters and histograms in place, so a long-lived server never re-scans an
+// extent to keep its planner fed. Analyze publishes an immutable DBStats
+// copy of the live state, memoized until the next mutation; the per-store
+// stats epoch (StatsEpoch) advances only on material drift — an index
+// change, or enough rows since the last bump to matter — and is what the
+// serving layer's plan cache keys on.
 package storage
 
 import (
@@ -18,6 +21,18 @@ import (
 
 	"repro/internal/stats"
 	"repro/internal/value"
+)
+
+// Stats-epoch drift policy: the epoch advances once an extent has absorbed
+// at least epochRowFloor rows since the last bump, or epochRowFrac of the
+// rows it had then, whichever is larger. Bumping on every insert would make
+// an epoch-keyed plan cache useless under a write-heavy load; plans stay
+// result-correct under any statistics (the differential suite proves every
+// strategy equal), so deferring the bump only defers plan-quality
+// adaptation, never correctness.
+const (
+	epochRowFloor = 64
+	epochRowFrac  = 0.10
 )
 
 // TableStats holds the collected statistics of one extent.
@@ -51,9 +66,15 @@ type TableStats struct {
 }
 
 // DBStats is the database-wide result of Analyze: extent name → TableStats.
-// It implements the plan package's Statistics interface.
+// It implements the plan package's Statistics interface. A published DBStats
+// is immutable — later inserts mutate the store's live state and are
+// reflected only by a later Analyze.
 type DBStats struct {
 	Tables map[string]TableStats
+	// Epoch is the store's stats epoch at publication time; a plan priced
+	// against this DBStats is cacheable until Store.StatsEpoch drifts past
+	// it.
+	Epoch uint64
 }
 
 // RowCount reports the collected cardinality of an extent, or -1 if the
@@ -196,51 +217,158 @@ func (c *distinctCounter) add(v value.Value) {
 	c.n++
 }
 
-// Analyze scans every extent of the store and collects statistics. It uses
-// the raw object map rather than Table so collection does not perturb the
-// I/O meters or the extent cache. The result is memoized: repeated calls
-// return the same *DBStats until an Insert or index registration invalidates
-// it, at which point the next call rebuilds (histograms included).
-func (s *Store) Analyze() *DBStats {
-	s.cacheMu.RLock()
-	cached := s.statsCache
-	s.cacheMu.RUnlock()
-	if cached != nil {
-		return cached
+// liveTableStats is the mutable per-extent collection state: exact distinct
+// counters, live histograms, and set-shape accumulators, updated in place as
+// rows arrive. Classification into scalar / set-valued / mixed happens at
+// publication time from the accumulators, so the live form never has to
+// re-decide anything on the write path. Guarded by Store.statsMu.
+type liveTableStats struct {
+	rows     int
+	counters map[string]*distinctCounter
+	hist     map[string]*stats.Histogram // scalar attrs: value distribution
+	elemHist map[string]*stats.Histogram // set attrs: pooled element distribution
+	elems    map[string]int              // pooled element count per set attr
+	setRows  map[string]int              // rows carrying the attr as a set
+}
+
+func newLiveTableStats() *liveTableStats {
+	return &liveTableStats{
+		counters: map[string]*distinctCounter{},
+		hist:     map[string]*stats.Histogram{},
+		elemHist: map[string]*stats.Histogram{},
+		elems:    map[string]int{},
+		setRows:  map[string]int{},
 	}
-	db := &DBStats{Tables: map[string]TableStats{}}
+}
+
+// absorb folds one row into the live state.
+func (lt *liveTableStats) absorb(obj *value.Tuple) {
+	lt.rows++
+	for i := 0; i < obj.Len(); i++ {
+		name, v := obj.At(i)
+		if set, ok := v.(*value.Set); ok {
+			lt.setRows[name]++
+			lt.elems[name] += set.Len()
+			h := lt.elemHist[name]
+			if h == nil {
+				h = &stats.Histogram{}
+				lt.elemHist[name] = h
+			}
+			for _, e := range set.Elems() {
+				h.Absorb(e)
+			}
+			continue
+		}
+		c := lt.counters[name]
+		if c == nil {
+			c = newDistinctCounter()
+			lt.counters[name] = c
+		}
+		c.add(v)
+		h := lt.hist[name]
+		if h == nil {
+			h = &stats.Histogram{}
+			lt.hist[name] = h
+		}
+		h.Absorb(v)
+	}
+}
+
+// absorbStats folds a freshly inserted row into the live statistics (if any
+// have been collected) and advances the stats epoch when the extent has
+// drifted materially since the last bump. Caller (Insert) holds the writer
+// lock; rows is the extent's row count including this row.
+func (s *Store) absorbStats(extent string, obj *value.Tuple, rows int) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if lt := s.live[extent]; lt != nil {
+		lt.absorb(obj)
+		s.statsDirty = true
+	}
+	s.sinceEpoch[extent]++
+	floor := epochRowFloor
+	if frac := int(epochRowFrac * float64(s.rowsAtEpoch[extent])); frac > floor {
+		floor = frac
+	}
+	if s.sinceEpoch[extent] >= floor {
+		s.sinceEpoch[extent] = 0
+		s.rowsAtEpoch[extent] = rows
+		s.statsEpoch.Add(1)
+	}
+}
+
+// StatsEpoch reports the store's statistics epoch: a counter that advances
+// when collected statistics have drifted enough to justify re-planning (see
+// the epochRow constants) or when an index is created or replaced. The
+// serving layer keys its plan cache on it.
+func (s *Store) StatsEpoch() uint64 { return s.statsEpoch.Load() }
+
+// buildLive performs the one full collection scan, populating the live
+// per-extent state from the current head version. It reads the raw object
+// table rather than Table so collection does not perturb the I/O meters or
+// the materialization cache. Caller holds both the writer lock (so no
+// insert can land between the scan and the live state becoming absorbable)
+// and statsMu.
+func (s *Store) buildLive() {
+	v := s.head.Load()
+	live := map[string]*liveTableStats{}
 	for _, ext := range s.cat.Extents() {
-		oids := s.extents[ext]
+		lt := newLiveTableStats()
+		vals := map[string][]value.Value{}  // scalar values per attr, all rows
+		elems := map[string][]value.Value{} // pooled set elements per attr
+		for _, oid := range v.extents[ext] {
+			obj, _ := s.object(oid)
+			lt.rows++
+			for i := 0; i < obj.Len(); i++ {
+				name, av := obj.At(i)
+				if set, ok := av.(*value.Set); ok {
+					lt.setRows[name]++
+					lt.elems[name] += set.Len()
+					elems[name] = append(elems[name], set.Elems()...)
+					continue
+				}
+				c := lt.counters[name]
+				if c == nil {
+					c = newDistinctCounter()
+					lt.counters[name] = c
+				}
+				c.add(av)
+				vals[name] = append(vals[name], av)
+			}
+		}
+		// The initial histograms come from the batch equi-depth builder (best
+		// bucket boundaries); later rows are absorbed incrementally.
+		for name, vs := range vals {
+			if h := stats.NewEquiDepth(vs, stats.DefaultBuckets); h != nil {
+				lt.hist[name] = h
+			}
+		}
+		for name, vs := range elems {
+			if h := stats.NewEquiDepth(vs, stats.DefaultBuckets); h != nil {
+				lt.elemHist[name] = h
+			}
+		}
+		live[ext] = lt
+	}
+	s.live = live
+}
+
+// publishStats derives an immutable DBStats from the live state: attributes
+// are classified (scalar / set-valued / mixed) from the accumulators and
+// histograms are deep-copied, so the published object never changes under a
+// planner holding it while inserts keep absorbing. Caller holds statsMu.
+func (s *Store) publishStats() *DBStats {
+	db := &DBStats{Tables: map[string]TableStats{}, Epoch: s.statsEpoch.Load()}
+	for _, ext := range s.cat.Extents() {
+		lt := s.live[ext]
 		ts := TableStats{
-			Rows:       len(oids),
+			Rows:       lt.rows,
 			Distinct:   map[string]int{},
 			AvgSetSize: map[string]float64{},
 		}
-		counters := map[string]*distinctCounter{}
-		vals := map[string][]value.Value{}  // scalar values per attr, all rows
-		elems := map[string][]value.Value{} // pooled set elements per attr
-		setRows := map[string]int{}         // rows carrying that attr as a set
-		for _, oid := range oids {
-			obj := s.objects[oid]
-			for i := 0; i < obj.Len(); i++ {
-				name, v := obj.At(i)
-				if set, ok := v.(*value.Set); ok {
-					elems[name] = append(elems[name], set.Elems()...)
-					setRows[name]++
-					continue
-				}
-				c, ok := counters[name]
-				if !ok {
-					c = newDistinctCounter()
-					counters[name] = c
-				}
-				c.add(v)
-				vals[name] = append(vals[name], v)
-			}
-		}
 		mixed := map[string]bool{}
-		for name, c := range counters {
-			if setRows[name] > 0 {
+		for name, c := range lt.counters {
+			if lt.setRows[name] > 0 {
 				// Set-valued in some rows, scalar in others: a Distinct
 				// count over just the scalar rows would be an undercount
 				// presented as exact. Record the attribute as unknown.
@@ -249,35 +377,32 @@ func (s *Store) Analyze() *DBStats {
 			}
 			ts.Distinct[name] = c.n
 		}
-		for name, rows := range setRows {
+		for name, rows := range lt.setRows {
 			if mixed[name] {
 				continue
 			}
 			// Only attributes that are sets in every row count as set-valued;
 			// sets in only some rows (absent elsewhere) are unknown too.
 			if rows == ts.Rows && rows > 0 {
-				ts.AvgSetSize[name] = float64(len(elems[name])) / float64(rows)
+				ts.AvgSetSize[name] = float64(lt.elems[name]) / float64(rows)
 			} else if rows > 0 {
 				mixed[name] = true
 			}
 		}
-		// Histograms, under the same unknown-handling as the counts: scalar
-		// attributes over their values, set-valued attributes over the pooled
-		// elements, mixed attributes none.
 		for name := range ts.Distinct {
-			if h := stats.NewEquiDepth(vals[name], stats.DefaultBuckets); h != nil {
+			if h := lt.hist[name]; h != nil && h.Rows > 0 {
 				if ts.Hist == nil {
 					ts.Hist = map[string]*stats.Histogram{}
 				}
-				ts.Hist[name] = h
+				ts.Hist[name] = h.Clone()
 			}
 		}
 		for name := range ts.AvgSetSize {
-			if h := stats.NewEquiDepth(elems[name], stats.DefaultBuckets); h != nil {
+			if h := lt.elemHist[name]; h != nil && h.Rows > 0 {
 				if ts.ElemHist == nil {
 					ts.ElemHist = map[string]*stats.Histogram{}
 				}
-				ts.ElemHist[name] = h
+				ts.ElemHist[name] = h.Clone()
 			}
 		}
 		for name := range mixed {
@@ -292,8 +417,41 @@ func (s *Store) Analyze() *DBStats {
 		}
 		db.Tables[ext] = ts
 	}
-	s.cacheMu.Lock()
 	s.statsCache = db
-	s.cacheMu.Unlock()
+	s.statsDirty = false
+	return db
+}
+
+// Analyze returns current database statistics. The first call scans every
+// extent and seeds the live collection state; afterwards Insert maintains
+// that state incrementally and Analyze merely publishes an immutable copy,
+// memoized so repeated calls between mutations return the same *DBStats
+// pointer (and the same histograms — the published copy never mutates).
+func (s *Store) Analyze() *DBStats {
+	s.statsMu.Lock()
+	if s.statsCache != nil && !s.statsDirty {
+		db := s.statsCache
+		s.statsMu.Unlock()
+		return db
+	}
+	if s.live != nil {
+		db := s.publishStats()
+		s.statsMu.Unlock()
+		return db
+	}
+	s.statsMu.Unlock()
+	// First collection: the scan must not race Insert's absorb path — a row
+	// published after the scan started but absorbed before s.live existed
+	// would be lost forever. Taking the writer lock (same order as Insert:
+	// mu, then statsMu) closes that window; the double-check handles a
+	// concurrent Analyze that built the live state first.
+	s.mu.Lock()
+	s.statsMu.Lock()
+	if s.live == nil {
+		s.buildLive()
+	}
+	db := s.publishStats()
+	s.statsMu.Unlock()
+	s.mu.Unlock()
 	return db
 }

@@ -4,9 +4,12 @@
 // index on an extent attribute, a selective predicate or join key no longer
 // forces a full extent scan. Two kinds are supported: a hash index answers
 // equality probes, an ordered index additionally answers range probes.
-// Indexes are built eagerly by CreateIndex, invalidated by Insert, and
-// rebuilt lazily on the next probe; probes are safe for concurrent use by
-// the parallel execution operators.
+// Indexes are built eagerly by CreateIndex and maintained incrementally:
+// Insert absorbs the new row under the index write lock instead of marking
+// the index stale, so a long-lived server never pays a rebuild on the read
+// path. Probes are safe for concurrent use (including concurrently with
+// inserts) and filter their results by the probing snapshot's oid horizon,
+// so a pinned reader never observes a row a concurrent writer added.
 package storage
 
 import (
@@ -45,15 +48,13 @@ type indexEntry struct {
 }
 
 // extIndex is one secondary index over extent.attr. Exactly one of buckets
-// (hash) or entries (ordered) is populated. dirty marks the index stale
-// after an Insert; the next probe rebuilds it under the store's index lock.
-// buildErr records a failed (re)build — an object lacking the indexed
-// attribute — and poisons every probe until a rebuild succeeds, so an index
-// access path fails exactly where the equivalent scan + field read would.
+// (hash) or entries (ordered) is populated. buildErr records a failed build
+// or absorption — an object lacking the indexed attribute — and poisons
+// every probe until CreateIndex replaces the index, so an index access path
+// fails exactly where the equivalent scan + field read would.
 type extIndex struct {
 	extent, attr string
 	kind         IndexKind
-	dirty        bool
 	buildErr     error
 
 	buckets map[uint64][]*indexEntry // hash kind: key hash → entries
@@ -64,7 +65,8 @@ type extIndex struct {
 // existing index on the same attribute. Every object of the extent must
 // carry the attribute: silently skipping incomplete rows would let an index
 // plan succeed where the scan-based plan's field read errors, and the two
-// must stay interchangeable.
+// must stay interchangeable. CreateIndex serializes with Insert (writer
+// lock) so the eager build misses no row.
 func (s *Store) CreateIndex(extent, attr string, kind IndexKind) error {
 	if _, ok := s.cat.ByExtent(extent); !ok {
 		return fmt.Errorf("storage: unknown extent %q", extent)
@@ -72,13 +74,14 @@ func (s *Store) CreateIndex(extent, attr string, kind IndexKind) error {
 	if kind != HashIndex && kind != OrderedIndex {
 		return fmt.Errorf("storage: unknown index kind %d", kind)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	idx := &extIndex{extent: extent, attr: attr, kind: kind}
-	s.idxMu.Lock()
-	defer s.idxMu.Unlock()
-	s.rebuild(idx)
+	s.build(idx, s.head.Load().extents[extent])
 	if idx.buildErr != nil {
 		return idx.buildErr
 	}
+	s.idxMu.Lock()
 	if s.indexes == nil {
 		s.indexes = map[string]map[string]*extIndex{}
 	}
@@ -86,11 +89,14 @@ func (s *Store) CreateIndex(extent, attr string, kind IndexKind) error {
 		s.indexes[extent] = map[string]*extIndex{}
 	}
 	s.indexes[extent][attr] = idx
+	s.idxMu.Unlock()
 	// Collected statistics record index kinds, so a memoized Analyze result
-	// is stale the moment an index appears.
-	s.cacheMu.Lock()
-	s.statsCache = nil
-	s.cacheMu.Unlock()
+	// is stale the moment an index appears; a new access path can change the
+	// optimal plan, so the stats epoch advances and cached plans re-plan.
+	s.statsMu.Lock()
+	s.statsDirty = true
+	s.statsMu.Unlock()
+	s.statsEpoch.Add(1)
 	return nil
 }
 
@@ -125,19 +131,18 @@ func (s *Store) IndexedAttrs(extent string) map[string]IndexKind {
 	return out
 }
 
-// rebuild (re)populates an index from the extent: one shared grouping pass
-// buckets oids by key, then the ordered kind sorts the entries and drops the
-// buckets. Caller holds idxMu.
-func (s *Store) rebuild(idx *extIndex) {
-	idx.buckets, idx.entries, idx.buildErr = nil, nil, nil
+// build populates a fresh index from an extent oid list: one shared grouping
+// pass buckets oids by key, then the ordered kind sorts the entries and
+// drops the buckets. The index is not yet shared, so no lock is needed.
+func (s *Store) build(idx *extIndex, oids []value.OID) {
 	buckets := map[uint64][]*indexEntry{}
 	var entries []*indexEntry
-	for _, oid := range s.extents[idx.extent] {
-		v, ok := s.objects[oid].Get(idx.attr)
+	for _, oid := range oids {
+		obj, _ := s.object(oid)
+		v, ok := obj.Get(idx.attr)
 		if !ok {
 			idx.buildErr = fmt.Errorf("storage: cannot index %s.%s: object %v lacks the attribute",
 				idx.extent, idx.attr, oid)
-			idx.dirty = false
 			return
 		}
 		h := value.Hash(v)
@@ -163,28 +168,71 @@ func (s *Store) rebuild(idx *extIndex) {
 	} else {
 		idx.buckets = buckets
 	}
-	idx.dirty = false
 }
 
-// probe runs f on a ready (built, non-dirty) index under at least a read
-// lock, then fetches the matched oids through the metered Lookup path — an
-// index probe pays per-object I/O, unlike an extent scan's page-granular
-// sweep.
-func (s *Store) probe(extent, attr string, f func(*extIndex) ([]value.OID, error)) ([]value.Value, error) {
+// absorbIndexes folds one newly inserted object into every index of its
+// extent — the incremental replacement for invalidate-and-rebuild. The
+// caller (Insert) holds the writer lock and has not yet published the new
+// version: probes filter on their snapshot's oid horizon, so the early
+// absorption is invisible to pinned readers and guaranteed-visible to any
+// snapshot taken after the publish. An object lacking an indexed attribute
+// poisons that index, matching the eager build's contract.
+func (s *Store) absorbIndexes(extent string, oid value.OID, obj *value.Tuple) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	for _, idx := range s.indexes[extent] {
+		if idx.buildErr != nil {
+			continue
+		}
+		v, ok := obj.Get(idx.attr)
+		if !ok {
+			idx.buildErr = fmt.Errorf("storage: cannot index %s.%s: object %v lacks the attribute",
+				idx.extent, idx.attr, oid)
+			continue
+		}
+		idx.absorb(v, oid)
+	}
+}
+
+// absorb inserts one (key, oid) pair. Caller holds the index write lock.
+func (idx *extIndex) absorb(v value.Value, oid value.OID) {
+	if idx.kind == HashIndex {
+		h := value.Hash(v)
+		for _, e := range idx.buckets[h] {
+			if value.Equal(e.key, v) {
+				e.oids = append(e.oids, oid)
+				return
+			}
+		}
+		if idx.buckets == nil {
+			idx.buckets = map[uint64][]*indexEntry{}
+		}
+		idx.buckets[h] = append(idx.buckets[h], &indexEntry{key: v, oids: []value.OID{oid}})
+		return
+	}
+	i := sort.Search(len(idx.entries), func(i int) bool {
+		return value.Compare(idx.entries[i].key, v) >= 0
+	})
+	if i < len(idx.entries) && value.Equal(idx.entries[i].key, v) {
+		idx.entries[i].oids = append(idx.entries[i].oids, oid)
+		return
+	}
+	idx.entries = append(idx.entries, nil)
+	copy(idx.entries[i+1:], idx.entries[i:])
+	idx.entries[i] = &indexEntry{key: v, oids: []value.OID{oid}}
+}
+
+// probe runs f on an index under the read lock — f returns matching oids
+// copied out of the index, already filtered to oid < bound (the probing
+// snapshot's visibility horizon) — then fetches them through the metered
+// Lookup path: an index probe pays per-object I/O, unlike an extent scan's
+// page-granular sweep.
+func (s *Store) probe(extent, attr string, bound value.OID, f func(*extIndex) ([]value.OID, error)) ([]value.Value, error) {
 	s.idxMu.RLock()
 	idx := s.indexes[extent][attr]
 	if idx == nil {
 		s.idxMu.RUnlock()
 		return nil, fmt.Errorf("storage: no index on %s.%s", extent, attr)
-	}
-	if idx.dirty {
-		s.idxMu.RUnlock()
-		s.idxMu.Lock()
-		if idx.dirty {
-			s.rebuild(idx)
-		}
-		s.idxMu.Unlock()
-		s.idxMu.RLock()
 	}
 	if idx.buildErr != nil {
 		err := idx.buildErr
@@ -206,15 +254,26 @@ func (s *Store) probe(extent, attr string, f func(*extIndex) ([]value.OID, error
 	return out, nil
 }
 
-// IndexLookup returns the objects of an extent whose indexed attribute
-// equals key, in insertion order. Both index kinds answer it.
-func (s *Store) IndexLookup(extent, attr string, key value.Value) ([]value.Value, error) {
-	return s.probe(extent, attr, func(idx *extIndex) ([]value.OID, error) {
+// visibleOIDs copies the entry oids that exist below the visibility bound.
+// The copy happens under the caller's read lock: a concurrent absorb may
+// extend the entry afterwards, but never mutates the prefix this probe saw.
+func visibleOIDs(dst []value.OID, e *indexEntry, bound value.OID) []value.OID {
+	for _, oid := range e.oids {
+		if oid < bound {
+			dst = append(dst, oid)
+		}
+	}
+	return dst
+}
+
+// indexLookup answers an equality probe with rows visible below bound.
+func (s *Store) indexLookup(extent, attr string, key value.Value, bound value.OID) ([]value.Value, error) {
+	return s.probe(extent, attr, bound, func(idx *extIndex) ([]value.OID, error) {
 		switch idx.kind {
 		case HashIndex:
 			for _, e := range idx.buckets[value.Hash(key)] {
 				if value.Equal(e.key, key) {
-					return e.oids, nil
+					return visibleOIDs(nil, e, bound), nil
 				}
 			}
 			return nil, nil
@@ -223,18 +282,17 @@ func (s *Store) IndexLookup(extent, attr string, key value.Value) ([]value.Value
 				return value.Compare(idx.entries[i].key, key) >= 0
 			})
 			if i < len(idx.entries) && value.Equal(idx.entries[i].key, key) {
-				return idx.entries[i].oids, nil
+				return visibleOIDs(nil, idx.entries[i], bound), nil
 			}
 			return nil, nil
 		}
 	})
 }
 
-// IndexRange returns the objects whose indexed attribute falls in the range
-// [lo, hi] (nil bound = unbounded; loIncl/hiIncl select open or closed
-// ends). It requires an ordered index.
-func (s *Store) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool) ([]value.Value, error) {
-	return s.probe(extent, attr, func(idx *extIndex) ([]value.OID, error) {
+// indexRange answers a range probe (ordered indexes only) with rows visible
+// below bound.
+func (s *Store) indexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool, bound value.OID) ([]value.Value, error) {
+	return s.probe(extent, attr, bound, func(idx *extIndex) ([]value.OID, error) {
 		if idx.kind != OrderedIndex {
 			return nil, fmt.Errorf("storage: range probe needs an ordered index on %s.%s (have %s)",
 				extent, attr, idx.kind)
@@ -261,20 +319,22 @@ func (s *Store) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIn
 		}
 		var oids []value.OID
 		for i := start; i < end; i++ {
-			oids = append(oids, idx.entries[i].oids...)
+			oids = visibleOIDs(oids, idx.entries[i], bound)
 		}
 		return oids, nil
 	})
 }
 
-// invalidateIndexes marks every index of an extent stale; the next probe
-// rebuilds. Called by Insert, which is single-threaded by contract, but the
-// flag is still set under the index lock so probes racing a rebuild are
-// safe.
-func (s *Store) invalidateIndexes(extent string) {
-	s.idxMu.Lock()
-	for _, idx := range s.indexes[extent] {
-		idx.dirty = true
-	}
-	s.idxMu.Unlock()
+// IndexLookup returns the objects of an extent whose indexed attribute
+// equals key, in insertion order, as of the latest version. Both index
+// kinds answer it.
+func (s *Store) IndexLookup(extent, attr string, key value.Value) ([]value.Value, error) {
+	return s.Snapshot().IndexLookup(extent, attr, key)
+}
+
+// IndexRange returns the objects whose indexed attribute falls in the range
+// [lo, hi] (nil bound = unbounded; loIncl/hiIncl select open or closed
+// ends) as of the latest version. It requires an ordered index.
+func (s *Store) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool) ([]value.Value, error) {
+	return s.Snapshot().IndexRange(extent, attr, lo, hi, loIncl, hiIncl)
 }

@@ -10,25 +10,32 @@ import (
 	"repro/internal/value"
 )
 
-// snapshot is the on-disk form of a store: per extent, the objects in
+// persisted is the on-disk form of a store: per extent, the objects in
 // insertion order with their oids preserved.
-type snapshot struct {
+type persisted struct {
 	Extents map[string][]json.RawMessage `json:"extents"`
 }
 
 // SaveJSON writes the store's contents (all extents, objects with their
 // oids) as JSON. The schema itself is not serialized: a snapshot is loaded
-// against the same catalog it was taken under.
+// against the same catalog it was taken under. The dump is taken against a
+// pinned version, so saving is safe (and consistent) while concurrent
+// inserts keep landing: rows published after the pin are not written.
 func (s *Store) SaveJSON(w io.Writer) error {
-	snap := snapshot{Extents: map[string][]json.RawMessage{}}
-	exts := make([]string, 0, len(s.extents))
-	for ext := range s.extents {
+	sn := s.Snapshot()
+	snap := persisted{Extents: map[string][]json.RawMessage{}}
+	exts := make([]string, 0, len(sn.v.extents))
+	for ext := range sn.v.extents {
 		exts = append(exts, ext)
 	}
 	sort.Strings(exts)
 	for _, ext := range exts {
-		for _, oid := range s.extents[ext] {
-			enc, err := value.EncodeJSON(s.objects[oid])
+		for _, oid := range sn.v.extents[ext] {
+			obj, ok := s.object(oid)
+			if !ok {
+				return fmt.Errorf("storage: save %s: dangling oid %v", ext, oid)
+			}
+			enc, err := value.EncodeJSON(obj)
 			if err != nil {
 				return fmt.Errorf("storage: save %s: %w", ext, err)
 			}
@@ -42,14 +49,17 @@ func (s *Store) SaveJSON(w io.Writer) error {
 
 // LoadJSON reads a snapshot into a fresh store over the given catalog.
 // Object identity is preserved: oids in the snapshot are kept, and the
-// store's allocator continues past the highest one.
+// store's allocator continues past the highest one. The loaded state is
+// published as a single version, so the store serves reads (and accepts
+// concurrent inserts) the moment LoadJSON returns.
 func LoadJSON(cat *schema.Catalog, r io.Reader) (*Store, error) {
-	var snap snapshot
+	var snap persisted
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("storage: load: %w", err)
 	}
 	st := New(cat)
 	var maxOID value.OID
+	extents := map[string][]value.OID{}
 	exts := make([]string, 0, len(snap.Extents))
 	for ext := range snap.Extents {
 		exts = append(exts, ext)
@@ -77,16 +87,16 @@ func LoadJSON(cat *schema.Catalog, r io.Reader) (*Store, error) {
 			if !ok {
 				return nil, fmt.Errorf("storage: load %s: id field %q is not an oid", ext, cl.IDField)
 			}
-			if _, dup := st.objects[oid]; dup {
+			if _, dup := st.objects.Load(oid); dup {
 				return nil, fmt.Errorf("storage: load: duplicate oid %v", oid)
 			}
-			st.objects[oid] = obj
-			st.extents[ext] = append(st.extents[ext], oid)
+			st.objects.Store(oid, obj)
+			extents[ext] = append(extents[ext], oid)
 			if oid > maxOID {
 				maxOID = oid
 			}
 		}
 	}
-	st.nextOID = maxOID + 1
+	st.head.Store(&version{seq: 1, nextOID: maxOID + 1, extents: extents})
 	return st, nil
 }

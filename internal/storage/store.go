@@ -42,28 +42,47 @@ type Stats struct {
 	IndexProbes int
 }
 
-// Store is an object store plus extents. Loads, inserts and schema tuning
-// are single-threaded (a store is populated before queries run), but reads —
-// Lookup, Deref, Table, Size — are safe for concurrent use by the parallel
-// execution operators: the I/O meters are atomic and the extent cache is
-// guarded by a lock.
+// Store is an object store plus extents, serving concurrent reads under
+// writes: every Insert publishes a new immutable version (version.go) and
+// readers either pin one (Snapshot) or follow the latest via the Store's own
+// DB methods. Writes are serialized by an internal writer lock but never
+// block in-flight readers; indexes and collected statistics are maintained
+// incrementally per insert instead of being invalidated and rebuilt. All
+// methods are safe for concurrent use.
 type Store struct {
-	cat     *schema.Catalog
-	nextOID value.OID
-	objects map[value.OID]*value.Tuple
-	extents map[string][]value.OID
-	// extentCache holds materialized extent sets; invalidated on insert.
-	extentCache map[string]*value.Set
-	// statsCache memoizes the last Analyze result (analyze.go); invalidated
-	// on insert and on index registration, rebuilt by the next Analyze.
-	statsCache *DBStats
-	cacheMu    sync.RWMutex
+	cat *schema.Catalog
+
+	// mu is the writer lock: Insert, CreateIndex and the first Analyze scan
+	// hold it. Readers never take it.
+	mu   sync.Mutex
+	head atomic.Pointer[version]
+	// objects maps oid → object. It is append-only (objects are immutable
+	// and never deleted), which is what makes an oid horizon a sufficient
+	// visibility rule for snapshots.
+	objects sync.Map
+
+	// mat caches the latest materialized set per extent; older versions
+	// rebuild from their oid lists, newer versions clone-and-extend
+	// (materialize).
+	matMu sync.Mutex
+	mat   map[string]matEntry
 
 	// indexes is the secondary-index registry (index.go): extent → attr →
-	// index. Probes take idxMu for reading; Insert invalidates and the next
-	// probe rebuilds under the write lock.
+	// index. Probes take idxMu for reading; Insert absorbs the new row under
+	// the write lock.
 	indexes map[string]map[string]*extIndex
 	idxMu   sync.RWMutex
+
+	// Incremental ANALYZE state (analyze.go): live per-extent statistics
+	// updated in place on Insert, the memoized published DBStats, and the
+	// stats epoch the plan cache keys on.
+	statsMu     sync.Mutex
+	live        map[string]*liveTableStats
+	statsCache  *DBStats
+	statsDirty  bool
+	sinceEpoch  map[string]int
+	rowsAtEpoch map[string]int
+	statsEpoch  atomic.Uint64
 
 	objectsPerPage int
 	lastPage       atomic.Int64
@@ -73,21 +92,29 @@ type Store struct {
 	indexProbes    atomic.Int64
 }
 
+// matEntry is one cached extent materialization: the set over the extent's
+// first n oids.
+type matEntry struct {
+	n   int
+	set *value.Set
+}
+
 // New creates an empty store for the given catalog.
 func New(cat *schema.Catalog) *Store {
 	s := &Store{
 		cat:            cat,
-		nextOID:        1,
-		objects:        map[value.OID]*value.Tuple{},
-		extents:        map[string][]value.OID{},
-		extentCache:    map[string]*value.Set{},
+		mat:            map[string]matEntry{},
+		sinceEpoch:     map[string]int{},
+		rowsAtEpoch:    map[string]int{},
 		objectsPerPage: DefaultObjectsPerPage,
 	}
+	s.head.Store(&version{nextOID: 1, extents: map[string][]value.OID{}})
 	s.lastPage.Store(-1)
 	return s
 }
 
-// SetObjectsPerPage tunes the page model clustering factor.
+// SetObjectsPerPage tunes the page model clustering factor. It is a setup
+// call: tune before queries run, not concurrently with them.
 func (s *Store) SetObjectsPerPage(n int) {
 	if n < 1 {
 		n = 1
@@ -102,6 +129,12 @@ func (s *Store) Catalog() *schema.Catalog { return s.cat }
 // carry the class's id field; Insert allocates a fresh oid, prepends the id
 // field, and returns the oid. Attribute completeness is not enforced here —
 // the typechecker validates query/schema agreement — but extent existence is.
+//
+// Insert is safe to run concurrently with readers: the row is absorbed into
+// the extent's indexes and live statistics first, then a new version is
+// published atomically. Snapshots pinned before the publish never observe
+// the row (index probes filter on the oid horizon); snapshots taken after
+// always do.
 func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	cl, ok := s.cat.ByExtent(extent)
 	if !ok {
@@ -110,17 +143,29 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	if t.Has(cl.IDField) {
 		return 0, fmt.Errorf("storage: object for %q already has id field %q", extent, cl.IDField)
 	}
-	oid := s.nextOID
-	s.nextOID++
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.head.Load()
+	oid := v.nextOID
 	obj := value.NewTuple(cl.IDField, oid).Except(t)
-	s.objects[oid] = obj
-	s.extents[extent] = append(s.extents[extent], oid)
-	s.cacheMu.Lock()
-	delete(s.extentCache, extent)
-	s.statsCache = nil
-	s.cacheMu.Unlock()
-	s.invalidateIndexes(extent)
+	s.objects.Store(oid, obj)
+	s.absorbIndexes(extent, oid, obj)
+	s.absorbStats(extent, obj, len(v.extents[extent])+1)
+	s.head.Store(&version{
+		seq:     v.seq + 1,
+		nextOID: oid + 1,
+		extents: cowExtents(v.extents, extent, oid),
+	})
 	return oid, nil
+}
+
+// object fetches from the append-only object table without metering.
+func (s *Store) object(oid value.OID) (*value.Tuple, bool) {
+	obj, ok := s.objects.Load(oid)
+	if !ok {
+		return nil, false
+	}
+	return obj.(*value.Tuple), true
 }
 
 // Lookup fetches an object by oid, metering the access. The page meter
@@ -131,7 +176,7 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 // (rather than an unconditional swap) keeps the sequential-locality hot path
 // free of contended writes.
 func (s *Store) Lookup(oid value.OID) (*value.Tuple, bool) {
-	obj, ok := s.objects[oid]
+	obj, ok := s.object(oid)
 	if ok {
 		s.objectReads.Add(1)
 		page := int64(uint64(oid)) / int64(s.objectsPerPage)
@@ -153,53 +198,67 @@ func (s *Store) Deref(oid value.OID) (*value.Tuple, error) {
 	return obj, nil
 }
 
-// Table returns the extent as a set of tuples. The set is cached; callers
-// must treat it as immutable.
+// Table returns the extent as of the latest version as a set of tuples.
+// Callers must treat the set as immutable. Readers that need a stable view
+// across several calls pin a Snapshot instead.
 func (s *Store) Table(name string) (*value.Set, error) {
-	s.cacheMu.RLock()
-	cached, ok := s.extentCache[name]
-	s.cacheMu.RUnlock()
-	if ok {
-		s.meterScan(name)
-		return cached, nil
-	}
-	oids, ok := s.extents[name]
-	if !ok {
-		if _, known := s.cat.ByExtent(name); !known {
-			return nil, fmt.Errorf("storage: unknown base table %q", name)
-		}
-		oids = nil
-	}
-	set := value.NewSetCap(len(oids))
-	for _, oid := range oids {
-		set.Add(s.objects[oid])
-	}
-	s.cacheMu.Lock()
-	s.extentCache[name] = set
-	s.cacheMu.Unlock()
-	s.meterScan(name)
-	return set, nil
+	return s.Snapshot().Table(name)
 }
 
-// meterScan charges one whole-extent scan: the scan counter plus one page
-// touch per page of the extent — charged even when the materialized set is
-// cached, because the meter models the access path's logical I/O, not the
-// Go-level memoization. The sweep also evicts the one-page lookup buffer.
-func (s *Store) meterScan(name string) {
+// materialize returns the set over an extent's oid prefix, serving from and
+// maintaining the per-extent cache: an exact hit is returned as-is, a newer
+// prefix clones the cached set and adds only the delta (copy-on-write — the
+// cached set stays valid for snapshots that still reference it), an older
+// prefix rebuilds without disturbing the cache.
+func (s *Store) materialize(name string, oids []value.OID) *value.Set {
+	n := len(oids)
+	s.matMu.Lock()
+	defer s.matMu.Unlock()
+	e := s.mat[name]
+	if e.set != nil && e.n == n {
+		return e.set
+	}
+	var set *value.Set
+	if e.set != nil && e.n < n {
+		set = e.set.Clone()
+		for _, oid := range oids[e.n:] {
+			obj, _ := s.object(oid)
+			set.Add(obj)
+		}
+	} else {
+		set = value.NewSetCap(n)
+		for _, oid := range oids {
+			obj, _ := s.object(oid)
+			set.Add(obj)
+		}
+	}
+	if n > e.n || e.set == nil {
+		s.mat[name] = matEntry{n: n, set: set}
+	}
+	return set
+}
+
+// meterScan charges one whole-extent scan over rows objects: the scan
+// counter plus one page touch per page — charged even when the materialized
+// set is cached, because the meter models the access path's logical I/O, not
+// the Go-level memoization. The sweep also evicts the one-page lookup
+// buffer.
+func (s *Store) meterScan(rows int) {
 	s.extentScans.Add(1)
-	if n := len(s.extents[name]); n > 0 {
-		s.pageReads.Add(int64((n + s.objectsPerPage - 1) / s.objectsPerPage))
+	if rows > 0 {
+		s.pageReads.Add(int64((rows + s.objectsPerPage - 1) / s.objectsPerPage))
 	}
 	s.lastPage.Store(-1)
 }
 
-// OIDs returns the oids of an extent in insertion order.
+// OIDs returns the oids of an extent in insertion order, as of the latest
+// version.
 func (s *Store) OIDs(extent string) []value.OID {
-	return append([]value.OID(nil), s.extents[extent]...)
+	return s.Snapshot().OIDs(extent)
 }
 
-// Size reports the number of objects in an extent.
-func (s *Store) Size(extent string) int { return len(s.extents[extent]) }
+// Size reports the number of objects in an extent as of the latest version.
+func (s *Store) Size(extent string) int { return s.Snapshot().Size(extent) }
 
 // Stats returns the I/O counters accumulated since the last ResetStats.
 func (s *Store) Stats() Stats {

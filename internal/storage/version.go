@@ -1,0 +1,126 @@
+// Multi-version extent snapshots. The store publishes an immutable version
+// per write: a reader pins one (Snapshot) and keeps scanning it while later
+// inserts publish successors — the "populate, then query" restriction the
+// original store had is gone. Versions share structure: the object table is
+// append-only (objects are immutable once inserted and never deleted, so a
+// version is fully described by its oid horizon), and each version's extent
+// oid-lists share their backing arrays with their predecessors, with only
+// the touched extent's slice header replaced on insert. Publishing is one
+// atomic pointer store; pinning is one atomic load.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// version is one immutable store state. seq orders versions; nextOID is the
+// visibility horizon — exactly the objects with oid < nextOID existed when
+// the version was published, because oids are allocated monotonically and
+// objects are never updated or deleted.
+type version struct {
+	seq     uint64
+	nextOID value.OID
+	extents map[string][]value.OID
+}
+
+// cowExtents derives the successor extent map: a shallow copy with the
+// touched extent's oid list extended. The append may write one slot past the
+// predecessor's length into a shared backing array — invisible to readers of
+// the old version, whose slice header bounds them to the old prefix.
+func cowExtents(old map[string][]value.OID, extent string, oid value.OID) map[string][]value.OID {
+	next := make(map[string][]value.OID, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[extent] = append(next[extent], oid)
+	return next
+}
+
+// Snapshot is a pinned immutable view of the store: all reads — extent
+// scans, oid dereferences, index probes — answer as of the pinned version,
+// no matter how many inserts commit concurrently. It implements the
+// evaluator's DB interface and the executor's IndexedDB capability, so whole
+// physical plans run against one snapshot. I/O metering is shared with the
+// owning store. A Snapshot is safe for concurrent use.
+type Snapshot struct {
+	st    *Store
+	v     *version
+	epoch uint64
+}
+
+// Snapshot pins the current version. The returned view is immutable; the
+// store remains free to accept writes.
+func (s *Store) Snapshot() *Snapshot {
+	return &Snapshot{st: s, v: s.head.Load(), epoch: s.statsEpoch.Load()}
+}
+
+// Seq reports the pinned version's sequence number: one Insert is one
+// increment, so two snapshots compare by recency.
+func (sn *Snapshot) Seq() uint64 { return sn.v.seq }
+
+// StatsEpoch reports the statistics epoch observed when the snapshot was
+// taken. The serving layer's plan cache keys prepared plans on it: a cached
+// plan is reused while the epoch holds and re-planned once it drifts.
+func (sn *Snapshot) StatsEpoch() uint64 { return sn.epoch }
+
+// visible reports whether an oid exists in the pinned version.
+func (sn *Snapshot) visible(oid value.OID) bool { return oid < sn.v.nextOID }
+
+// Lookup fetches an object by oid as of the snapshot, metering the access
+// (see Store.Lookup for the page model).
+func (sn *Snapshot) Lookup(oid value.OID) (*value.Tuple, bool) {
+	if !sn.visible(oid) {
+		return nil, false
+	}
+	return sn.st.Lookup(oid)
+}
+
+// Deref implements pointer dereferencing for the evaluator, failing loudly
+// on oids dangling in this version.
+func (sn *Snapshot) Deref(oid value.OID) (*value.Tuple, error) {
+	obj, ok := sn.Lookup(oid)
+	if !ok {
+		return nil, fmt.Errorf("storage: dangling oid %v", oid)
+	}
+	return obj, nil
+}
+
+// Table returns the extent as of the snapshot as a set of tuples. Callers
+// must treat the set as immutable. Materializations are cached per extent
+// with copy-on-write extension (see Store.materialize), so consecutive
+// versions pay for their delta, not the whole extent.
+func (sn *Snapshot) Table(name string) (*value.Set, error) {
+	oids, ok := sn.v.extents[name]
+	if !ok {
+		if _, known := sn.st.cat.ByExtent(name); !known {
+			return nil, fmt.Errorf("storage: unknown base table %q", name)
+		}
+	}
+	set := sn.st.materialize(name, oids)
+	sn.st.meterScan(len(oids))
+	return set, nil
+}
+
+// Size reports the number of objects the extent had at the pinned version.
+func (sn *Snapshot) Size(extent string) int { return len(sn.v.extents[extent]) }
+
+// OIDs returns the extent's oids at the pinned version, in insertion order.
+func (sn *Snapshot) OIDs(extent string) []value.OID {
+	return append([]value.OID(nil), sn.v.extents[extent]...)
+}
+
+// IndexLookup answers an equality probe as of the snapshot: the shared
+// index (maintained incrementally across inserts) is probed and rows beyond
+// the snapshot's oid horizon are filtered out, so a pinned reader never
+// observes a row a concurrent writer added.
+func (sn *Snapshot) IndexLookup(extent, attr string, key value.Value) ([]value.Value, error) {
+	return sn.st.indexLookup(extent, attr, key, sn.v.nextOID)
+}
+
+// IndexRange answers a range probe as of the snapshot (ordered indexes
+// only); see IndexLookup for the visibility rule.
+func (sn *Snapshot) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool) ([]value.Value, error) {
+	return sn.st.indexRange(extent, attr, lo, hi, loIncl, hiIncl, sn.v.nextOID)
+}

@@ -56,6 +56,26 @@ func (s *Set) Add(v Value) bool {
 	return true
 }
 
+// Clone returns an independent copy of the set sharing only the (immutable)
+// element values. Backing arrays are allocated exactly, so growing the clone
+// never writes into storage shared with the original — the original may keep
+// being read concurrently while the clone is extended. This is what the
+// storage layer's copy-on-write extent materialization builds new versions
+// from without rehashing every element.
+func (s *Set) Clone() *Set {
+	c := &Set{elems: make([]Value, len(s.elems))}
+	copy(c.elems, s.elems)
+	if s.index != nil {
+		c.index = make(map[uint64][]int, len(s.index))
+		for h, idx := range s.index {
+			cp := make([]int, len(idx))
+			copy(cp, idx)
+			c.index[h] = cp
+		}
+	}
+	return c
+}
+
 // AddAll inserts every element of t into s.
 func (s *Set) AddAll(t *Set) {
 	for _, e := range t.elems {

@@ -372,3 +372,30 @@ func TestJSONCanonicalSets(t *testing.T) {
 		t.Errorf("set encodings differ:\n %s\n %s", ea, eb)
 	}
 }
+
+func TestSetCloneIndependence(t *testing.T) {
+	orig := NewSet(Int(1), Int(2), Int(3))
+	c := orig.Clone()
+	if c == orig || c.Len() != 3 {
+		t.Fatalf("clone = %v", c)
+	}
+	// Growing the clone must never write into storage shared with the
+	// original: concurrent readers of the original rely on this.
+	for i := 4; i <= 64; i++ {
+		c.Add(Int(int64(i)))
+	}
+	if orig.Len() != 3 {
+		t.Fatalf("original grew to %d elements", orig.Len())
+	}
+	for _, v := range []Value{Int(1), Int(2), Int(3)} {
+		if !orig.Contains(v) || !c.Contains(v) {
+			t.Fatalf("element %v lost", v)
+		}
+	}
+	if orig.Contains(Int(10)) {
+		t.Fatalf("original sees the clone's additions")
+	}
+	if !c.Contains(Int(64)) {
+		t.Fatalf("clone lost its own addition")
+	}
+}
