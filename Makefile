@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke serve-smoke bench-serve fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-json bench-smoke serve-smoke bench-serve examples-smoke cover fuzz-smoke fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -58,9 +58,10 @@ serve-smoke:
 	for i in $$(seq 1 50); do \
 		curl -sf http://$(SERVE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
 	$(GO) run ./cmd/adlload -addr http://$(SERVE_ADDR) -clients 64 -duration 2s \
-		-insert-frac 0.2 -verify-frac 0.05 || exit 1
+		-insert-frac 0.2 -delete-frac 0.05 -update-frac 0.05 -verify-frac 0.05 || exit 1
 	@rm -f adlserve.smoke
 	$(GO) run -race ./cmd/adlload -clients 256 -duration 2s -insert-frac 0.2 \
+		-delete-frac 0.05 -update-frac 0.05 \
 		-verify-frac 0.05 -suppliers 100 -parts 200 -deliveries 50
 
 # Closed-loop serving benchmark: 1000 concurrent clients, plan cache on vs
@@ -72,11 +73,11 @@ bench-serve:
 	$(GO) run ./cmd/benchjson -merge serve-results.json -out BENCH_RESULTS.json
 	@rm -f serve-results.json
 
-# Total-statement-coverage floor enforced by make cover. 80.3% was measured
-# when the gate was introduced; the floor sits just under it to absorb the
-# scheduling jitter of the parallel operators' branch coverage. Raise it as
-# coverage grows, never lower it.
-COVER_FLOOR ?= 80.0
+# Total-statement-coverage floor enforced by make cover. 81.8% was measured
+# after the serving-layer phase-2 test sweep; the floor sits just under it to
+# absorb the scheduling jitter of the parallel operators' branch coverage.
+# Raise it as coverage grows, never lower it.
+COVER_FLOOR ?= 81.0
 
 # Per-package coverage plus a total floor: prints every package's percentage
 # and fails when the total drops below COVER_FLOOR.
@@ -86,6 +87,14 @@ cover:
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' \
 		|| { echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Builds and runs every example program. The examples double as end-to-end
+# documentation of the public pipeline (parse → rewrite → plan → execute), so
+# CI runs them rather than just compiling them: a demo that builds but
+# crashes — or one whose built-in assertions fail — fails this target.
+examples-smoke:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; $(GO) run ./$$d > /dev/null; done
 
 # A short go test -fuzz run of the OOSQL parser fuzz target — CI's "the
 # fuzzer still runs and finds nothing in ten seconds" check.
@@ -116,4 +125,4 @@ staticcheck:
 
 # Exactly what .github/workflows/ci.yml runs. staticcheck is separate from
 # `ci` so the aggregate target stays runnable offline; CI runs both.
-ci: fmt-check vet build race cover fuzz-smoke bench-smoke serve-smoke
+ci: fmt-check vet build race cover fuzz-smoke bench-smoke examples-smoke serve-smoke

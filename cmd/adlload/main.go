@@ -1,8 +1,9 @@
 // Command adlload is the closed-loop load driver for the serving layer: N
 // concurrent clients each issue a mixed stream of OOSQL reads and PART
-// inserts as fast as the engine answers, for a fixed duration. It reports
-// p50/p99 latency and sustained QPS, and writes them as a benchjson fragment
-// (-json) for merging into BENCH_RESULTS.json.
+// mutations — inserts, deletes, updates — as fast as the engine answers,
+// for a fixed duration. It reports p50/p99 latency and sustained QPS, and
+// writes them as a benchjson fragment (-json) for merging into
+// BENCH_RESULTS.json.
 //
 // By default the driver runs in-process: it builds the store, wraps it in
 // the serving engine, and drives it directly — this is the mode CI runs
@@ -10,8 +11,13 @@
 // fraction of reads (-verify-frac) re-execute the untransformed nested form
 // serially against the same pinned snapshot and fail the run on any
 // mismatch — the reads-under-writes linearizability arm: under concurrent
-// inserts, a pinned snapshot must answer exactly as it would have with the
-// world stopped.
+// mutations, a pinned snapshot must answer exactly as it would have with
+// the world stopped. The same fraction drives sampled read-your-writes
+// verification: each client tracks the parts it inserted (delete and update
+// only ever touch a client's own rows, so no cross-client dangling) and
+// spot-checks that a part it just wrote is visible with exactly the
+// attributes it wrote — and that a part it deleted is gone. Any mismatch is
+// a divergence, reported separately and failing the run.
 //
 // With -addr the driver targets a running adlserve over HTTP instead.
 //
@@ -20,7 +26,7 @@
 // identical results for every query in the pool; -assert additionally fails
 // the run unless the cached arm wins on p50.
 //
-//	adlload -clients 1000 -duration 5s -insert-frac 0.2 -verify-frac 0.02
+//	adlload -clients 1000 -duration 5s -insert-frac 0.2 -delete-frac 0.05 -update-frac 0.05
 //	adlload -compare-cache -assert -json serve.json
 package main
 
@@ -64,6 +70,8 @@ type config struct {
 	clients    int
 	duration   time.Duration
 	insertFrac float64
+	deleteFrac float64
+	updateFrac float64
 	verifyFrac float64
 	seed       int64
 }
@@ -72,7 +80,12 @@ type config struct {
 // remote adlserve.
 type client interface {
 	query(src string, verify bool) error
-	insert(t *value.Tuple) error
+	// count executes a query and returns its row count (for read-your-writes
+	// verification).
+	count(src string) (int, error)
+	insert(t *value.Tuple) (value.OID, error)
+	del(oid value.OID) error
+	update(oid value.OID, t *value.Tuple) error
 }
 
 type localClient struct{ eng *server.Engine }
@@ -87,9 +100,24 @@ func (c localClient) query(src string, verify bool) error {
 	return err
 }
 
-func (c localClient) insert(t *value.Tuple) error {
-	_, err := c.eng.Insert("PART", t)
-	return err
+func (c localClient) count(src string) (int, error) {
+	res, err := c.eng.Query(src)
+	if err != nil {
+		return 0, err
+	}
+	return res.Set.Len(), nil
+}
+
+func (c localClient) insert(t *value.Tuple) (value.OID, error) {
+	return c.eng.Insert("PART", t)
+}
+
+func (c localClient) del(oid value.OID) error {
+	return c.eng.Delete("PART", oid)
+}
+
+func (c localClient) update(oid value.OID, t *value.Tuple) error {
+	return c.eng.Update("PART", oid, t)
 }
 
 type httpClient struct {
@@ -97,51 +125,107 @@ type httpClient struct {
 	hc   *http.Client
 }
 
-func (c httpClient) post(path string, body any) error {
+// post sends a JSON request and decodes the JSON reply.
+func (c httpClient) post(path string, body any) (map[string]any, error) {
 	blob, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(blob))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: %s: %s", path, resp.Status, msg)
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, msg)
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return nil
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: decode reply: %w", path, err)
+	}
+	return out, nil
 }
 
 func (c httpClient) query(src string, verify bool) error {
-	return c.post("/query", map[string]any{"query": src, "verify": verify})
+	_, err := c.post("/query", map[string]any{"query": src, "verify": verify})
+	return err
 }
 
-func (c httpClient) insert(t *value.Tuple) error {
+func (c httpClient) count(src string) (int, error) {
+	out, err := c.post("/query", map[string]any{"query": src})
+	if err != nil {
+		return 0, err
+	}
+	n, ok := out["rows"].(float64)
+	if !ok {
+		return 0, fmt.Errorf("/query reply lacks rows: %v", out)
+	}
+	return int(n), nil
+}
+
+func (c httpClient) insert(t *value.Tuple) (value.OID, error) {
+	enc, err := value.EncodeJSON(t)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.post("/insert", map[string]any{"extent": "PART", "object": json.RawMessage(enc)})
+	if err != nil {
+		return 0, err
+	}
+	oid, ok := out["oid"].(float64)
+	if !ok {
+		return 0, fmt.Errorf("/insert reply lacks oid: %v", out)
+	}
+	return value.OID(oid), nil
+}
+
+func (c httpClient) del(oid value.OID) error {
+	_, err := c.post("/delete", map[string]any{"extent": "PART", "oid": uint64(oid)})
+	return err
+}
+
+func (c httpClient) update(oid value.OID, t *value.Tuple) error {
 	enc, err := value.EncodeJSON(t)
 	if err != nil {
 		return err
 	}
-	return c.post("/insert", map[string]any{"extent": "PART", "object": json.RawMessage(enc)})
+	_, err = c.post("/update", map[string]any{
+		"extent": "PART", "oid": uint64(oid), "object": json.RawMessage(enc)})
+	return err
 }
 
-func newPart(rng *rand.Rand, id int64) *value.Tuple {
+func partTuple(name string, price int64, color string) *value.Tuple {
 	return value.NewTuple(
-		"pname", value.String(fmt.Sprintf("load-part-%d", id)),
-		"price", value.Int(rng.Int63n(100)+1),
-		"color", value.String(partColors[rng.Intn(len(partColors))]),
+		"pname", value.String(name),
+		"price", value.Int(price),
+		"color", value.String(color),
 	)
+}
+
+// ownedPart is one row a client inserted itself, with the attributes it
+// last wrote — the expectation read-your-writes verification checks.
+type ownedPart struct {
+	oid   value.OID
+	name  string
+	price int64
+	color string
+}
+
+// opCounts tallies one client's operations.
+type opCounts struct {
+	reads, writes, deletes, updates, verified, selfChecks int
 }
 
 // runResult aggregates one closed-loop run.
 type runResult struct {
-	ops, reads, writes, verified int
-	p50, p99                     time.Duration
-	qps                          float64
-	elapsed                      time.Duration
-	errs                         []error
+	ops         int
+	counts      opCounts
+	p50, p99    time.Duration
+	qps         float64
+	elapsed     time.Duration
+	errs        []error
+	divergences []string
 }
 
 // run drives cfg.clients concurrent closed loops against mk's client for
@@ -150,7 +234,8 @@ func run(cfg config, mk func() client) runResult {
 	var wg sync.WaitGroup
 	lats := make([][]time.Duration, cfg.clients)
 	errs := make([][]error, cfg.clients)
-	counts := make([][3]int, cfg.clients) // reads, writes, verified
+	divs := make([][]string, cfg.clients)
+	counts := make([]opCounts, cfg.clients)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
 	for i := 0; i < cfg.clients; i++ {
@@ -159,24 +244,68 @@ func run(cfg config, mk func() client) runResult {
 			defer wg.Done()
 			cl := mk()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
+			var mine []ownedPart
+			var graveyard []string // names of parts this client deleted
 			for n := 0; time.Now().Before(deadline); n++ {
 				t0 := time.Now()
 				var err error
-				if rng.Float64() < cfg.insertFrac {
-					err = cl.insert(newPart(rng, int64(i)<<32|int64(n)))
-					counts[i][1]++
-				} else {
+				r := rng.Float64()
+				switch {
+				case r < cfg.insertFrac:
+					name := fmt.Sprintf("load-part-%d", int64(i)<<32|int64(n))
+					price := rng.Int63n(100) + 1
+					color := partColors[rng.Intn(len(partColors))]
+					var oid value.OID
+					if oid, err = cl.insert(partTuple(name, price, color)); err == nil {
+						mine = append(mine, ownedPart{oid: oid, name: name, price: price, color: color})
+					}
+					counts[i].writes++
+				case r < cfg.insertFrac+cfg.deleteFrac && len(mine) > 0:
+					j := rng.Intn(len(mine))
+					if err = cl.del(mine[j].oid); err == nil {
+						graveyard = append(graveyard, mine[j].name)
+						if len(graveyard) > 32 {
+							graveyard = graveyard[1:]
+						}
+						mine[j] = mine[len(mine)-1]
+						mine = mine[:len(mine)-1]
+					}
+					counts[i].deletes++
+				case r < cfg.insertFrac+cfg.deleteFrac+cfg.updateFrac && len(mine) > 0:
+					j := rng.Intn(len(mine))
+					price := rng.Int63n(100) + 1
+					color := partColors[rng.Intn(len(partColors))]
+					if err = cl.update(mine[j].oid, partTuple(mine[j].name, price, color)); err == nil {
+						mine[j].price, mine[j].color = price, color
+					}
+					counts[i].updates++
+				default:
 					q := queryPool[rng.Intn(len(queryPool))]
 					verify := rng.Float64() < cfg.verifyFrac
 					err = cl.query(q.src, verify)
-					counts[i][0]++
+					counts[i].reads++
 					if verify {
-						counts[i][2]++
+						counts[i].verified++
 					}
 				}
 				lats[i] = append(lats[i], time.Since(t0))
 				if err != nil {
 					errs[i] = append(errs[i], err)
+					continue
+				}
+				// Sampled read-your-writes verification: this client's writes
+				// are sequential and publish before returning, so a query
+				// pinned now must see exactly its last write (or, for a
+				// deleted part, nothing). Other clients never touch these
+				// rows — names and oids are client-private.
+				if rng.Float64() < cfg.verifyFrac {
+					counts[i].selfChecks++
+					div, verr := verifySelf(cl, rng, mine, graveyard)
+					if verr != nil {
+						errs[i] = append(errs[i], verr)
+					} else if div != "" {
+						divs[i] = append(divs[i], div)
+					}
 				}
 			}
 		}(i)
@@ -190,9 +319,13 @@ func run(cfg config, mk func() client) runResult {
 	for i := range lats {
 		all = append(all, lats[i]...)
 		res.errs = append(res.errs, errs[i]...)
-		res.reads += counts[i][0]
-		res.writes += counts[i][1]
-		res.verified += counts[i][2]
+		res.divergences = append(res.divergences, divs[i]...)
+		res.counts.reads += counts[i].reads
+		res.counts.writes += counts[i].writes
+		res.counts.deletes += counts[i].deletes
+		res.counts.updates += counts[i].updates
+		res.counts.verified += counts[i].verified
+		res.counts.selfChecks += counts[i].selfChecks
 	}
 	res.ops = len(all)
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -204,16 +337,58 @@ func run(cfg config, mk func() client) runResult {
 	return res
 }
 
+// verifySelf spot-checks one of the client's own rows: a live part must be
+// visible with exactly the attributes last written (one row — names are
+// unique); a deleted part must be invisible. It returns a divergence
+// description (empty when consistent) or a transport/query error.
+func verifySelf(cl client, rng *rand.Rand, mine []ownedPart, dead []string) (string, error) {
+	if len(mine) > 0 && (len(dead) == 0 || rng.Intn(2) == 0) {
+		p := mine[rng.Intn(len(mine))]
+		src := fmt.Sprintf(
+			`select q.pname from q in PART where q.pname = %q and q.price = %d and q.color = %q`,
+			p.name, p.price, p.color)
+		n, err := cl.count(src)
+		if err != nil {
+			return "", err
+		}
+		if n != 1 {
+			return fmt.Sprintf("part %s: want 1 row with price=%d color=%s, saw %d rows",
+				p.name, p.price, p.color, n), nil
+		}
+	} else if len(dead) > 0 {
+		name := dead[rng.Intn(len(dead))]
+		src := fmt.Sprintf(`select q.pname from q in PART where q.pname = %q`, name)
+		n, err := cl.count(src)
+		if err != nil {
+			return "", err
+		}
+		if n != 0 {
+			return fmt.Sprintf("deleted part %s still visible: %d rows", name, n), nil
+		}
+	}
+	return "", nil
+}
+
 func (r runResult) report(label string, cfg config) {
-	fmt.Printf("%-12s %d clients, %v: %d ops (%d reads, %d writes, %d verified) — p50 %v, p99 %v, %.0f ops/s, %d errors\n",
-		label, cfg.clients, r.elapsed.Round(time.Millisecond), r.ops, r.reads, r.writes, r.verified,
-		r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond), r.qps, len(r.errs))
+	c := r.counts
+	fmt.Printf("%-12s %d clients, %v: %d ops (%d reads, %d inserts, %d deletes, %d updates, %d verified, %d self-checks) — p50 %v, p99 %v, %.0f ops/s, %d errors, %d divergences\n",
+		label, cfg.clients, r.elapsed.Round(time.Millisecond), r.ops,
+		c.reads, c.writes, c.deletes, c.updates, c.verified, c.selfChecks,
+		r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond), r.qps,
+		len(r.errs), len(r.divergences))
 	for i, err := range r.errs {
 		if i >= 5 {
 			fmt.Printf("  ... %d more errors\n", len(r.errs)-5)
 			break
 		}
 		fmt.Printf("  error: %v\n", err)
+	}
+	for i, d := range r.divergences {
+		if i >= 5 {
+			fmt.Printf("  ... %d more divergences\n", len(r.divergences)-5)
+			break
+		}
+		fmt.Printf("  DIVERGENCE: %s\n", d)
 	}
 }
 
@@ -236,14 +411,18 @@ func (r runResult) bench(name string, cfg config) benchResult {
 		Iterations: int64(r.ops),
 		NsPerOp:    float64(r.p50.Nanoseconds()),
 		Metrics: map[string]float64{
-			"clients":  float64(cfg.clients),
-			"p50_ns":   float64(r.p50.Nanoseconds()),
-			"p99_ns":   float64(r.p99.Nanoseconds()),
-			"qps":      r.qps,
-			"reads":    float64(r.reads),
-			"writes":   float64(r.writes),
-			"verified": float64(r.verified),
-			"errors":   float64(len(r.errs)),
+			"clients":     float64(cfg.clients),
+			"p50_ns":      float64(r.p50.Nanoseconds()),
+			"p99_ns":      float64(r.p99.Nanoseconds()),
+			"qps":         r.qps,
+			"reads":       float64(r.counts.reads),
+			"writes":      float64(r.counts.writes),
+			"deletes":     float64(r.counts.deletes),
+			"updates":     float64(r.counts.updates),
+			"verified":    float64(r.counts.verified),
+			"self_checks": float64(r.counts.selfChecks),
+			"errors":      float64(len(r.errs)),
+			"divergences": float64(len(r.divergences)),
 		},
 	}
 }
@@ -261,7 +440,7 @@ func buildEngine(suppliers, parts, deliveries int, seed int64, noCache bool) *se
 }
 
 // assertEqualResults proves the two engines (plan cache on/off) answer every
-// pool query identically over identical stores, before any insert diverges
+// pool query identically over identical stores, before any mutation diverges
 // them — the "equal results" leg of the plan-cache claim.
 func assertEqualResults(a, b *server.Engine) {
 	for _, q := range queryPool {
@@ -292,7 +471,9 @@ func main() {
 		clients      = flag.Int("clients", 1000, "concurrent closed-loop clients")
 		duration     = flag.Duration("duration", 5*time.Second, "run duration")
 		insertFrac   = flag.Float64("insert-frac", 0.2, "fraction of operations that insert a PART")
-		verifyFrac   = flag.Float64("verify-frac", 0.02, "fraction of reads differentially verified against a serial re-execution")
+		deleteFrac   = flag.Float64("delete-frac", 0, "fraction of operations that delete one of the client's own parts")
+		updateFrac   = flag.Float64("update-frac", 0, "fraction of operations that update one of the client's own parts")
+		verifyFrac   = flag.Float64("verify-frac", 0.02, "fraction of reads differentially verified, and of operations followed by a read-your-writes self-check")
 		addr         = flag.String("addr", "", "drive a running adlserve at this base URL (e.g. http://localhost:8080) instead of in-process")
 		suppliers    = flag.Int("suppliers", 400, "generated SUPPLIER rows (in-process)")
 		parts        = flag.Int("parts", 800, "generated PART rows (in-process)")
@@ -310,11 +491,17 @@ func main() {
 		clients:    *clients,
 		duration:   *duration,
 		insertFrac: *insertFrac,
+		deleteFrac: *deleteFrac,
+		updateFrac: *updateFrac,
 		verifyFrac: *verifyFrac,
 		seed:       *seed,
 	}
+	if cfg.insertFrac+cfg.deleteFrac+cfg.updateFrac > 1 {
+		fatal(fmt.Errorf("insert/delete/update fractions sum past 1"))
+	}
 	var results []benchResult
 	failed := false
+	bad := func(r runResult) bool { return len(r.errs) > 0 || len(r.divergences) > 0 }
 
 	switch {
 	case *addr != "":
@@ -322,7 +509,7 @@ func main() {
 		res := run(cfg, func() client { return httpClient{base: *addr, hc: hc} })
 		res.report("http", cfg)
 		results = append(results, res.bench(*namePrefix+"/http", cfg))
-		failed = len(res.errs) > 0
+		failed = bad(res)
 
 	case *compareCache:
 		cached := buildEngine(*suppliers, *parts, *deliveries, *seed, false)
@@ -333,14 +520,15 @@ func main() {
 		resUncached := run(cfg, func() client { return localClient{eng: uncached} })
 		resUncached.report("replan", cfg)
 		m := cached.Metrics()
-		fmt.Printf("plan cache: %d hits, %d misses, %d epoch-drift replans\n", m.CacheHits, m.CacheMiss, m.Replans)
+		fmt.Printf("plan cache: %d hits, %d misses, %d epoch-drift replans, %d feedback evictions\n",
+			m.CacheHits, m.CacheMiss, m.Replans, m.FeedbackEvictions)
 		speedup := float64(resUncached.p50) / float64(resCached.p50)
 		fmt.Printf("p50 plancache %v vs replan %v (%.2fx)\n",
 			resCached.p50.Round(time.Microsecond), resUncached.p50.Round(time.Microsecond), speedup)
 		results = append(results,
 			resCached.bench(*namePrefix+"/plancache", cfg),
 			resUncached.bench(*namePrefix+"/replan", cfg))
-		failed = len(resCached.errs) > 0 || len(resUncached.errs) > 0
+		failed = bad(resCached) || bad(resUncached)
 		if *assertWin && resCached.p50 > resUncached.p50 {
 			fmt.Fprintln(os.Stderr, "adlload: ASSERT FAILED: plan-cache arm lost on p50")
 			failed = true
@@ -355,10 +543,10 @@ func main() {
 		}
 		res.report(label, cfg)
 		m := eng.Metrics()
-		fmt.Printf("plan cache: %d hits, %d misses, %d epoch-drift replans; store at seq %d, stats epoch %d\n",
-			m.CacheHits, m.CacheMiss, m.Replans, m.Seq, m.StatsEpoch)
+		fmt.Printf("plan cache: %d hits, %d misses, %d epoch-drift replans, %d feedback evictions; store at seq %d, stats epoch %d\n",
+			m.CacheHits, m.CacheMiss, m.Replans, m.FeedbackEvictions, m.Seq, m.StatsEpoch)
 		results = append(results, res.bench(*namePrefix+"/"+label, cfg))
-		failed = len(res.errs) > 0
+		failed = bad(res)
 	}
 
 	if *jsonOut != "" {

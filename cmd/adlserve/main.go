@@ -1,31 +1,36 @@
 // Command adlserve is the long-lived query server: it populates (or loads) a
-// supplier-part store, then serves OOSQL queries and inserts over HTTP.
+// supplier-part store, then serves OOSQL queries and mutations over HTTP.
 // Queries execute against MVCC snapshots pinned per request — a query sees
-// exactly the inserts published before it started, never a torn state — and
-// plan through a prepared-plan cache keyed on (query, stats epoch), with
-// re-plan on epoch drift.
+// exactly the mutations published before it started, never a torn state —
+// and plan through a prepared-plan cache keyed on (query, stats epoch), with
+// re-plan on epoch drift and runtime cardinality feedback: cached executions
+// run instrumented, and a plan whose estimates drift past the q-error
+// threshold is evicted and re-planned against fresh statistics.
 //
 //	adlserve -addr :8080 -suppliers 400 -parts 800 -deliveries 200
 //
 // Endpoints:
 //
 //	POST /query   {"query": "...", "verify": false, "result": false}
-//	              → {"rows", "seq", "epoch", "cache_hit", "replanned", ["result"]}
+//	              → {"rows", "seq", "epoch", "cache_hit", "replanned", "evicted", ["result"]}
 //	POST /insert  {"extent": "PART", "object": {tagged value JSON}}
 //	              → {"oid"}
+//	POST /delete  {"extent": "PART", "oid": 7}
+//	              → {"deleted"}
+//	POST /update  {"extent": "PART", "oid": 7, "object": {tagged value JSON}}
+//	              → {"updated"}
 //	GET  /metrics → engine counters, stats epoch, store I/O meters
 //	GET  /healthz → ok
 //
-// The object payload of /insert uses the same tagged encoding as store
-// snapshots (internal/value JSON codec). With -verify-all every query is
-// differentially checked against a serial re-execution of the untransformed
-// nested form on the same pinned snapshot.
+// The object payloads use the same tagged encoding as store snapshots
+// (internal/value JSON codec); an update's object must not carry the id
+// field. With -verify-all every query is differentially checked against a
+// serial re-execution of the untransformed nested form on the same pinned
+// snapshot.
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -33,7 +38,6 @@ import (
 	"repro/internal/bench"
 	"repro/internal/server"
 	"repro/internal/storage"
-	"repro/internal/value"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 		seed        = flag.Int64("seed", 94, "generator seed")
 		parallelism = flag.Int("parallelism", 0, "planner parallelism (0 = NumCPU)")
 		noCache     = flag.Bool("no-plan-cache", false, "plan every query from scratch (A/B baseline)")
+		noFeedback  = flag.Bool("no-feedback", false, "disable runtime cardinality feedback eviction")
 		verifyAll   = flag.Bool("verify-all", false, "differentially verify every query against a serial re-execution")
 		indexes     = flag.Bool("indexes", true, "create hash indexes on PART.color and PART.price")
 	)
@@ -62,98 +67,14 @@ func main() {
 		}
 	}
 	st.Analyze()
-	eng := server.New(st, server.Options{NoPlanCache: *noCache, Parallelism: *parallelism})
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"engine": eng.Metrics(),
-			"store":  st.Stats(),
-		})
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		var req struct {
-			Query  string `json:"query"`
-			Verify bool   `json:"verify"`
-			Result bool   `json:"result"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request: %v", err)
-			return
-		}
-		run := eng.Query
-		if req.Verify || *verifyAll {
-			run = eng.QueryVerified
-		}
-		res, err := run(req.Query)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		out := map[string]any{
-			"rows":      res.Set.Len(),
-			"seq":       res.Seq,
-			"epoch":     res.Epoch,
-			"cache_hit": res.CacheHit,
-			"replanned": res.Replanned,
-		}
-		if req.Result {
-			out["result"] = res.Set.String()
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		var req struct {
-			Extent string          `json:"extent"`
-			Object json.RawMessage `json:"object"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request: %v", err)
-			return
-		}
-		v, err := value.DecodeJSON(req.Object)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad object: %v", err)
-			return
-		}
-		obj, ok := v.(*value.Tuple)
-		if !ok {
-			httpError(w, http.StatusBadRequest, "object is %s, not a tuple", v.Kind())
-			return
-		}
-		oid, err := eng.Insert(req.Extent, obj)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"oid": uint64(oid)})
+	eng := server.New(st, server.Options{
+		NoPlanCache: *noCache, NoFeedback: *noFeedback, Parallelism: *parallelism,
 	})
 
-	log.Printf("adlserve: listening on %s (%d suppliers, %d parts, %d deliveries, plan cache %v)",
-		*addr, *suppliers, *parts, *deliveries, !*noCache)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	log.Printf("adlserve: listening on %s (%d suppliers, %d parts, %d deliveries, plan cache %v, feedback %v)",
+		*addr, *suppliers, *parts, *deliveries, !*noCache, !*noFeedback)
+	if err := http.ListenAndServe(*addr, newMux(eng, *verifyAll)); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
 }

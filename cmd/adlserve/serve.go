@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/server"
+	"repro/internal/value"
+)
+
+// newMux wires the HTTP surface over one engine. It is the whole server
+// minus flag parsing and the listener, so tests drive it through
+// net/http/httptest.
+func newMux(eng *server.Engine, verifyAll bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"engine": eng.Metrics(),
+			"store":  eng.Store().Stats(),
+		})
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Query  string `json:"query"`
+			Verify bool   `json:"verify"`
+			Result bool   `json:"result"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		run := eng.Query
+		if req.Verify || verifyAll {
+			run = eng.QueryVerified
+		}
+		res, err := run(req.Query)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		out := map[string]any{
+			"rows":      res.Set.Len(),
+			"seq":       res.Seq,
+			"epoch":     res.Epoch,
+			"cache_hit": res.CacheHit,
+			"replanned": res.Replanned,
+			"evicted":   res.Evicted,
+		}
+		if req.Result {
+			out["result"] = res.Set.String()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Extent string          `json:"extent"`
+			Object json.RawMessage `json:"object"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		obj, err := decodeTuple(req.Object)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		oid, err := eng.Insert(req.Extent, obj)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"oid": uint64(oid)})
+	})
+	mux.HandleFunc("/delete", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Extent string `json:"extent"`
+			OID    uint64 `json:"oid"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if err := eng.Delete(req.Extent, value.OID(req.OID)); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": req.OID})
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req struct {
+			Extent string          `json:"extent"`
+			OID    uint64          `json:"oid"`
+			Object json.RawMessage `json:"object"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		obj, err := decodeTuple(req.Object)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := eng.Update(req.Extent, value.OID(req.OID), obj); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"updated": req.OID})
+	})
+	return mux
+}
+
+// decodeTuple decodes a tagged-JSON object payload into a tuple.
+func decodeTuple(raw json.RawMessage) (*value.Tuple, error) {
+	v, err := value.DecodeJSON(raw)
+	if err != nil {
+		return nil, fmt.Errorf("bad object: %w", err)
+	}
+	obj, ok := v.(*value.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("object is %s, not a tuple", v.Kind())
+	}
+	return obj, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

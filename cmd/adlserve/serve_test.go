@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st := bench.Generate(bench.Config{Suppliers: 20, Parts: 50, Deliveries: 10, Seed: 94})
+	st.Analyze()
+	srv := httptest.NewServer(newMux(server.New(st, server.Options{Parallelism: 1}), false))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// call POSTs a JSON body (or GETs when body is empty) and decodes the reply.
+func call(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && method != http.MethodGet {
+		t.Fatalf("decode reply: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestServeQuery(t *testing.T) {
+	srv := newTestServer(t)
+	code, out := call(t, "POST", srv.URL+"/query",
+		`{"query": "select p.pname from p in PART where p.color = \"red\"", "verify": true, "result": true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	if out["rows"].(float64) <= 0 {
+		t.Fatalf("no rows: %v", out)
+	}
+	if _, ok := out["result"]; !ok {
+		t.Fatalf("result requested but absent: %v", out)
+	}
+	if _, ok := out["evicted"]; !ok {
+		t.Fatalf("reply lacks the evicted flag: %v", out)
+	}
+	// Bad query text is a client error, not a 500.
+	code, out = call(t, "POST", srv.URL+"/query", `{"query": "selec nonsense"}`)
+	if code != http.StatusBadRequest || out["error"] == nil {
+		t.Fatalf("bad query: status %d, %v", code, out)
+	}
+}
+
+func TestServeInsertDeleteUpdate(t *testing.T) {
+	srv := newTestServer(t)
+	obj := `{"tuple": [["pname", {"str": "wrench"}], ["price", {"int": 7}], ["color", {"str": "teal"}]]}`
+	code, out := call(t, "POST", srv.URL+"/insert", `{"extent": "PART", "object": `+obj+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("insert: status %d, %v", code, out)
+	}
+	oid := uint64(out["oid"].(float64))
+
+	countTeal := func() float64 {
+		_, q := call(t, "POST", srv.URL+"/query",
+			`{"query": "select p.pname from p in PART where p.color = \"teal\""}`)
+		return q["rows"].(float64)
+	}
+	if n := countTeal(); n != 1 {
+		t.Fatalf("inserted row invisible: %v teal rows", n)
+	}
+
+	upd := `{"tuple": [["pname", {"str": "wrench"}], ["price", {"int": 9}], ["color", {"str": "mauve"}]]}`
+	code, out = call(t, "POST", srv.URL+"/update",
+		fmt.Sprintf(`{"extent": "PART", "oid": %d, "object": %s}`, oid, upd))
+	if code != http.StatusOK {
+		t.Fatalf("update: status %d, %v", code, out)
+	}
+	if n := countTeal(); n != 0 {
+		t.Fatalf("update left the old state visible: %v teal rows", n)
+	}
+
+	code, out = call(t, "POST", srv.URL+"/delete",
+		fmt.Sprintf(`{"extent": "PART", "oid": %d}`, oid))
+	if code != http.StatusOK {
+		t.Fatalf("delete: status %d, %v", code, out)
+	}
+	// Deleting again fails: the object is dead.
+	code, out = call(t, "POST", srv.URL+"/delete",
+		fmt.Sprintf(`{"extent": "PART", "oid": %d}`, oid))
+	if code != http.StatusBadRequest || out["error"] == nil {
+		t.Fatalf("double delete: status %d, %v", code, out)
+	}
+}
+
+func TestServeMalformedAndWrongMethod(t *testing.T) {
+	srv := newTestServer(t)
+	for _, ep := range []string{"/query", "/insert", "/delete", "/update"} {
+		if code, out := call(t, "POST", srv.URL+ep, `{not json`); code != http.StatusBadRequest || out["error"] == nil {
+			t.Errorf("POST %s with malformed body: status %d, %v", ep, code, out)
+		}
+		if code, _ := call(t, "GET", srv.URL+ep, ""); code != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", ep, code)
+		}
+	}
+	// Tuple payload that isn't a tuple.
+	if code, out := call(t, "POST", srv.URL+"/insert",
+		`{"extent": "PART", "object": {"int": 3}}`); code != http.StatusBadRequest ||
+		!strings.Contains(out["error"].(string), "not a tuple") {
+		t.Errorf("non-tuple insert: status %d, %v", code, out)
+	}
+	// Unknown extent.
+	if code, out := call(t, "POST", srv.URL+"/delete",
+		`{"extent": "NOPE", "oid": 1}`); code != http.StatusBadRequest || out["error"] == nil {
+		t.Errorf("unknown-extent delete: status %d, %v", code, out)
+	}
+}
+
+func TestServeMetricsAndHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	call(t, "POST", srv.URL+"/query", `{"query": "select p.pname from p in PART"}`)
+	code, out := call(t, "GET", srv.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	eng, ok := out["engine"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics reply lacks engine block: %v", out)
+	}
+	if eng["queries"].(float64) < 1 {
+		t.Fatalf("query counter did not move: %v", eng)
+	}
+	for _, k := range []string{"deletes", "updates", "feedback_evictions"} {
+		if _, ok := eng[k]; !ok {
+			t.Errorf("metrics lack %q: %v", k, eng)
+		}
+	}
+	if _, ok := out["store"]; !ok {
+		t.Fatalf("metrics reply lacks store block: %v", out)
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,90 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	// A looser threshold lets everything pass.
 	if r, _ := compare(base, fresh, 150, os.Stdout); r != 0 {
 		t.Fatalf("regressed = %d at 150%% threshold, want 0", r)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"goos": "linux", "results": [{"name": "BenchmarkX", "iterations": 5, "ns_per_op": 12.5}]}`), 0o644)
+	f, err := readFile(good)
+	if err != nil {
+		t.Fatalf("readFile: %v", err)
+	}
+	if f.Goos != "linux" || len(f.Results) != 1 || f.Results[0].NsPerOp != 12.5 {
+		t.Fatalf("readFile = %+v", f)
+	}
+
+	if _, err := readFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing file must error")
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"results": [{]`), 0o644)
+	if _, err := readFile(bad); err == nil {
+		t.Fatalf("malformed JSON must error")
+	}
+}
+
+func TestMergeCollisionsAndMetadataAdoption(t *testing.T) {
+	// An empty base adopts the extra's metadata.
+	extra := File{Goos: "darwin", Goarch: "arm64", Pkg: "x", CPU: "M",
+		Results: []Result{{Name: "BenchmarkA", NsPerOp: 1}}}
+	got := merge(File{}, extra)
+	if got.Goos != "darwin" || got.Goarch != "arm64" || got.Pkg != "x" || got.CPU != "M" {
+		t.Fatalf("empty base did not adopt metadata: %+v", got)
+	}
+
+	// Duplicate names inside extra: the last write wins, no duplicate entry.
+	dup := File{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 10},
+		{Name: "BenchmarkA", NsPerOp: 20},
+	}}
+	got = merge(File{Results: []Result{{Name: "BenchmarkA", NsPerOp: 1}}}, dup)
+	if len(got.Results) != 1 || got.Results[0].NsPerOp != 20 {
+		t.Fatalf("duplicate-name merge = %+v", got.Results)
+	}
+
+	// A populated base keeps its own metadata.
+	got = merge(File{Goos: "linux"}, extra)
+	if got.Goos != "linux" {
+		t.Fatalf("populated base lost metadata: %q", got.Goos)
+	}
+}
+
+func TestCompareThresholdEdges(t *testing.T) {
+	base := File{Results: []Result{
+		{Name: "BenchmarkExact", NsPerOp: 100},
+		{Name: "BenchmarkHair", NsPerOp: 100},
+		{Name: "BenchmarkZeroBase", NsPerOp: 0},
+		{Name: "BenchmarkZeroFresh", NsPerOp: 100},
+	}}
+	fresh := File{Results: []Result{
+		{Name: "BenchmarkExact", NsPerOp: 125},     // exactly +25%: not past the threshold
+		{Name: "BenchmarkHair", NsPerOp: 125.0001}, // a hair past: regression
+		{Name: "BenchmarkZeroBase", NsPerOp: 50},   // zero baseline: skipped
+		{Name: "BenchmarkZeroFresh", NsPerOp: 0},   // zero fresh: skipped
+	}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open devnull: %v", err)
+	}
+	defer devnull.Close()
+	regressed, compared := compare(base, fresh, 25, devnull)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 (zero-ns entries skipped)", compared)
+	}
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (exactly-at-threshold passes)", regressed)
+	}
+}
+
+func TestCompareDisjointFiles(t *testing.T) {
+	base := File{Results: []Result{{Name: "BenchmarkOnlyBase", NsPerOp: 1}}}
+	fresh := File{Results: []Result{{Name: "BenchmarkOnlyFresh", NsPerOp: 99999}}}
+	regressed, compared := compare(base, fresh, 25, os.Stdout)
+	if regressed != 0 || compared != 0 {
+		t.Fatalf("disjoint compare = %d regressed, %d compared; want 0, 0", regressed, compared)
 	}
 }

@@ -40,6 +40,10 @@ type Query struct {
 	Rewritten *rewrite.Result
 	// Plan is the physical operator tree for the rewritten form.
 	Plan exec.Operator
+	// Planned is the annotated plan behind Plan: per-node cost estimates
+	// (when planned with statistics) and the runtime-feedback surface
+	// (instrumented execution, observed row counts, q-error drift).
+	Planned *plan.Plan
 
 	cat *schema.Catalog
 }
@@ -65,13 +69,15 @@ func PrepareCfg(src string, cat *schema.Catalog, cfg plan.Config) (*Query, error
 		return nil, err
 	}
 	res := rewrite.Optimize(e, rewrite.NewContext(cat))
+	pl := cfg.Plan(res.Expr)
 	return &Query{
 		Source:    src,
 		AST:       ast,
 		ADL:       e,
 		Type:      t,
 		Rewritten: res,
-		Plan:      cfg.Compile(res.Expr),
+		Plan:      pl.Root,
+		Planned:   pl,
 		cat:       cat,
 	}, nil
 }

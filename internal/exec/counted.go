@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"reflect"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// Counted wraps an operator and tallies the rows it emits. The planner's
+// cardinality estimates are predictions; the tallies are the ground truth a
+// serving layer can compare them against after a run (runtime feedback:
+// evict and re-plan cached plans whose estimates have drifted). The counter
+// is held by pointer so the caller keeps reading it after handing the tree
+// off, and so a CloneTree copy feeds the same tally as its original.
+type Counted struct {
+	Child Operator
+	N     *atomic.Int64
+}
+
+func (c *Counted) Open(ctx *Ctx) error { return c.Child.Open(ctx) }
+
+func (c *Counted) Next() (value.Value, bool, error) {
+	row, ok, err := c.Child.Next()
+	if ok && err == nil {
+		c.N.Add(1)
+	}
+	return row, ok, err
+}
+
+func (c *Counted) Close() error { return c.Child.Close() }
+
+// Instrument mirrors an operator tree with every node wrapped in a Counted
+// and returns the instrumented root plus the tallies keyed by the ORIGINAL
+// tree's nodes — the same keys a plan's estimate table uses, so estimates
+// and actuals line up without any bookkeeping in the caller. The original
+// tree is not modified and remains the one to Explain; the mirror is built
+// like a CloneTree copy (exported fields are plan-time configuration,
+// copied, recursing through Operator-valued ones; unexported per-run state
+// stays zero), so it is itself a fresh runnable clone: instrument once per
+// execution and the tallies are exact per-run counts.
+func Instrument(op Operator) (Operator, map[Operator]*atomic.Int64) {
+	tallies := map[Operator]*atomic.Int64{}
+	return instrument(op, tallies), tallies
+}
+
+func instrument(op Operator, tallies map[Operator]*atomic.Int64) Operator {
+	if op == nil {
+		return nil
+	}
+	mirrored := op
+	if v := reflect.ValueOf(op); v.Kind() == reflect.Pointer && !v.IsNil() && v.Elem().Kind() == reflect.Struct {
+		src := v.Elem()
+		dst := reflect.New(src.Type())
+		de := dst.Elem()
+		t := src.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			fv := src.Field(i)
+			if child, ok := fv.Interface().(Operator); ok {
+				if cl := instrument(child, tallies); cl != nil {
+					de.Field(i).Set(reflect.ValueOf(cl))
+				}
+				continue
+			}
+			de.Field(i).Set(fv)
+		}
+		mirrored = dst.Interface().(Operator)
+	}
+	n := &atomic.Int64{}
+	tallies[op] = n
+	return &Counted{Child: mirrored, N: n}
+}

@@ -93,11 +93,14 @@ func (c Config) threshold() int {
 }
 
 // Plan is a compiled physical operator tree plus the optimizer's per-node
-// estimates (present when the Config carried Statistics).
+// estimates (present when the Config carried Statistics), and — once an
+// instrumented execution has committed — the observed row counts runtime
+// feedback compares them against (feedback.go).
 type Plan struct {
 	Root exec.Operator
 
 	est map[exec.Operator]Estimate
+	feedbackState
 }
 
 // Estimate returns the optimizer's annotation for a node of this plan.
@@ -106,8 +109,9 @@ func (p *Plan) Estimate(op exec.Operator) (Estimate, bool) {
 	return e, ok
 }
 
-// Explain renders the plan tree with cost annotations where available.
-func (p *Plan) Explain() string { return explainTree(p.Root, p.est) }
+// Explain renders the plan tree with cost annotations where available, and
+// observed per-execution row counts once instrumented executions have run.
+func (p *Plan) Explain() string { return explainTree(p.Root, p.est, p.Actual) }
 
 // Compile builds a physical operator tree with the default (serial)
 // configuration.
@@ -709,25 +713,30 @@ func keyScalar(keys []adl.Expr, v string) exec.Scalar {
 func conjuncts(e adl.Expr) []adl.Expr { return adl.Conjuncts(e) }
 
 // Explain renders a physical plan tree without annotations.
-func Explain(op exec.Operator) string { return explainTree(op, nil) }
+func Explain(op exec.Operator) string { return explainTree(op, nil, nil) }
 
-func explainTree(op exec.Operator, est map[exec.Operator]Estimate) string {
+func explainTree(op exec.Operator, est map[exec.Operator]Estimate, act func(exec.Operator) (int64, bool)) string {
 	var b strings.Builder
-	explain(&b, op, 0, est)
+	explain(&b, op, 0, est, act)
 	return b.String()
 }
 
-func explain(b *strings.Builder, op exec.Operator, depth int, est map[exec.Operator]Estimate) {
+func explain(b *strings.Builder, op exec.Operator, depth int, est map[exec.Operator]Estimate, act func(exec.Operator) (int64, bool)) {
 	line, children := describe(op)
 	if e, ok := est[op]; ok {
 		line += fmt.Sprintf("  (rows≈%d cost≈%d)", e.Rows, int64(e.Cost+0.5))
+		if act != nil {
+			if a, ok := act(op); ok {
+				line += fmt.Sprintf(" (actual=%d)", a)
+			}
+		}
 		if e.Note != "" {
 			line += "  -- " + e.Note
 		}
 	}
 	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), line)
 	for _, c := range children {
-		explain(b, c, depth+1, est)
+		explain(b, c, depth+1, est, act)
 	}
 }
 

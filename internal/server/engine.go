@@ -11,6 +11,13 @@
 // next request re-plans against freshly published statistics. Each
 // execution runs a clone of the cached operator tree (exec.CloneTree), so
 // concurrent requests never share iterator state.
+//
+// Inserts advance the epoch through the store's mutation counter; deletes
+// and updates deliberately do not — their drift is caught from the other
+// end by runtime feedback: cached executions run instrumented, and when the
+// observed per-node row counts disagree with the plan's estimates past a
+// q-error threshold the entry is evicted and the epoch advanced, so the
+// next request re-plans against statistics that reflect the mutations.
 package server
 
 import (
@@ -33,6 +40,18 @@ type Options struct {
 	// Parallelism is passed through to the physical planner; 0 means
 	// runtime.NumCPU.
 	Parallelism int
+	// NoFeedback disables runtime cardinality feedback. By default every
+	// cached execution runs instrumented (per-node row tallies) and a plan
+	// whose estimates drift past FeedbackThreshold is evicted and the stats
+	// epoch advanced, forcing re-planning against fresh statistics.
+	NoFeedback bool
+	// FeedbackThreshold is the q-error (max ratio between estimated and
+	// observed rows at any plan node) past which a cached plan is evicted;
+	// 0 means plan.DefaultFeedbackThreshold.
+	FeedbackThreshold float64
+	// FeedbackMinRows ignores drift where both estimate and observation
+	// stay under this row count; 0 means plan.DefaultFeedbackMinRows.
+	FeedbackMinRows int64
 }
 
 // Engine serves OOSQL queries and inserts over one store.
@@ -43,11 +62,14 @@ type Engine struct {
 	cacheMu sync.Mutex
 	cache   map[string]*cacheEntry
 
-	queries atomic.Int64
-	inserts atomic.Int64
-	hits    atomic.Int64
-	misses  atomic.Int64
-	replans atomic.Int64
+	queries   atomic.Int64
+	inserts   atomic.Int64
+	deletes   atomic.Int64
+	updates   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	replans   atomic.Int64
+	evictions atomic.Int64
 }
 
 // cacheEntry is one prepared query: the plan and the stats epoch it was
@@ -74,9 +96,13 @@ type Result struct {
 	Seq   uint64
 	Epoch uint64
 	// CacheHit reports whether the plan came from the cache; Replanned
-	// whether a cached plan existed but was re-planned on epoch drift.
+	// whether a cached plan existed but was re-planned on epoch drift;
+	// Evicted whether THIS execution's observed row counts drifted far
+	// enough from the plan's estimates to evict it (the next request for
+	// the same source re-plans against fresh statistics).
 	CacheHit  bool
 	Replanned bool
+	Evicted   bool
 }
 
 // prepare resolves the plan for a query source at the given epoch, through
@@ -122,20 +148,67 @@ func (e *Engine) plan(src string) (*core.Query, error) {
 }
 
 // Query executes an OOSQL query against a snapshot pinned at call time:
-// the result reflects exactly the inserts published before the pin, no
-// matter how many land while the query runs.
+// the result reflects exactly the mutations published before the pin, no
+// matter how many land while the query runs. The snapshot is released when
+// the query returns, so it never holds the GC horizon back.
 func (e *Engine) Query(src string) (*Result, error) {
 	e.queries.Add(1)
 	sn := e.st.Snapshot()
+	defer sn.Release()
 	q, hit, replanned, err := e.prepare(src, sn.StatsEpoch())
 	if err != nil {
 		return nil, err
 	}
-	set, err := exec.Collect(exec.CloneTree(q.Plan), &exec.Ctx{DB: sn})
+	set, evicted, err := e.run(src, q, sn)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Set: set, Seq: sn.Seq(), Epoch: sn.StatsEpoch(), CacheHit: hit, Replanned: replanned}, nil
+	return &Result{Set: set, Seq: sn.Seq(), Epoch: sn.StatsEpoch(),
+		CacheHit: hit, Replanned: replanned, Evicted: evicted}, nil
+}
+
+// run executes one prepared query against a pinned snapshot — instrumented
+// when feedback is on — and applies the post-execution drift check.
+func (e *Engine) run(src string, q *core.Query, sn *storage.Snapshot) (*value.Set, bool, error) {
+	if e.opts.NoPlanCache || e.opts.NoFeedback || q.Planned == nil {
+		set, err := exec.Collect(exec.CloneTree(q.Plan), &exec.Ctx{DB: sn})
+		return set, false, err
+	}
+	// An instrumented mirror is itself a fresh clone, so it runs directly.
+	root, commit := q.Planned.Instrumented()
+	set, err := exec.Collect(root, &exec.Ctx{DB: sn})
+	if err != nil {
+		return nil, false, err
+	}
+	commit()
+	return set, e.feedback(src, q), nil
+}
+
+// feedback compares a completed execution's observed row counts against the
+// plan's estimates. Drift past the threshold means the statistics the plan
+// was priced under no longer describe the data (deletes and updates shift
+// cardinalities without re-ANALYZE): the entry is evicted and the stats
+// epoch advanced, so every cached plan re-prices against fresh statistics
+// on its next request. Drift never makes a plan wrong — every strategy is
+// result-equal — so correctness is untouched; this is purely a plan-quality
+// repair loop closing the estimate → execute → observe → re-plan cycle.
+func (e *Engine) feedback(src string, q *core.Query) bool {
+	thr := e.opts.FeedbackThreshold
+	if thr <= 0 {
+		thr = plan.DefaultFeedbackThreshold
+	}
+	d, ok := q.Planned.Feedback(e.opts.FeedbackMinRows)
+	if !ok || d.Q <= thr {
+		return false
+	}
+	e.cacheMu.Lock()
+	if ent := e.cache[src]; ent != nil && ent.q == q {
+		delete(e.cache, src)
+	}
+	e.cacheMu.Unlock()
+	e.evictions.Add(1)
+	e.st.AdvanceStatsEpoch()
+	return true
 }
 
 // QueryVerified executes like Query, then re-executes the untransformed
@@ -146,11 +219,12 @@ func (e *Engine) Query(src string) (*Result, error) {
 func (e *Engine) QueryVerified(src string) (*Result, error) {
 	e.queries.Add(1)
 	sn := e.st.Snapshot()
+	defer sn.Release()
 	q, hit, replanned, err := e.prepare(src, sn.StatsEpoch())
 	if err != nil {
 		return nil, err
 	}
-	set, err := exec.Collect(exec.CloneTree(q.Plan), &exec.Ctx{DB: sn})
+	set, evicted, err := e.run(src, q, sn)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +236,8 @@ func (e *Engine) QueryVerified(src string) (*Result, error) {
 		return nil, fmt.Errorf("server: non-linearizable read at seq %d: plan returned %d rows, serial re-execution %d",
 			sn.Seq(), set.Len(), want.Len())
 	}
-	return &Result{Set: set, Seq: sn.Seq(), Epoch: sn.StatsEpoch(), CacheHit: hit, Replanned: replanned}, nil
+	return &Result{Set: set, Seq: sn.Seq(), Epoch: sn.StatsEpoch(),
+		CacheHit: hit, Replanned: replanned, Evicted: evicted}, nil
 }
 
 // Insert stores an object in the named extent, visible to every snapshot
@@ -172,27 +247,48 @@ func (e *Engine) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	return e.st.Insert(extent, t)
 }
 
+// Delete tombstones an object: snapshots pinned before the delete keep
+// seeing it, snapshots pinned after do not.
+func (e *Engine) Delete(extent string, oid value.OID) error {
+	e.deletes.Add(1)
+	return e.st.Delete(extent, oid)
+}
+
+// Update replaces an object's attributes in place (same oid, so references
+// to it stay valid), visible to every snapshot pinned after it returns.
+func (e *Engine) Update(extent string, oid value.OID, t *value.Tuple) error {
+	e.updates.Add(1)
+	return e.st.Update(extent, oid, t)
+}
+
 // Metrics is a point-in-time counter snapshot.
 type Metrics struct {
-	Queries    int64  `json:"queries"`
-	Inserts    int64  `json:"inserts"`
-	CacheHits  int64  `json:"cache_hits"`
-	CacheMiss  int64  `json:"cache_misses"`
-	Replans    int64  `json:"replans"`
-	StatsEpoch uint64 `json:"stats_epoch"`
-	Seq        uint64 `json:"seq"`
+	Queries           int64  `json:"queries"`
+	Inserts           int64  `json:"inserts"`
+	Deletes           int64  `json:"deletes"`
+	Updates           int64  `json:"updates"`
+	CacheHits         int64  `json:"cache_hits"`
+	CacheMiss         int64  `json:"cache_misses"`
+	Replans           int64  `json:"replans"`
+	FeedbackEvictions int64  `json:"feedback_evictions"`
+	StatsEpoch        uint64 `json:"stats_epoch"`
+	Seq               uint64 `json:"seq"`
 }
 
 // Metrics reports the engine counters and current store position.
 func (e *Engine) Metrics() Metrics {
 	sn := e.st.Snapshot()
+	defer sn.Release()
 	return Metrics{
-		Queries:    e.queries.Load(),
-		Inserts:    e.inserts.Load(),
-		CacheHits:  e.hits.Load(),
-		CacheMiss:  e.misses.Load(),
-		Replans:    e.replans.Load(),
-		StatsEpoch: sn.StatsEpoch(),
-		Seq:        sn.Seq(),
+		Queries:           e.queries.Load(),
+		Inserts:           e.inserts.Load(),
+		Deletes:           e.deletes.Load(),
+		Updates:           e.updates.Load(),
+		CacheHits:         e.hits.Load(),
+		CacheMiss:         e.misses.Load(),
+		Replans:           e.replans.Load(),
+		FeedbackEvictions: e.evictions.Load(),
+		StatsEpoch:        sn.StatsEpoch(),
+		Seq:               sn.Seq(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -148,5 +149,158 @@ func TestQueryError(t *testing.T) {
 	}
 	if _, err := eng.Insert("NO_SUCH_EXTENT", value.EmptyTuple()); err == nil {
 		t.Fatalf("bad insert must error")
+	}
+}
+
+func TestDeleteUpdateThroughEngine(t *testing.T) {
+	eng := newEngine(t, Options{Parallelism: 1})
+	oid, err := eng.Insert("PART", newPart(1, "cyan"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := eng.Update("PART", oid, newPart(2, "magenta")); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	r, err := eng.Query(`select p.pname from p in PART where p.color = "magenta"`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r.Set.Len() != 1 {
+		t.Fatalf("updated row not visible: %d rows", r.Set.Len())
+	}
+	if err := eng.Delete("PART", oid); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	r, err = eng.Query(`select p.pname from p in PART where p.color = "magenta"`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r.Set.Len() != 0 {
+		t.Fatalf("deleted row still visible: %d rows", r.Set.Len())
+	}
+	m := eng.Metrics()
+	if m.Deletes != 1 || m.Updates != 1 {
+		t.Fatalf("metrics deletes/updates = %d/%d, want 1/1", m.Deletes, m.Updates)
+	}
+}
+
+// TestFeedbackEvictsDriftedPlan is the full runtime-feedback loop: a plan
+// cached against pre-delete statistics keeps hitting the cache (deletes do
+// not advance the stats epoch), its instrumented execution observes far
+// fewer rows than estimated, the entry is evicted, and the re-planned query
+// is priced measurably cheaper against fresh statistics.
+func TestFeedbackEvictsDriftedPlan(t *testing.T) {
+	st := storage.New(schema.SupplierPart())
+	var blues []value.OID
+	for i := 0; i < 1000; i++ {
+		oid, err := st.Insert("PART", newPart(i, "blue"))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		blues = append(blues, oid)
+	}
+	for i := 1000; i < 1020; i++ {
+		if _, err := st.Insert("PART", newPart(i, "red")); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	st.Analyze()
+	eng := New(st, Options{Parallelism: 1})
+	src := `select p.pname from p in PART where p.color = "blue"`
+
+	r1, err := eng.Query(src)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r1.Set.Len() != 1000 {
+		t.Fatalf("pre-delete result = %d rows, want 1000", r1.Set.Len())
+	}
+	if r1.Evicted {
+		t.Fatalf("accurate estimates must not evict")
+	}
+	eng.cacheMu.Lock()
+	q1 := eng.cache[src].q
+	eng.cacheMu.Unlock()
+
+	// Bulk delete shifts the cardinality 50x without advancing the epoch.
+	for _, oid := range blues[:980] {
+		if err := eng.Delete("PART", oid); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+
+	r2, err := eng.Query(src)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !r2.CacheHit {
+		t.Fatalf("deletes alone must not invalidate the cache — that is feedback's job")
+	}
+	if !r2.Evicted {
+		t.Fatalf("execution observing 20 rows against a 1000-row estimate must evict")
+	}
+	if r2.Set.Len() != 20 {
+		t.Fatalf("post-delete result = %d rows, want 20", r2.Set.Len())
+	}
+
+	r3, err := eng.Query(src)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r3.CacheHit {
+		t.Fatalf("evicted entry must be re-planned, not re-served")
+	}
+	if r3.Evicted {
+		t.Fatalf("re-planned estimates match the data, nothing to evict")
+	}
+	eng.cacheMu.Lock()
+	q2 := eng.cache[src].q
+	eng.cacheMu.Unlock()
+
+	e1, ok1 := q1.Planned.Estimate(q1.Plan)
+	e2, ok2 := q2.Planned.Estimate(q2.Plan)
+	if !ok1 || !ok2 {
+		t.Fatalf("plans lack root estimates: %v %v", ok1, ok2)
+	}
+	if e2.Cost >= e1.Cost/2 {
+		t.Fatalf("re-planned cost %.0f not measurably cheaper than drifted %.0f", e2.Cost, e1.Cost)
+	}
+
+	m := eng.Metrics()
+	if m.FeedbackEvictions != 1 {
+		t.Fatalf("FeedbackEvictions = %d, want 1", m.FeedbackEvictions)
+	}
+}
+
+func TestNoFeedbackOption(t *testing.T) {
+	st := storage.New(schema.SupplierPart())
+	var oids []value.OID
+	for i := 0; i < 500; i++ {
+		oid, err := st.Insert("PART", newPart(i, "blue"))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		oids = append(oids, oid)
+	}
+	st.Analyze()
+	eng := New(st, Options{Parallelism: 1, NoFeedback: true})
+	src := `select p.pname from p in PART where p.color = "blue"`
+	if _, err := eng.Query(src); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for _, oid := range oids[:490] {
+		if err := eng.Delete("PART", oid); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	r, err := eng.Query(src)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r.Evicted {
+		t.Fatalf("NoFeedback must never evict")
+	}
+	if m := eng.Metrics(); m.FeedbackEvictions != 0 {
+		t.Fatalf("FeedbackEvictions = %d with feedback disabled", m.FeedbackEvictions)
 	}
 }

@@ -120,6 +120,30 @@ func (h *Histogram) Absorb(v value.Value) {
 	}
 }
 
+// Unabsorb removes one value from the histogram in place — the inverse of
+// Absorb, used when the store deletes or rewrites a row. The containing
+// bucket loses one row (and is dropped when emptied; its NDV is unknowable
+// without the values, so a partially drained bucket keeps it — the density
+// estimate tolerates that the same way Absorb's does). A value outside every
+// bucket still decrements the row total: the histogram may have been
+// compacted past the exact bounds the value was absorbed under.
+func (h *Histogram) Unabsorb(v value.Value) {
+	if h == nil || h.Rows == 0 {
+		return
+	}
+	h.Rows--
+	i := sort.Search(len(h.Buckets), func(i int) bool {
+		return value.Compare(h.Buckets[i].Hi, v) >= 0
+	})
+	if i == len(h.Buckets) || value.Compare(h.Buckets[i].Lo, v) > 0 {
+		return
+	}
+	h.Buckets[i].Rows--
+	if h.Buckets[i].Rows <= 0 {
+		h.Buckets = append(h.Buckets[:i], h.Buckets[i+1:]...)
+	}
+}
+
 // compact halves the bucket count by merging adjacent pairs.
 func (h *Histogram) compact() {
 	out := h.Buckets[:0]

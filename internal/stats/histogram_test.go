@@ -354,3 +354,68 @@ func TestCloneIndependence(t *testing.T) {
 			rows, c.Rows, buckets, len(c.Buckets))
 	}
 }
+
+func TestUnabsorbInverseOfAbsorb(t *testing.T) {
+	h := NewEquiDepth(ints(1, 1, 2, 3, 5, 8, 8, 8), 4)
+	before := h.Clone()
+	h.Absorb(value.Int(5))
+	h.Unabsorb(value.Int(5))
+	if h.Rows != before.Rows || len(h.Buckets) != len(before.Buckets) {
+		t.Fatalf("Unabsorb did not invert Absorb: %v vs %v", h, before)
+	}
+	for i := range h.Buckets {
+		if h.Buckets[i] != before.Buckets[i] {
+			t.Fatalf("bucket %d changed: %+v vs %+v", i, h.Buckets[i], before.Buckets[i])
+		}
+	}
+}
+
+func TestUnabsorbDropsEmptiedBucket(t *testing.T) {
+	// 7 is a heavy hitter in its own singleton bucket; draining it removes
+	// the bucket and its equality estimate drops to zero.
+	h := NewEquiDepth(ints(1, 2, 7, 7, 7, 7, 9, 10), 4)
+	if f := h.EqFraction(value.Int(7)); f != 0.5 {
+		t.Fatalf("EqFraction(7) = %v, want 0.5", f)
+	}
+	for i := 0; i < 4; i++ {
+		h.Unabsorb(value.Int(7))
+	}
+	if h.Rows != 4 {
+		t.Fatalf("Rows = %d, want 4", h.Rows)
+	}
+	if f := h.EqFraction(value.Int(7)); f != 0 {
+		t.Fatalf("EqFraction(7) after drain = %v, want 0", f)
+	}
+	// The neighbouring buckets are intact.
+	if f := h.LessFraction(value.Int(3), true); f != 0.5 {
+		t.Fatalf("LessFraction(<=3) = %v, want 0.5", f)
+	}
+}
+
+func TestUnabsorbOutsideBuckets(t *testing.T) {
+	// A value in no bucket (histogram compacted past its bounds) still
+	// decrements the total so fractions stay honest.
+	h := NewEquiDepth(ints(10, 20, 30, 40), 4)
+	h.Unabsorb(value.Int(25)) // gap between buckets
+	h.Unabsorb(value.Int(99)) // beyond the last bucket
+	if h.Rows != 2 {
+		t.Fatalf("Rows = %d, want 2", h.Rows)
+	}
+	if len(h.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4 untouched", len(h.Buckets))
+	}
+}
+
+func TestUnabsorbNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Unabsorb(value.Int(1)) // nil-safe no-op
+	h = NewEquiDepth(ints(5), 1)
+	h.Unabsorb(value.Int(5))
+	if h.Rows != 0 || len(h.Buckets) != 0 {
+		t.Fatalf("drained histogram = %v, want empty", h)
+	}
+	h.Unabsorb(value.Int(5)) // underflow-safe no-op
+	if h.Rows != 0 {
+		t.Fatalf("Rows went negative: %d", h.Rows)
+	}
+}

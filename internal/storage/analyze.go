@@ -196,25 +196,50 @@ func (d *DBStats) String() string {
 
 // distinctCounter counts distinct values exactly: values are bucketed by
 // hash and disambiguated with Equal, so hash collisions do not inflate the
-// count.
+// count. Each value carries a reference count so deletes can retire a value
+// once its last row is gone (remove) — an NDV sketch could not support that.
 type distinctCounter struct {
-	buckets map[uint64][]value.Value
+	buckets map[uint64][]*distinctEntry
 	n       int
 }
 
+type distinctEntry struct {
+	v    value.Value
+	refs int
+}
+
 func newDistinctCounter() *distinctCounter {
-	return &distinctCounter{buckets: map[uint64][]value.Value{}}
+	return &distinctCounter{buckets: map[uint64][]*distinctEntry{}}
 }
 
 func (c *distinctCounter) add(v value.Value) {
 	h := value.Hash(v)
-	for _, seen := range c.buckets[h] {
-		if value.Equal(seen, v) {
+	for _, e := range c.buckets[h] {
+		if value.Equal(e.v, v) {
+			e.refs++
 			return
 		}
 	}
-	c.buckets[h] = append(c.buckets[h], v)
+	c.buckets[h] = append(c.buckets[h], &distinctEntry{v: v, refs: 1})
 	c.n++
+}
+
+// remove drops one reference to v, retiring the value (and decrementing the
+// distinct count) when no row carries it anymore. Removing a value that was
+// never added is a no-op: the live state may have been seeded before the row
+// being unabsorbed was scanned, and statistics tolerate approximation.
+func (c *distinctCounter) remove(v value.Value) {
+	h := value.Hash(v)
+	for i, e := range c.buckets[h] {
+		if value.Equal(e.v, v) {
+			e.refs--
+			if e.refs <= 0 {
+				c.buckets[h] = append(c.buckets[h][:i], c.buckets[h][i+1:]...)
+				c.n--
+			}
+			return
+		}
+	}
 }
 
 // liveTableStats is the mutable per-extent collection state: exact distinct
@@ -274,6 +299,63 @@ func (lt *liveTableStats) absorb(obj *value.Tuple) {
 	}
 }
 
+// unabsorb removes one row from the live state — the inverse of absorb, used
+// by Delete and Update.
+func (lt *liveTableStats) unabsorb(obj *value.Tuple) {
+	if lt.rows > 0 {
+		lt.rows--
+	}
+	for i := 0; i < obj.Len(); i++ {
+		name, v := obj.At(i)
+		if set, ok := v.(*value.Set); ok {
+			if lt.setRows[name] > 0 {
+				lt.setRows[name]--
+			}
+			lt.elems[name] -= set.Len()
+			if lt.elems[name] < 0 {
+				lt.elems[name] = 0
+			}
+			if h := lt.elemHist[name]; h != nil {
+				for _, e := range set.Elems() {
+					h.Unabsorb(e)
+				}
+			}
+			continue
+		}
+		if c := lt.counters[name]; c != nil {
+			c.remove(v)
+		}
+		if h := lt.hist[name]; h != nil {
+			h.Unabsorb(v)
+		}
+	}
+}
+
+// unabsorbStats removes a deleted (or pre-update) row from the live
+// statistics. It marks the published stats stale but deliberately does not
+// advance sinceEpoch: the insert-driven drift counter stays an insert
+// counter, and replanning after heavy deletes is the runtime-feedback loop's
+// job (the serving engine compares actual operator cardinalities against
+// the cached plan's estimates and advances the epoch itself — see
+// AdvanceStatsEpoch). Caller holds the writer lock.
+func (s *Store) unabsorbStats(extent string, obj *value.Tuple) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if lt := s.live[extent]; lt != nil {
+		lt.unabsorb(obj)
+		s.statsDirty = true
+	}
+}
+
+// AdvanceStatsEpoch bumps the statistics epoch unconditionally — the hook
+// the serving layer's runtime-feedback loop uses when execution proves the
+// cached estimates wrong (q-error beyond threshold). Every plan cached at
+// an older epoch re-plans on its next use against freshly published
+// statistics.
+func (s *Store) AdvanceStatsEpoch() {
+	s.statsEpoch.Add(1)
+}
+
 // absorbStats folds a freshly inserted row into the live statistics (if any
 // have been collected) and advances the stats epoch when the extent has
 // drifted materially since the last bump. Caller (Insert) holds the writer
@@ -317,7 +399,10 @@ func (s *Store) buildLive() {
 		vals := map[string][]value.Value{}  // scalar values per attr, all rows
 		elems := map[string][]value.Value{} // pooled set elements per attr
 		for _, oid := range v.extents[ext] {
-			obj, _ := s.object(oid)
+			obj, ok := s.objectAt(oid, v.seq)
+			if !ok {
+				continue
+			}
 			lt.rows++
 			for i := 0; i < obj.Len(); i++ {
 				name, av := obj.At(i)

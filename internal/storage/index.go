@@ -5,11 +5,14 @@
 // forces a full extent scan. Two kinds are supported: a hash index answers
 // equality probes, an ordered index additionally answers range probes.
 // Indexes are built eagerly by CreateIndex and maintained incrementally:
-// Insert absorbs the new row under the index write lock instead of marking
-// the index stale, so a long-lived server never pays a rebuild on the read
-// path. Probes are safe for concurrent use (including concurrently with
-// inserts) and filter their results by the probing snapshot's oid horizon,
-// so a pinned reader never observes a row a concurrent writer added.
+// Insert and Update absorb the new row state under the index write lock
+// instead of marking the index stale, so a long-lived server never pays a
+// rebuild on the read path. One shared index answers for every version at
+// once: entries accumulate the states of rows (deleted entries are pruned
+// only by GC), and probes resolve each candidate through its version chain
+// at the probing snapshot's seq and re-verify the key, so a pinned reader
+// never observes a row a concurrent writer added, removed, or rewrote.
+// Probes are safe for concurrent use, including concurrently with writes.
 package storage
 
 import (
@@ -77,7 +80,7 @@ func (s *Store) CreateIndex(extent, attr string, kind IndexKind) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	idx := &extIndex{extent: extent, attr: attr, kind: kind}
-	s.build(idx, s.head.Load().extents[extent])
+	s.build(idx)
 	if idx.buildErr != nil {
 		return idx.buildErr
 	}
@@ -131,18 +134,44 @@ func (s *Store) IndexedAttrs(extent string) map[string]IndexKind {
 	return out
 }
 
-// build populates a fresh index from an extent oid list: one shared grouping
-// pass buckets oids by key, then the ordered kind sorts the entries and
-// drops the buckets. The index is not yet shared, so no lock is needed.
-func (s *Store) build(idx *extIndex, oids []value.OID) {
+// build populates a fresh index from the extent's version chains: every
+// reachable state of every object — current, superseded by an update, or
+// deleted — is indexed under its key, so a snapshot pinned before the build
+// probes the states it can see (probes resolve candidates through the chain
+// at their own seq and re-verify the key). One shared grouping pass buckets
+// oids by key, then the ordered kind sorts the entries and drops the
+// buckets. The index is not yet shared, so no lock is needed; the caller
+// holds the writer lock so no chain grows during the scan.
+func (s *Store) build(idx *extIndex) {
+	type state struct {
+		oid value.OID
+		obj *value.Tuple
+	}
+	var states []state
+	s.objects.Range(func(k, v any) bool {
+		start := len(states)
+		for n := v.(*objVersion); n != nil; n = n.prev {
+			if n.extent == idx.extent && n.obj != nil {
+				states = append(states, state{oid: k.(value.OID), obj: n.obj})
+			}
+		}
+		// The chain walk yields newest-first; flip this oid's run so entry
+		// oid lists end up oldest-first.
+		for i, j := start, len(states)-1; i < j; i, j = i+1, j-1 {
+			states[i], states[j] = states[j], states[i]
+		}
+		return true
+	})
+	// Oldest state first per oid, oids ascending: keeps entry oid lists in
+	// insertion order like the incremental absorb path does.
+	sort.SliceStable(states, func(i, j int) bool { return states[i].oid < states[j].oid })
 	buckets := map[uint64][]*indexEntry{}
 	var entries []*indexEntry
-	for _, oid := range oids {
-		obj, _ := s.object(oid)
-		v, ok := obj.Get(idx.attr)
+	for _, st := range states {
+		v, ok := st.obj.Get(idx.attr)
 		if !ok {
 			idx.buildErr = fmt.Errorf("storage: cannot index %s.%s: object %v lacks the attribute",
-				idx.extent, idx.attr, oid)
+				idx.extent, idx.attr, st.oid)
 			return
 		}
 		h := value.Hash(v)
@@ -158,7 +187,7 @@ func (s *Store) build(idx *extIndex, oids []value.OID) {
 			buckets[h] = append(buckets[h], e)
 			entries = append(entries, e)
 		}
-		e.oids = append(e.oids, oid)
+		e.oids = append(e.oids, st.oid)
 	}
 	if idx.kind == OrderedIndex {
 		sort.Slice(entries, func(i, j int) bool {
@@ -170,13 +199,14 @@ func (s *Store) build(idx *extIndex, oids []value.OID) {
 	}
 }
 
-// absorbIndexes folds one newly inserted object into every index of its
-// extent — the incremental replacement for invalidate-and-rebuild. The
-// caller (Insert) holds the writer lock and has not yet published the new
-// version: probes filter on their snapshot's oid horizon, so the early
-// absorption is invisible to pinned readers and guaranteed-visible to any
-// snapshot taken after the publish. An object lacking an indexed attribute
-// poisons that index, matching the eager build's contract.
+// absorbIndexes folds one new object state into every index of its extent —
+// the incremental replacement for invalidate-and-rebuild, called by Insert
+// and Update. The caller holds the writer lock and has not yet published
+// the new version: probes re-verify candidates through the version chain at
+// their snapshot's seq, so the early absorption is invisible to pinned
+// readers and guaranteed-visible to any snapshot taken after the publish.
+// An object lacking an indexed attribute poisons that index, matching the
+// eager build's contract.
 func (s *Store) absorbIndexes(extent string, oid value.OID, obj *value.Tuple) {
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
@@ -222,12 +252,18 @@ func (idx *extIndex) absorb(v value.Value, oid value.OID) {
 	idx.entries[i] = &indexEntry{key: v, oids: []value.OID{oid}}
 }
 
-// probe runs f on an index under the read lock — f returns matching oids
-// copied out of the index, already filtered to oid < bound (the probing
-// snapshot's visibility horizon) — then fetches them through the metered
-// Lookup path: an index probe pays per-object I/O, unlike an extent scan's
-// page-granular sweep.
-func (s *Store) probe(extent, attr string, bound value.OID, f func(*extIndex) ([]value.OID, error)) ([]value.Value, error) {
+// probe runs f on an index under the read lock — f returns candidate oids
+// copied out of the index, pre-filtered to oid < bound (the probing
+// snapshot's allocation horizon) — then resolves each candidate through its
+// version chain at seq via the metered Lookup path (an index probe pays
+// per-object I/O, unlike an extent scan's page-granular sweep) and
+// re-verifies the indexed attribute with match. The re-verification is what
+// makes the shared index answer for every version at once: an entry may
+// point at a row state the probing snapshot cannot see (deleted, or
+// rewritten by an update), and the chain-resolved state either fails the
+// match or resolves to nothing. Candidates are deduplicated — an updated
+// row can appear under several keys of one range.
+func (s *Store) probe(extent, attr string, seq uint64, match func(value.Value) bool, f func(*extIndex) ([]value.OID, error)) ([]value.Value, error) {
 	s.idxMu.RLock()
 	idx := s.indexes[extent][attr]
 	if idx == nil {
@@ -246,10 +282,26 @@ func (s *Store) probe(extent, attr string, bound value.OID, f func(*extIndex) ([
 	}
 	s.indexProbes.Add(1)
 	out := make([]value.Value, 0, len(oids))
+	var seen map[value.OID]bool
+	if len(oids) > 1 {
+		seen = make(map[value.OID]bool, len(oids))
+	}
 	for _, oid := range oids {
-		if obj, ok := s.Lookup(oid); ok {
-			out = append(out, obj)
+		if seen != nil {
+			if seen[oid] {
+				continue
+			}
+			seen[oid] = true
 		}
+		obj, ok := s.lookupAt(oid, seq)
+		if !ok {
+			continue // deleted at seq, or born after it
+		}
+		v, ok := obj.Get(attr)
+		if !ok || !match(v) {
+			continue // the entry indexed a different state of this row
+		}
+		out = append(out, obj)
 	}
 	return out, nil
 }
@@ -266,9 +318,10 @@ func visibleOIDs(dst []value.OID, e *indexEntry, bound value.OID) []value.OID {
 	return dst
 }
 
-// indexLookup answers an equality probe with rows visible below bound.
-func (s *Store) indexLookup(extent, attr string, key value.Value, bound value.OID) ([]value.Value, error) {
-	return s.probe(extent, attr, bound, func(idx *extIndex) ([]value.OID, error) {
+// indexLookup answers an equality probe with rows visible at (bound, seq).
+func (s *Store) indexLookup(extent, attr string, key value.Value, bound value.OID, seq uint64) ([]value.Value, error) {
+	match := func(v value.Value) bool { return value.Equal(v, key) }
+	return s.probe(extent, attr, seq, match, func(idx *extIndex) ([]value.OID, error) {
 		switch idx.kind {
 		case HashIndex:
 			for _, e := range idx.buckets[value.Hash(key)] {
@@ -290,9 +343,24 @@ func (s *Store) indexLookup(extent, attr string, key value.Value, bound value.OI
 }
 
 // indexRange answers a range probe (ordered indexes only) with rows visible
-// below bound.
-func (s *Store) indexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool, bound value.OID) ([]value.Value, error) {
-	return s.probe(extent, attr, bound, func(idx *extIndex) ([]value.OID, error) {
+// at (bound, seq).
+func (s *Store) indexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool, bound value.OID, seq uint64) ([]value.Value, error) {
+	match := func(v value.Value) bool {
+		if lo != nil {
+			c := value.Compare(v, lo)
+			if c < 0 || (c == 0 && !loIncl) {
+				return false
+			}
+		}
+		if hi != nil {
+			c := value.Compare(v, hi)
+			if c > 0 || (c == 0 && !hiIncl) {
+				return false
+			}
+		}
+		return true
+	}
+	return s.probe(extent, attr, seq, match, func(idx *extIndex) ([]value.OID, error) {
 		if idx.kind != OrderedIndex {
 			return nil, fmt.Errorf("storage: range probe needs an ordered index on %s.%s (have %s)",
 				extent, attr, idx.kind)
@@ -329,12 +397,16 @@ func (s *Store) indexRange(extent, attr string, lo, hi value.Value, loIncl, hiIn
 // equals key, in insertion order, as of the latest version. Both index
 // kinds answer it.
 func (s *Store) IndexLookup(extent, attr string, key value.Value) ([]value.Value, error) {
-	return s.Snapshot().IndexLookup(extent, attr, key)
+	sn := s.Snapshot()
+	defer sn.Release()
+	return sn.IndexLookup(extent, attr, key)
 }
 
 // IndexRange returns the objects whose indexed attribute falls in the range
 // [lo, hi] (nil bound = unbounded; loIncl/hiIncl select open or closed
 // ends) as of the latest version. It requires an ordered index.
 func (s *Store) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool) ([]value.Value, error) {
-	return s.Snapshot().IndexRange(extent, attr, lo, hi, loIncl, hiIncl)
+	sn := s.Snapshot()
+	defer sn.Release()
+	return sn.IndexRange(extent, attr, lo, hi, loIncl, hiIncl)
 }

@@ -1,0 +1,503 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func mustDelete(t *testing.T, s *Store, extent string, oid value.OID) {
+	t.Helper()
+	if err := s.Delete(extent, oid); err != nil {
+		t.Fatalf("Delete(%s, %v): %v", extent, oid, err)
+	}
+}
+
+func mustUpdate(t *testing.T, s *Store, oid value.OID, name, color string, price int64) {
+	t.Helper()
+	err := s.Update("PART", oid, value.NewTuple(
+		"pname", value.String(name), "price", value.Int(price), "color", value.String(color)))
+	if err != nil {
+		t.Fatalf("Update(%v): %v", oid, err)
+	}
+}
+
+func TestDeleteVisibilityAcrossSnapshots(t *testing.T) {
+	s := newStore(t)
+	bolt := insertPart(t, s, "bolt", "red", 10)
+	nut := insertPart(t, s, "nut", "blue", 5)
+
+	old := s.Snapshot()
+	defer old.Release()
+	mustDelete(t, s, "PART", bolt)
+
+	// The pinned snapshot keeps seeing the deleted row.
+	if got := old.Size("PART"); got != 2 {
+		t.Fatalf("pinned Size = %d, want 2", got)
+	}
+	set, err := old.Table("PART")
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("pinned Table has %d rows, want 2", set.Len())
+	}
+	if _, ok := old.Lookup(bolt); !ok {
+		t.Fatalf("pinned snapshot must still see the deleted row")
+	}
+
+	// A snapshot taken after the delete does not.
+	fresh := s.Snapshot()
+	defer fresh.Release()
+	if got := fresh.Size("PART"); got != 1 {
+		t.Fatalf("fresh Size = %d, want 1", got)
+	}
+	if _, ok := fresh.Lookup(bolt); ok {
+		t.Fatalf("fresh snapshot must not see the deleted row")
+	}
+	if _, err := fresh.Deref(bolt); err == nil {
+		t.Fatalf("Deref of a deleted oid must fail")
+	}
+	if _, ok := fresh.Lookup(nut); !ok {
+		t.Fatalf("undeleted row must stay visible")
+	}
+
+	// Error paths: double delete, unknown oid, wrong extent.
+	if err := s.Delete("PART", bolt); err == nil {
+		t.Fatalf("deleting a deleted object must fail")
+	}
+	if err := s.Delete("PART", value.OID(9999)); err == nil {
+		t.Fatalf("deleting an unknown oid must fail")
+	}
+	if err := s.Delete("SUPPLIER", nut); err == nil {
+		t.Fatalf("deleting via the wrong extent must fail")
+	}
+	if err := s.Delete("NOPE", nut); err == nil {
+		t.Fatalf("deleting from an unknown extent must fail")
+	}
+}
+
+func TestUpdateVisibilityAcrossSnapshots(t *testing.T) {
+	s := newStore(t)
+	bolt := insertPart(t, s, "bolt", "red", 10)
+
+	old := s.Snapshot()
+	defer old.Release()
+	mustUpdate(t, s, bolt, "bolt", "green", 99)
+
+	oldObj, ok := old.Lookup(bolt)
+	if !ok {
+		t.Fatalf("pinned snapshot lost the row")
+	}
+	if got := oldObj.MustGet("color"); !value.Equal(got, value.String("red")) {
+		t.Fatalf("pinned snapshot color = %v, want red", got)
+	}
+
+	fresh := s.Snapshot()
+	defer fresh.Release()
+	newObj, ok := fresh.Lookup(bolt)
+	if !ok {
+		t.Fatalf("fresh snapshot lost the row")
+	}
+	if got := newObj.MustGet("color"); !value.Equal(got, value.String("green")) {
+		t.Fatalf("fresh snapshot color = %v, want green", got)
+	}
+	if got := newObj.MustGet("pid"); !value.Equal(got, bolt) {
+		t.Fatalf("update must preserve object identity, id = %v", got)
+	}
+	if got := fresh.Size("PART"); got != 1 {
+		t.Fatalf("update must not change extent size, got %d", got)
+	}
+
+	// Error paths: id field in the update, dead object, unknown extent.
+	if err := s.Update("PART", bolt, value.NewTuple("pid", value.OID(7))); err == nil {
+		t.Fatalf("update carrying the id field must fail")
+	}
+	mustDelete(t, s, "PART", bolt)
+	if err := s.Update("PART", bolt, value.NewTuple("pname", value.String("x"))); err == nil {
+		t.Fatalf("updating a deleted object must fail")
+	}
+	if err := s.Update("NOPE", bolt, value.EmptyTuple()); err == nil {
+		t.Fatalf("updating an unknown extent must fail")
+	}
+}
+
+func TestIndexVisibilityUnderMutation(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateIndex("PART", "color", HashIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if err := s.CreateIndex("PART", "price", OrderedIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	a := insertPart(t, s, "a", "red", 1)
+	b := insertPart(t, s, "b", "red", 2)
+	insertPart(t, s, "c", "blue", 3)
+
+	old := s.Snapshot()
+	defer old.Release()
+	mustDelete(t, s, "PART", a)
+	mustUpdate(t, s, b, "b", "blue", 50)
+
+	// The pinned snapshot probes the pre-mutation states.
+	rows, err := old.IndexLookup("PART", "color", value.String("red"))
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("pinned red probe returned %d rows, want 2", len(rows))
+	}
+	rows, err = old.IndexRange("PART", "price", value.Int(1), value.Int(10), true, true)
+	if err != nil {
+		t.Fatalf("IndexRange: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("pinned range probe returned %d rows, want 3", len(rows))
+	}
+
+	// A fresh snapshot probes the post-mutation states: a is gone, b moved
+	// from red/2 to blue/50.
+	fresh := s.Snapshot()
+	defer fresh.Release()
+	rows, err = fresh.IndexLookup("PART", "color", value.String("red"))
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("fresh red probe returned %d rows, want 0", len(rows))
+	}
+	rows, err = fresh.IndexLookup("PART", "color", value.String("blue"))
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("fresh blue probe returned %d rows, want 2", len(rows))
+	}
+	rows, err = fresh.IndexRange("PART", "price", value.Int(1), value.Int(10), true, true)
+	if err != nil {
+		t.Fatalf("IndexRange: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("fresh range probe returned %d rows, want 1 (only c)", len(rows))
+	}
+	rows, err = fresh.IndexRange("PART", "price", value.Int(40), nil, true, true)
+	if err != nil {
+		t.Fatalf("IndexRange: %v", err)
+	}
+	if len(rows) != 1 || !value.Equal(rows[0].(*value.Tuple).MustGet("pid"), b) {
+		t.Fatalf("fresh range probe over the updated price = %v, want just b", rows)
+	}
+}
+
+func TestIndexBuildCoversHistoricalStates(t *testing.T) {
+	s := newStore(t)
+	a := insertPart(t, s, "a", "red", 1)
+	b := insertPart(t, s, "b", "red", 2)
+
+	old := s.Snapshot()
+	defer old.Release()
+	mustDelete(t, s, "PART", a)
+	mustUpdate(t, s, b, "b", "blue", 2)
+
+	// The index is created after the mutations; a snapshot pinned before
+	// them must still probe its own states, so the build has to index
+	// superseded and deleted states too.
+	if err := s.CreateIndex("PART", "color", HashIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	rows, err := old.IndexLookup("PART", "color", value.String("red"))
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("pinned red probe through the late index returned %d rows, want 2", len(rows))
+	}
+	fresh := s.Snapshot()
+	defer fresh.Release()
+	rows, err = fresh.IndexLookup("PART", "color", value.String("red"))
+	if err != nil {
+		t.Fatalf("IndexLookup: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("fresh red probe returned %d rows, want 0", len(rows))
+	}
+}
+
+func TestSaveLoadRoundTripsTombstones(t *testing.T) {
+	s := newStore(t)
+	insertPart(t, s, "a", "red", 1)
+	b := insertPart(t, s, "b", "blue", 2)
+	c := insertPart(t, s, "c", "red", 3)
+	mustDelete(t, s, "PART", b)
+
+	var buf bytes.Buffer
+	if err := s.SaveJSON(&buf); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"tombstones"`) {
+		t.Fatalf("dump lacks the tombstones block:\n%s", buf.String())
+	}
+
+	ld, err := LoadJSON(schema.SupplierPart(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got := ld.Size("PART"); got != 2 {
+		t.Fatalf("loaded extent size = %d, want 2", got)
+	}
+	if _, ok := ld.Lookup(b); ok {
+		t.Fatalf("tombstoned oid must stay dead after load")
+	}
+	if err := ld.Delete("PART", b); err == nil {
+		t.Fatalf("deleting a loaded tombstone must fail")
+	}
+	// The allocator must continue past the dead oid, never reusing it: a
+	// reused oid would re-point any reference-valued attribute still
+	// carrying it.
+	d := insertPart(t, ld, "d", "green", 4)
+	if d <= c {
+		t.Fatalf("fresh oid %v must exceed the persisted horizon %v", d, c)
+	}
+
+	// Dumps from before tombstones existed still load.
+	legacy := `{"extents": {}}`
+	if _, err := LoadJSON(schema.SupplierPart(), strings.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy dump failed to load: %v", err)
+	}
+}
+
+func TestStatsUnabsorbOnDeleteAndUpdate(t *testing.T) {
+	s := newStore(t)
+	var reds []value.OID
+	for i := 0; i < 30; i++ {
+		reds = append(reds, insertPart(t, s, fmt.Sprintf("r%d", i), "red", int64(i)))
+	}
+	blue := insertPart(t, s, "b", "blue", 99)
+
+	st1 := s.Analyze()
+	if st1.RowCount("PART") != 31 {
+		t.Fatalf("RowCount = %d, want 31", st1.RowCount("PART"))
+	}
+	if st1.DistinctValues("PART", "color") != 2 {
+		t.Fatalf("color NDV = %d, want 2", st1.DistinctValues("PART", "color"))
+	}
+
+	epoch := s.StatsEpoch()
+	for _, oid := range reds[:20] {
+		mustDelete(t, s, "PART", oid)
+	}
+	if s.StatsEpoch() != epoch {
+		t.Fatalf("deletes must not advance the stats epoch — runtime feedback owns mutation-driven replanning")
+	}
+
+	st2 := s.Analyze()
+	if st2.RowCount("PART") != 11 {
+		t.Fatalf("RowCount after deletes = %d, want 11", st2.RowCount("PART"))
+	}
+	if st2.DistinctValues("PART", "color") != 2 {
+		t.Fatalf("color NDV after partial deletes = %d, want 2", st2.DistinctValues("PART", "color"))
+	}
+	if h := st2.Histogram("PART", "price"); h == nil || h.Rows != 11 {
+		t.Fatalf("price histogram rows = %v, want 11", h)
+	}
+
+	// Deleting the last red row retires the value from the distinct counter.
+	for _, oid := range reds[20:] {
+		mustDelete(t, s, "PART", oid)
+	}
+	st3 := s.Analyze()
+	if st3.DistinctValues("PART", "color") != 1 {
+		t.Fatalf("color NDV after full red delete = %d, want 1", st3.DistinctValues("PART", "color"))
+	}
+
+	// An update unabsorbs the old values and absorbs the new ones.
+	mustUpdate(t, s, blue, "b", "green", 5)
+	st4 := s.Analyze()
+	if st4.RowCount("PART") != 1 {
+		t.Fatalf("RowCount after update = %d, want 1", st4.RowCount("PART"))
+	}
+	if st4.DistinctValues("PART", "color") != 1 {
+		t.Fatalf("color NDV after update = %d, want 1", st4.DistinctValues("PART", "color"))
+	}
+	h := st4.Histogram("PART", "color")
+	if h == nil {
+		t.Fatalf("no color histogram")
+	}
+	if f := h.EqFraction(value.String("green")); f != 1 {
+		t.Fatalf("EqFraction(green) = %v, want 1", f)
+	}
+	if f := h.EqFraction(value.String("blue")); f != 0 {
+		t.Fatalf("EqFraction(blue) = %v, want 0", f)
+	}
+
+	// The explicit feedback hook advances the epoch unconditionally.
+	epoch = s.StatsEpoch()
+	s.AdvanceStatsEpoch()
+	if s.StatsEpoch() != epoch+1 {
+		t.Fatalf("AdvanceStatsEpoch did not advance")
+	}
+}
+
+func TestGCReclaimsBeyondHorizon(t *testing.T) {
+	s := newStore(t)
+	s.SetAutoGC(0)
+	if err := s.CreateIndex("PART", "color", HashIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	a := insertPart(t, s, "a", "red", 1)
+	b := insertPart(t, s, "b", "blue", 2)
+	if _, err := s.Table("PART"); err != nil { // populate the materialization cache
+		t.Fatal(err)
+	}
+
+	pinned := s.Snapshot()
+	mustDelete(t, s, "PART", a)
+	mustUpdate(t, s, b, "b", "green", 20)
+
+	st := s.GC()
+	if st.RemovedObjects != 0 {
+		t.Fatalf("GC removed %d objects while a snapshot pins them", st.RemovedObjects)
+	}
+	if obj, ok := pinned.Lookup(a); !ok || !value.Equal(obj.MustGet("color"), value.String("red")) {
+		t.Fatalf("pinned snapshot lost its state after GC: %v %v", obj, ok)
+	}
+	if rows, err := pinned.IndexLookup("PART", "color", value.String("red")); err != nil || len(rows) != 1 {
+		t.Fatalf("pinned index probe after GC = %v, %v; want the old red row", rows, err)
+	}
+
+	pinned.Release()
+	st = s.GC()
+	if st.RemovedObjects != 1 {
+		t.Fatalf("GC removed %d objects after release, want 1", st.RemovedObjects)
+	}
+	if st.PrunedStates == 0 {
+		t.Fatalf("GC pruned no superseded states, want the update's old state gone")
+	}
+	if st.PrunedIndexOIDs == 0 {
+		t.Fatalf("GC pruned no index slots for the dead object")
+	}
+	if _, ok := s.Lookup(a); ok {
+		t.Fatalf("dead object still resolvable after GC")
+	}
+	if rows, err := s.IndexLookup("PART", "color", value.String("green")); err != nil || len(rows) != 1 {
+		t.Fatalf("surviving row lost from the index: %v, %v", rows, err)
+	}
+	// A second collection finds nothing left.
+	st = s.GC()
+	if st.RemovedObjects != 0 || st.PrunedStates != 0 {
+		t.Fatalf("second GC found garbage: %+v", st)
+	}
+}
+
+func TestAutoGCTriggers(t *testing.T) {
+	s := newStore(t)
+	s.SetAutoGC(4)
+	var oids []value.OID
+	for i := 0; i < 8; i++ {
+		oids = append(oids, insertPart(t, s, fmt.Sprintf("p%d", i), "red", int64(i)))
+	}
+	for _, oid := range oids[:4] {
+		mustDelete(t, s, "PART", oid)
+	}
+	// The 4th delete crossed the threshold: the dead objects are already
+	// collected, so a manual GC has nothing left.
+	if st := s.GC(); st.RemovedObjects != 0 {
+		t.Fatalf("auto-GC did not run: manual GC still removed %d objects", st.RemovedObjects)
+	}
+	if _, ok := s.Lookup(oids[0]); ok {
+		t.Fatalf("auto-GC left a dead object resolvable")
+	}
+}
+
+func TestGCUnderConcurrentReaders(t *testing.T) {
+	s := newStore(t)
+	s.SetAutoGC(16)
+	if err := s.CreateIndex("PART", "color", HashIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if err := s.CreateIndex("PART", "price", OrderedIndex); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	var oids []value.OID
+	for i := 0; i < 128; i++ {
+		oids = append(oids, insertPart(t, s, fmt.Sprintf("seed%d", i), "red", int64(i%50)))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := s.Snapshot()
+				set, err := sn.Table("PART")
+				if err != nil {
+					t.Errorf("Table: %v", err)
+					sn.Release()
+					return
+				}
+				if set.Len() != sn.Size("PART") {
+					t.Errorf("snapshot tore: Table %d rows, Size %d at seq %d",
+						set.Len(), sn.Size("PART"), sn.Seq())
+					sn.Release()
+					return
+				}
+				if _, err := sn.IndexLookup("PART", "color", value.String("red")); err != nil {
+					t.Errorf("IndexLookup: %v", err)
+					sn.Release()
+					return
+				}
+				if _, err := sn.IndexRange("PART", "price", value.Int(10), value.Int(30), true, true); err != nil {
+					t.Errorf("IndexRange: %v", err)
+					sn.Release()
+					return
+				}
+				sn.Release()
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	colors := []string{"red", "blue", "green"}
+	for i := 0; i < 600; i++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(oids) < 32:
+			oids = append(oids, insertPart(t, s, fmt.Sprintf("n%d", i), colors[rng.Intn(3)], int64(rng.Intn(50))))
+		case op == 1:
+			j := rng.Intn(len(oids))
+			mustDelete(t, s, "PART", oids[j])
+			oids = append(oids[:j], oids[j+1:]...)
+		default:
+			j := rng.Intn(len(oids))
+			mustUpdate(t, s, oids[j], fmt.Sprintf("u%d", i), colors[rng.Intn(3)], int64(rng.Intn(50)))
+		}
+		if i%100 == 99 {
+			s.GC()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: a final collection must leave exactly the live rows.
+	s.GC()
+	if got := s.Size("PART"); got != len(oids) {
+		t.Fatalf("final extent size = %d, want %d", got, len(oids))
+	}
+	for _, oid := range oids {
+		if _, ok := s.Lookup(oid); !ok {
+			t.Fatalf("live oid %v lost", oid)
+		}
+	}
+}

@@ -10,20 +10,29 @@ import (
 	"repro/internal/value"
 )
 
-// persisted is the on-disk form of a store: per extent, the objects in
-// insertion order with their oids preserved.
+// persisted is the on-disk form of a store: per extent, the live objects in
+// insertion order with their oids preserved, plus the oids of deleted
+// objects (per extent) and the allocation horizon. Tombstones and NextOID
+// round-trip so a loaded store never re-allocates a dead object's oid —
+// reusing one would silently re-point any reference-valued attribute that
+// still carries it. Both fields are optional: dumps from before deletes
+// existed load fine.
 type persisted struct {
-	Extents map[string][]json.RawMessage `json:"extents"`
+	Extents    map[string][]json.RawMessage `json:"extents"`
+	Tombstones map[string][]value.OID       `json:"tombstones,omitempty"`
+	NextOID    value.OID                    `json:"next_oid,omitempty"`
 }
 
 // SaveJSON writes the store's contents (all extents, objects with their
-// oids) as JSON. The schema itself is not serialized: a snapshot is loaded
-// against the same catalog it was taken under. The dump is taken against a
-// pinned version, so saving is safe (and consistent) while concurrent
-// inserts keep landing: rows published after the pin are not written.
+// oids, tombstones of deleted objects) as JSON. The schema itself is not
+// serialized: a snapshot is loaded against the same catalog it was taken
+// under. The dump is taken against a pinned version, so saving is safe (and
+// consistent) while concurrent writes keep landing: rows published after
+// the pin are not written, rows deleted after it still are.
 func (s *Store) SaveJSON(w io.Writer) error {
 	sn := s.Snapshot()
-	snap := persisted{Extents: map[string][]json.RawMessage{}}
+	defer sn.Release()
+	snap := persisted{Extents: map[string][]json.RawMessage{}, NextOID: sn.v.nextOID}
 	exts := make([]string, 0, len(sn.v.extents))
 	for ext := range sn.v.extents {
 		exts = append(exts, ext)
@@ -31,7 +40,7 @@ func (s *Store) SaveJSON(w io.Writer) error {
 	sort.Strings(exts)
 	for _, ext := range exts {
 		for _, oid := range sn.v.extents[ext] {
-			obj, ok := s.object(oid)
+			obj, ok := s.objectAt(oid, sn.v.seq)
 			if !ok {
 				return fmt.Errorf("storage: save %s: dangling oid %v", ext, oid)
 			}
@@ -42,16 +51,33 @@ func (s *Store) SaveJSON(w io.Writer) error {
 			snap.Extents[ext] = append(snap.Extents[ext], enc)
 		}
 	}
+	// Objects dead at the pinned version are persisted as tombstones. Chains
+	// only ever grow under the writer lock, so the walk is race-free enough:
+	// an object deleted after the pin resolves to its live state above and is
+	// saved as data, not as a tombstone.
+	s.objects.Range(func(k, v any) bool {
+		if n := v.(*objVersion).at(sn.v.seq); n != nil && n.obj == nil {
+			if snap.Tombstones == nil {
+				snap.Tombstones = map[string][]value.OID{}
+			}
+			snap.Tombstones[n.extent] = append(snap.Tombstones[n.extent], k.(value.OID))
+		}
+		return true
+	})
+	for _, oids := range snap.Tombstones {
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	}
 	e := json.NewEncoder(w)
 	e.SetIndent("", " ")
 	return e.Encode(snap)
 }
 
 // LoadJSON reads a snapshot into a fresh store over the given catalog.
-// Object identity is preserved: oids in the snapshot are kept, and the
-// store's allocator continues past the highest one. The loaded state is
-// published as a single version, so the store serves reads (and accepts
-// concurrent inserts) the moment LoadJSON returns.
+// Object identity is preserved: oids in the snapshot are kept, tombstoned
+// oids stay dead (dereferencing one fails like any dangling oid), and the
+// store's allocator continues past the persisted horizon — never reusing a
+// dead oid. The loaded state is published as a single version, so the store
+// serves reads (and accepts concurrent writes) the moment LoadJSON returns.
 func LoadJSON(cat *schema.Catalog, r io.Reader) (*Store, error) {
 	var snap persisted
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -90,13 +116,31 @@ func LoadJSON(cat *schema.Catalog, r io.Reader) (*Store, error) {
 			if _, dup := st.objects.Load(oid); dup {
 				return nil, fmt.Errorf("storage: load: duplicate oid %v", oid)
 			}
-			st.objects.Store(oid, obj)
+			st.objects.Store(oid, &objVersion{extent: ext, obj: obj, born: 1})
 			extents[ext] = append(extents[ext], oid)
 			if oid > maxOID {
 				maxOID = oid
 			}
 		}
 	}
-	st.head.Store(&version{seq: 1, nextOID: maxOID + 1, extents: extents})
+	for ext, oids := range snap.Tombstones {
+		if _, ok := cat.ByExtent(ext); !ok {
+			return nil, fmt.Errorf("storage: load: unknown tombstone extent %q", ext)
+		}
+		for _, oid := range oids {
+			if _, dup := st.objects.Load(oid); dup {
+				return nil, fmt.Errorf("storage: load: oid %v is both live and tombstoned", oid)
+			}
+			st.objects.Store(oid, &objVersion{extent: ext, born: 1})
+			if oid > maxOID {
+				maxOID = oid
+			}
+		}
+	}
+	next := maxOID + 1
+	if snap.NextOID > next {
+		next = snap.NextOID
+	}
+	st.head.Store(&version{seq: 1, nextOID: next, extents: extents})
 	return st, nil
 }

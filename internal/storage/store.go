@@ -25,6 +25,10 @@ import (
 // DefaultObjectsPerPage is the default clustering factor of the page model.
 const DefaultObjectsPerPage = 32
 
+// DefaultGCEvery is the default auto-GC trigger: a garbage collection runs
+// after this many deletes/updates since the last one. See SetAutoGC.
+const DefaultGCEvery = 1024
+
 // Stats counts logical I/O since the last Reset.
 type Stats struct {
 	// ObjectReads counts individual object fetches by oid.
@@ -43,23 +47,32 @@ type Stats struct {
 }
 
 // Store is an object store plus extents, serving concurrent reads under
-// writes: every Insert publishes a new immutable version (version.go) and
-// readers either pin one (Snapshot) or follow the latest via the Store's own
-// DB methods. Writes are serialized by an internal writer lock but never
-// block in-flight readers; indexes and collected statistics are maintained
-// incrementally per insert instead of being invalidated and rebuilt. All
-// methods are safe for concurrent use.
+// writes: every Insert/Delete/Update publishes a new immutable version
+// (version.go) and readers either pin one (Snapshot) or follow the latest
+// via the Store's own DB methods. Writes are serialized by an internal
+// writer lock but never block in-flight readers; indexes and collected
+// statistics are maintained incrementally per write instead of being
+// invalidated and rebuilt. All methods are safe for concurrent use.
 type Store struct {
 	cat *schema.Catalog
 
-	// mu is the writer lock: Insert, CreateIndex and the first Analyze scan
-	// hold it. Readers never take it.
+	// mu is the writer lock: Insert, Delete, Update, CreateIndex, GC and the
+	// first Analyze scan hold it. Readers never take it.
 	mu   sync.Mutex
 	head atomic.Pointer[version]
-	// objects maps oid → object. It is append-only (objects are immutable
-	// and never deleted), which is what makes an oid horizon a sufficient
-	// visibility rule for snapshots.
+	// objects maps oid → *objVersion, the head of the object's version
+	// chain. Entries are only removed by GC, and only once no pinned
+	// snapshot can reach any state of the object.
 	objects sync.Map
+
+	// pins counts live snapshots per pinned seq; the minimum pinned seq is
+	// the GC horizon (gc.go).
+	pinMu sync.Mutex
+	pins  map[uint64]int
+	// mutations counts deletes/updates since the last GC; gcEvery is the
+	// auto-GC trigger threshold (0 disables).
+	mutations int
+	gcEvery   int
 
 	// mat caches the latest materialized set per extent; older versions
 	// rebuild from their oid lists, newer versions clone-and-extend
@@ -68,14 +81,14 @@ type Store struct {
 	mat   map[string]matEntry
 
 	// indexes is the secondary-index registry (index.go): extent → attr →
-	// index. Probes take idxMu for reading; Insert absorbs the new row under
-	// the write lock.
+	// index. Probes take idxMu for reading; writes absorb under the writer
+	// lock.
 	indexes map[string]map[string]*extIndex
 	idxMu   sync.RWMutex
 
 	// Incremental ANALYZE state (analyze.go): live per-extent statistics
-	// updated in place on Insert, the memoized published DBStats, and the
-	// stats epoch the plan cache keys on.
+	// updated in place on Insert/Delete/Update, the memoized published
+	// DBStats, and the stats epoch the plan cache keys on.
 	statsMu     sync.Mutex
 	live        map[string]*liveTableStats
 	statsCache  *DBStats
@@ -92,11 +105,15 @@ type Store struct {
 	indexProbes    atomic.Int64
 }
 
-// matEntry is one cached extent materialization: the set over the extent's
-// first n oids.
+// matEntry is one cached extent materialization: the set over exactly the
+// oid list it was built from, identified by length plus backing array (an
+// insert extends the shared backing; a delete or update replaces it), and
+// stamped with the version seq it was materialized at so a stale request
+// never replaces a fresher entry.
 type matEntry struct {
-	n   int
-	set *value.Set
+	seq  uint64
+	oids []value.OID
+	set  *value.Set
 }
 
 // New creates an empty store for the given catalog.
@@ -104,6 +121,8 @@ func New(cat *schema.Catalog) *Store {
 	s := &Store{
 		cat:            cat,
 		mat:            map[string]matEntry{},
+		pins:           map[uint64]int{},
+		gcEvery:        DefaultGCEvery,
 		sinceEpoch:     map[string]int{},
 		rowsAtEpoch:    map[string]int{},
 		objectsPerPage: DefaultObjectsPerPage,
@@ -133,7 +152,7 @@ func (s *Store) Catalog() *schema.Catalog { return s.cat }
 // Insert is safe to run concurrently with readers: the row is absorbed into
 // the extent's indexes and live statistics first, then a new version is
 // published atomically. Snapshots pinned before the publish never observe
-// the row (index probes filter on the oid horizon); snapshots taken after
+// the row (probes resolve through the version chain); snapshots taken after
 // always do.
 func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	cl, ok := s.cat.ByExtent(extent)
@@ -148,7 +167,7 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	v := s.head.Load()
 	oid := v.nextOID
 	obj := value.NewTuple(cl.IDField, oid).Except(t)
-	s.objects.Store(oid, obj)
+	s.objects.Store(oid, &objVersion{extent: extent, obj: obj, born: v.seq + 1})
 	s.absorbIndexes(extent, oid, obj)
 	s.absorbStats(extent, obj, len(v.extents[extent])+1)
 	s.head.Store(&version{
@@ -159,24 +178,115 @@ func (s *Store) Insert(extent string, t *value.Tuple) (value.OID, error) {
 	return oid, nil
 }
 
-// object fetches from the append-only object table without metering.
-func (s *Store) object(oid value.OID) (*value.Tuple, bool) {
-	obj, ok := s.objects.Load(oid)
+// Delete removes the object from its extent. Visibility is version-chained:
+// a tombstone is prepended to the object's chain, so snapshots pinned
+// before the delete keep seeing the old row while snapshots taken after do
+// not. Index entries are not physically removed (pinned readers still probe
+// the old state); probes filter through the chain, and the garbage
+// collector prunes entries once no snapshot can reach the row. Live
+// statistics unabsorb the row immediately. The oid is never reused.
+func (s *Store) Delete(extent string, oid value.OID) error {
+	if _, ok := s.cat.ByExtent(extent); !ok {
+		return fmt.Errorf("storage: unknown extent %q", extent)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.head.Load()
+	cur, err := s.aliveAt(extent, oid, v.seq)
+	if err != nil {
+		return fmt.Errorf("storage: delete: %w", err)
+	}
+	s.objects.Store(oid, &objVersion{extent: extent, born: v.seq + 1, prev: cur})
+	s.unabsorbStats(extent, cur.obj)
+	s.head.Store(&version{
+		seq:     v.seq + 1,
+		nextOID: v.nextOID,
+		extents: replaceExtent(v.extents, extent, oid, true),
+	})
+	s.mutated()
+	return nil
+}
+
+// Update replaces the object's attributes wholesale (the tuple must not
+// carry the id field — identity is not updatable; Update re-prepends it).
+// Visibility is version-chained like Delete: pinned snapshots keep the old
+// state, later snapshots see the new one. The new attribute values are
+// absorbed into the extent's indexes and live statistics (the old values
+// are unabsorbed from statistics and horizon-filtered out of index probes).
+func (s *Store) Update(extent string, oid value.OID, t *value.Tuple) error {
+	cl, ok := s.cat.ByExtent(extent)
+	if !ok {
+		return fmt.Errorf("storage: unknown extent %q", extent)
+	}
+	if t.Has(cl.IDField) {
+		return fmt.Errorf("storage: update for %q must not carry id field %q", extent, cl.IDField)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.head.Load()
+	cur, err := s.aliveAt(extent, oid, v.seq)
+	if err != nil {
+		return fmt.Errorf("storage: update: %w", err)
+	}
+	obj := value.NewTuple(cl.IDField, oid).Except(t)
+	s.objects.Store(oid, &objVersion{extent: extent, obj: obj, born: v.seq + 1, prev: cur})
+	s.absorbIndexes(extent, oid, obj)
+	s.unabsorbStats(extent, cur.obj)
+	s.absorbStats(extent, obj, len(v.extents[extent]))
+	// The extent keeps the same membership but the slice backing is replaced
+	// so stale materializations are detected by pointer identity.
+	s.head.Store(&version{
+		seq:     v.seq + 1,
+		nextOID: v.nextOID,
+		extents: replaceExtent(v.extents, extent, oid, false),
+	})
+	s.mutated()
+	return nil
+}
+
+// aliveAt resolves the object's chain at seq and verifies it is alive and
+// belongs to the extent. Caller holds the writer lock.
+func (s *Store) aliveAt(extent string, oid value.OID, seq uint64) (*objVersion, error) {
+	n, ok := s.objects.Load(oid)
+	if !ok {
+		return nil, fmt.Errorf("no object %v", oid)
+	}
+	cur := n.(*objVersion).at(seq)
+	if cur == nil || cur.obj == nil {
+		return nil, fmt.Errorf("object %v is deleted", oid)
+	}
+	if cur.extent != extent {
+		return nil, fmt.Errorf("object %v belongs to extent %q, not %q", oid, cur.extent, extent)
+	}
+	return cur, nil
+}
+
+// mutated counts one delete/update toward the auto-GC trigger and runs a
+// collection when the threshold is reached. Caller holds the writer lock.
+func (s *Store) mutated() {
+	s.mutations++
+	if s.gcEvery > 0 && s.mutations >= s.gcEvery {
+		s.gcLocked()
+	}
+}
+
+// objectAt resolves an oid to its state at seq without metering; ok is false
+// for unknown, not-yet-born, or deleted objects.
+func (s *Store) objectAt(oid value.OID, seq uint64) (*value.Tuple, bool) {
+	n, ok := s.objects.Load(oid)
 	if !ok {
 		return nil, false
 	}
-	return obj.(*value.Tuple), true
+	cur := n.(*objVersion).at(seq)
+	if cur == nil || cur.obj == nil {
+		return nil, false
+	}
+	return cur.obj, true
 }
 
-// Lookup fetches an object by oid, metering the access. The page meter
-// models a single one-page buffer: under serial execution the counts are
-// exact; under parallel execution concurrent fetches share that one buffer,
-// so PageReads is an upper bound (interleaved goroutines evict each other's
-// page) — compare page counts across serial runs only. The load-then-store
-// (rather than an unconditional swap) keeps the sequential-locality hot path
-// free of contended writes.
-func (s *Store) Lookup(oid value.OID) (*value.Tuple, bool) {
-	obj, ok := s.object(oid)
+// lookupAt is objectAt with metering (see Lookup for the page model).
+func (s *Store) lookupAt(oid value.OID, seq uint64) (*value.Tuple, bool) {
+	obj, ok := s.objectAt(oid, seq)
 	if ok {
 		s.objectReads.Add(1)
 		page := int64(uint64(oid)) / int64(s.objectsPerPage)
@@ -186,6 +296,17 @@ func (s *Store) Lookup(oid value.OID) (*value.Tuple, bool) {
 		}
 	}
 	return obj, ok
+}
+
+// Lookup fetches an object by oid as of the latest version, metering the
+// access. The page meter models a single one-page buffer: under serial
+// execution the counts are exact; under parallel execution concurrent
+// fetches share that one buffer, so PageReads is an upper bound (interleaved
+// goroutines evict each other's page) — compare page counts across serial
+// runs only. The load-then-store (rather than an unconditional swap) keeps
+// the sequential-locality hot path free of contended writes.
+func (s *Store) Lookup(oid value.OID) (*value.Tuple, bool) {
+	return s.lookupAt(oid, s.head.Load().seq)
 }
 
 // Deref implements pointer dereferencing for the evaluator: it is Lookup
@@ -202,38 +323,59 @@ func (s *Store) Deref(oid value.OID) (*value.Tuple, error) {
 // Callers must treat the set as immutable. Readers that need a stable view
 // across several calls pin a Snapshot instead.
 func (s *Store) Table(name string) (*value.Set, error) {
-	return s.Snapshot().Table(name)
+	sn := s.Snapshot()
+	defer sn.Release()
+	return sn.Table(name)
 }
 
-// materialize returns the set over an extent's oid prefix, serving from and
-// maintaining the per-extent cache: an exact hit is returned as-is, a newer
-// prefix clones the cached set and adds only the delta (copy-on-write — the
-// cached set stays valid for snapshots that still reference it), an older
-// prefix rebuilds without disturbing the cache.
-func (s *Store) materialize(name string, oids []value.OID) *value.Set {
+// sharesPrefix reports whether cached is a prefix of oids sharing the same
+// backing array — the insert-only delta case materialize can extend. A
+// delete or update replaces the extent slice's backing (replaceExtent), so
+// a stale cache entry can never pass this check.
+func sharesPrefix(cached, oids []value.OID) bool {
+	if len(cached) > len(oids) {
+		return false
+	}
+	if len(cached) == 0 {
+		return true
+	}
+	return &cached[0] == &oids[0]
+}
+
+// materialize returns the set over an extent's oid list as of seq, serving
+// from and maintaining the per-extent cache: an exact hit (same length, same
+// backing array) is returned as-is, a newer superset sharing the cached
+// backing clones the cached set and adds only the delta (copy-on-write — the
+// cached set stays valid for snapshots that still reference it), anything
+// else rebuilds. The cache keeps whichever materialization belongs to the
+// newest version requested so far; requests for older versions rebuild
+// without disturbing it.
+func (s *Store) materialize(name string, oids []value.OID, seq uint64) *value.Set {
 	n := len(oids)
 	s.matMu.Lock()
 	defer s.matMu.Unlock()
 	e := s.mat[name]
-	if e.set != nil && e.n == n {
+	if e.set != nil && len(e.oids) == n && sharesPrefix(e.oids, oids) {
 		return e.set
 	}
 	var set *value.Set
-	if e.set != nil && e.n < n {
+	if e.set != nil && len(e.oids) < n && sharesPrefix(e.oids, oids) {
 		set = e.set.Clone()
-		for _, oid := range oids[e.n:] {
-			obj, _ := s.object(oid)
-			set.Add(obj)
+		for _, oid := range oids[len(e.oids):] {
+			if obj, ok := s.objectAt(oid, seq); ok {
+				set.Add(obj)
+			}
 		}
 	} else {
 		set = value.NewSetCap(n)
 		for _, oid := range oids {
-			obj, _ := s.object(oid)
-			set.Add(obj)
+			if obj, ok := s.objectAt(oid, seq); ok {
+				set.Add(obj)
+			}
 		}
 	}
-	if n > e.n || e.set == nil {
-		s.mat[name] = matEntry{n: n, set: set}
+	if seq >= e.seq || e.set == nil {
+		s.mat[name] = matEntry{seq: seq, oids: oids, set: set}
 	}
 	return set
 }
@@ -254,11 +396,17 @@ func (s *Store) meterScan(rows int) {
 // OIDs returns the oids of an extent in insertion order, as of the latest
 // version.
 func (s *Store) OIDs(extent string) []value.OID {
-	return s.Snapshot().OIDs(extent)
+	sn := s.Snapshot()
+	defer sn.Release()
+	return sn.OIDs(extent)
 }
 
 // Size reports the number of objects in an extent as of the latest version.
-func (s *Store) Size(extent string) int { return s.Snapshot().Size(extent) }
+func (s *Store) Size(extent string) int {
+	sn := s.Snapshot()
+	defer sn.Release()
+	return sn.Size(extent)
+}
 
 // Stats returns the I/O counters accumulated since the last ResetStats.
 func (s *Store) Stats() Stats {

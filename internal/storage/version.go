@@ -1,34 +1,62 @@
 // Multi-version extent snapshots. The store publishes an immutable version
 // per write: a reader pins one (Snapshot) and keeps scanning it while later
-// inserts publish successors — the "populate, then query" restriction the
-// original store had is gone. Versions share structure: the object table is
-// append-only (objects are immutable once inserted and never deleted, so a
-// version is fully described by its oid horizon), and each version's extent
-// oid-lists share their backing arrays with their predecessors, with only
-// the touched extent's slice header replaced on insert. Publishing is one
-// atomic pointer store; pinning is one atomic load.
+// writes publish successors — the "populate, then query" restriction the
+// original store had is gone. Versions share structure: the object table
+// maps each oid to a version chain (newest first; insert-only objects have a
+// single-node chain), and each version's extent oid-lists share their
+// backing arrays with their predecessors where possible — only an insert's
+// append or a delete/update's fresh slice replaces the touched extent's
+// slice header. Publishing is one atomic pointer store; pinning is one
+// atomic load plus a reference count that holds back the garbage collector
+// (gc.go) until the snapshot is released.
 package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
 
 // version is one immutable store state. seq orders versions; nextOID is the
-// visibility horizon — exactly the objects with oid < nextOID existed when
-// the version was published, because oids are allocated monotonically and
-// objects are never updated or deleted.
+// allocation horizon — every oid allocated before the version was published
+// is < nextOID (oids are monotonic and never reused, so the horizon is a
+// cheap visibility pre-filter; the per-object version chain is the full
+// rule).
 type version struct {
 	seq     uint64
 	nextOID value.OID
 	extents map[string][]value.OID
 }
 
-// cowExtents derives the successor extent map: a shallow copy with the
-// touched extent's oid list extended. The append may write one slot past the
-// predecessor's length into a shared backing array — invisible to readers of
-// the old version, whose slice header bounds them to the old prefix.
+// objVersion is one state of one object in its version chain, newest first.
+// born is the seq of the version that published this state; obj == nil marks
+// a tombstone (the object was deleted at born). A snapshot at seq S sees the
+// first node with born <= S. Chains are immutable except for GC truncation
+// of links no live snapshot can reach.
+type objVersion struct {
+	extent string
+	obj    *value.Tuple // nil = tombstone
+	born   uint64
+	prev   *objVersion
+}
+
+// at resolves the chain to the state visible at seq, or nil when the object
+// did not exist yet.
+func (n *objVersion) at(seq uint64) *objVersion {
+	for ; n != nil; n = n.prev {
+		if n.born <= seq {
+			return n
+		}
+	}
+	return nil
+}
+
+// cowExtents derives the successor extent map for an insert: a shallow copy
+// with the touched extent's oid list extended. The append may write one slot
+// past the predecessor's length into a shared backing array — invisible to
+// readers of the old version, whose slice header bounds them to the old
+// prefix.
 func cowExtents(old map[string][]value.OID, extent string, oid value.OID) map[string][]value.OID {
 	next := make(map[string][]value.OID, len(old)+1)
 	for k, v := range old {
@@ -38,26 +66,74 @@ func cowExtents(old map[string][]value.OID, extent string, oid value.OID) map[st
 	return next
 }
 
+// replaceExtent derives the successor extent map for a delete or update: the
+// touched extent's list is rebuilt into a fresh backing array (with oid
+// dropped when drop is set), so the materialization cache's pointer-identity
+// check (store.go) can tell mutated lists from extended ones.
+func replaceExtent(old map[string][]value.OID, extent string, oid value.OID, drop bool) map[string][]value.OID {
+	next := make(map[string][]value.OID, len(old))
+	for k, v := range old {
+		next[k] = v
+	}
+	src := old[extent]
+	dst := make([]value.OID, 0, len(src))
+	for _, o := range src {
+		if drop && o == oid {
+			continue
+		}
+		dst = append(dst, o)
+	}
+	next[extent] = dst
+	return next
+}
+
 // Snapshot is a pinned immutable view of the store: all reads — extent
 // scans, oid dereferences, index probes — answer as of the pinned version,
-// no matter how many inserts commit concurrently. It implements the
+// no matter how many writes commit concurrently. It implements the
 // evaluator's DB interface and the executor's IndexedDB capability, so whole
 // physical plans run against one snapshot. I/O metering is shared with the
 // owning store. A Snapshot is safe for concurrent use.
+//
+// A Snapshot holds a reference that keeps its version's object states and
+// cached materializations reachable; call Release when done with it so the
+// garbage collector can reclaim superseded versions. An unreleased snapshot
+// is never unsafe — it only holds back reclamation.
 type Snapshot struct {
-	st    *Store
-	v     *version
-	epoch uint64
+	st       *Store
+	v        *version
+	epoch    uint64
+	released atomic.Bool
 }
 
 // Snapshot pins the current version. The returned view is immutable; the
 // store remains free to accept writes.
 func (s *Store) Snapshot() *Snapshot {
-	return &Snapshot{st: s, v: s.head.Load(), epoch: s.statsEpoch.Load()}
+	s.pinMu.Lock()
+	v := s.head.Load()
+	s.pins[v.seq]++
+	s.pinMu.Unlock()
+	return &Snapshot{st: s, v: v, epoch: s.statsEpoch.Load()}
 }
 
-// Seq reports the pinned version's sequence number: one Insert is one
-// increment, so two snapshots compare by recency.
+// Release drops the snapshot's pin on its version, allowing GC to reclaim
+// object states and cache entries only this snapshot could still read.
+// Release is idempotent and safe to call concurrently.
+func (sn *Snapshot) Release() {
+	if sn.released.Swap(true) {
+		return
+	}
+	s := sn.st
+	s.pinMu.Lock()
+	if n := s.pins[sn.v.seq]; n <= 1 {
+		delete(s.pins, sn.v.seq)
+	} else {
+		s.pins[sn.v.seq] = n - 1
+	}
+	s.pinMu.Unlock()
+}
+
+// Seq reports the pinned version's sequence number: one write (insert,
+// delete, update) is one increment, so two snapshots compare by recency.
 func (sn *Snapshot) Seq() uint64 { return sn.v.seq }
 
 // StatsEpoch reports the statistics epoch observed when the snapshot was
@@ -65,16 +141,14 @@ func (sn *Snapshot) Seq() uint64 { return sn.v.seq }
 // plan is reused while the epoch holds and re-planned once it drifts.
 func (sn *Snapshot) StatsEpoch() uint64 { return sn.epoch }
 
-// visible reports whether an oid exists in the pinned version.
-func (sn *Snapshot) visible(oid value.OID) bool { return oid < sn.v.nextOID }
-
-// Lookup fetches an object by oid as of the snapshot, metering the access
-// (see Store.Lookup for the page model).
+// Lookup fetches an object's state as of the snapshot, metering the access
+// (see Store.Lookup for the page model). Deleted objects and objects born
+// after the pin report not-found.
 func (sn *Snapshot) Lookup(oid value.OID) (*value.Tuple, bool) {
-	if !sn.visible(oid) {
+	if oid >= sn.v.nextOID {
 		return nil, false
 	}
-	return sn.st.Lookup(oid)
+	return sn.st.lookupAt(oid, sn.v.seq)
 }
 
 // Deref implements pointer dereferencing for the evaluator, failing loudly
@@ -98,7 +172,7 @@ func (sn *Snapshot) Table(name string) (*value.Set, error) {
 			return nil, fmt.Errorf("storage: unknown base table %q", name)
 		}
 	}
-	set := sn.st.materialize(name, oids)
+	set := sn.st.materialize(name, oids, sn.v.seq)
 	sn.st.meterScan(len(oids))
 	return set, nil
 }
@@ -112,15 +186,16 @@ func (sn *Snapshot) OIDs(extent string) []value.OID {
 }
 
 // IndexLookup answers an equality probe as of the snapshot: the shared
-// index (maintained incrementally across inserts) is probed and rows beyond
-// the snapshot's oid horizon are filtered out, so a pinned reader never
-// observes a row a concurrent writer added.
+// index (maintained incrementally across writes) is probed and every
+// candidate is resolved through its version chain at the snapshot's seq and
+// re-verified against the key, so a pinned reader never observes a row a
+// concurrent writer added, removed, or rewrote.
 func (sn *Snapshot) IndexLookup(extent, attr string, key value.Value) ([]value.Value, error) {
-	return sn.st.indexLookup(extent, attr, key, sn.v.nextOID)
+	return sn.st.indexLookup(extent, attr, key, sn.v.nextOID, sn.v.seq)
 }
 
 // IndexRange answers a range probe as of the snapshot (ordered indexes
 // only); see IndexLookup for the visibility rule.
 func (sn *Snapshot) IndexRange(extent, attr string, lo, hi value.Value, loIncl, hiIncl bool) ([]value.Value, error) {
-	return sn.st.indexRange(extent, attr, lo, hi, loIncl, hiIncl, sn.v.nextOID)
+	return sn.st.indexRange(extent, attr, lo, hi, loIncl, hiIncl, sn.v.nextOID, sn.v.seq)
 }
