@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke serve-smoke bench-serve examples-smoke cover fuzz-smoke fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-json bench-vec bench-smoke serve-smoke bench-serve examples-smoke cover fuzz-smoke fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,25 @@ bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' . > bench-raw.txt
 	$(GO) run ./cmd/benchjson -out $(BENCH_OUT) < bench-raw.txt
 	@rm -f bench-raw.txt
+
+# Allocation budget for the vectorized arms: each vectorized benchmark must
+# allocate at most this percent of its scalar twin's allocs/op.
+VEC_ALLOC_PCT ?= 5
+
+# Scalar-vs-vectorized benchmark pairs (B1's execution-only arms and the B13
+# pipeline), gated on the allocation budget at the full S400 scale and folded
+# into the committed perf trajectory. The gate runs before the merge so a
+# failing run never pollutes $(BENCH_OUT). Smoke scales are measured and
+# archived but not gated: their scalar arms are small enough that the
+# vectorized pipeline's fixed result-materialization floor dominates the
+# ratio.
+bench-vec:
+	$(GO) test -bench='BenchmarkB1/(scalar|vectorized)_exec|BenchmarkB13/' \
+		-benchmem -benchtime=$(BENCHTIME) -run='^$$' . > bench-vec-raw.txt
+	$(GO) run ./cmd/benchjson -out bench-vec.json < bench-vec-raw.txt
+	$(GO) run ./cmd/benchjson -alloc-gate $(VEC_ALLOC_PCT) -match S400 bench-vec.json
+	$(GO) run ./cmd/benchjson -merge bench-vec.json -out $(BENCH_OUT)
+	@rm -f bench-vec-raw.txt bench-vec.json
 
 # Serving-layer smoke: boots the OOSQL server binary and drives it over HTTP
 # with the closed-loop load generator, then repeats the workload in-process

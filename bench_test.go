@@ -50,6 +50,24 @@ func BenchmarkB1(b *testing.B) {
 		b.Run("semijoin_hash/"+name, func(b *testing.B) {
 			run(b, func() error { _, err := w.RunOpt(); return err })
 		})
+		// Execution-only pair for the vectorized A/B and the alloc
+		// regression gate (make bench-vec): cached plan, per-iteration
+		// clone — planning cost excluded from both arms alike.
+		ctx := &exec.Ctx{DB: w.Store}
+		scalarPl := plan.Config{}.Plan(w.Opt)
+		vecPl := plan.Config{Vectorized: true}.Plan(w.Opt)
+		b.Run("scalar_exec/"+name, func(b *testing.B) {
+			run(b, func() error {
+				_, err := exec.Collect(exec.CloneTree(scalarPl.Root), ctx)
+				return err
+			})
+		})
+		b.Run("vectorized_exec/"+name, func(b *testing.B) {
+			run(b, func() error {
+				_, err := exec.Collect(exec.CloneTree(vecPl.Root), ctx)
+				return err
+			})
+		})
 	}
 }
 
@@ -304,6 +322,46 @@ func BenchmarkB12(b *testing.B) {
 	b.Run("histograms", func(b *testing.B) {
 		run(b, func() error { _, err := exec.Collect(histPl.Root, ctx); return err })
 	})
+}
+
+// BenchmarkB13 — vectorized batch execution against the scalar reference on
+// the large filter + semi-join pipeline, execution-only: both arms run a
+// per-iteration clone of a cached plan (the serving path's shape), so the
+// comparison isolates the operators from planning. The alloc regression gate
+// (make bench-vec) holds the vectorized arm's allocs/op to ≤5% of scalar.
+func BenchmarkB13(b *testing.B) {
+	for _, sc := range [][2]int{{100, 10000}, {400, 40000}} {
+		w := experiments.NewVecJoin(sc[0], sc[1], 0, 94)
+		if err := w.Warm(); err != nil {
+			b.Fatal(err)
+		}
+		ctx := &exec.Ctx{DB: w.Store}
+		scalarPl, vecPl := w.Plan(false), w.Plan(true)
+		want, err := exec.Collect(exec.CloneTree(scalarPl.Root), ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := exec.Collect(exec.CloneTree(vecPl.Root), ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !value.Equal(got, want) {
+			b.Fatalf("vectorized arm diverges from scalar at scale %v", sc)
+		}
+		name := fmt.Sprintf("S%d_D%d", sc[0], sc[1])
+		b.Run("scalar/"+name, func(b *testing.B) {
+			run(b, func() error {
+				_, err := exec.Collect(exec.CloneTree(scalarPl.Root), ctx)
+				return err
+			})
+		})
+		b.Run("vectorized/"+name, func(b *testing.B) {
+			run(b, func() error {
+				_, err := exec.Collect(exec.CloneTree(vecPl.Root), ctx)
+				return err
+			})
+		})
+	}
 }
 
 // BenchmarkParallelPlanner — the same optimized query compiled by the serial

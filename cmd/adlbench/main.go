@@ -16,7 +16,14 @@
 //	adlbench -indexes        # create secondary indexes for B11 (default)
 //	adlbench -indexes=false  # B11 planned without indexes (A/B control)
 //	adlbench -exp B12        # histogram estimates vs the NDV-only model
+//	adlbench -exp B13        # scalar vs vectorized batch execution
+//	adlbench -vectorized     # run every optimized arm through the batch pipeline
+//	adlbench -batch 256      # vectorized rows per batch (rejects n ≤ 0)
 //	adlbench -explain        # print each experiment's annotated plan first
+//
+// Every arm's wall time is reported next to a runtime.MemStats-based
+// allocation delta, so perf comparisons can quote allocation wins straight
+// from `adlbench -quick` without a separate go test -bench run.
 package main
 
 import (
@@ -26,18 +33,31 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/plan"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (B1..B12); empty = all")
-		quick    = flag.Bool("quick", false, "smaller scales")
-		parallel = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
-		analyze  = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
-		indexes  = flag.Bool("indexes", true, "create secondary indexes for B11's workload; -indexes=false plans the same query without them (A/B control)")
-		explain  = flag.Bool("explain", false, "print each experiment's annotated Plan.Explain() before running it")
+		exp        = flag.String("exp", "", "experiment to run (B1..B13); empty = all")
+		quick      = flag.Bool("quick", false, "smaller scales")
+		parallel   = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
+		analyze    = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
+		indexes    = flag.Bool("indexes", true, "create secondary indexes for B11's workload; -indexes=false plans the same query without them (A/B control)")
+		vectorized = flag.Bool("vectorized", false, "plan every optimized arm over the batch execution pipeline (plan.Config.Vectorized)")
+		batch      = flag.Int("batch", 0, "vectorized rows per batch; 0 = planner default, non-positive values are rejected")
+		explain    = flag.Bool("explain", false, "print each experiment's annotated Plan.Explain() before running it")
 	)
 	flag.Parse()
+
+	if *batch != 0 {
+		var c plan.Config
+		if err := c.SetBatchSize(*batch); err != nil {
+			fmt.Fprintf(os.Stderr, "adlbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	experiments.ExecMode.Vectorized = *vectorized
+	experiments.ExecMode.BatchSize = *batch
 
 	scale := func(full, small int) int {
 		if *quick {
@@ -109,6 +129,10 @@ func main() {
 		{"B12", func() (*bench.Table, error) {
 			return experiments.B12(scale(20000, 5000), scale(400, 200),
 				*parallel, seed)
+		}},
+		{"B13", func() (*bench.Table, error) {
+			return experiments.B13(scale(400, 60), scale(40000, 1200),
+				*batch, seed)
 		}},
 	}
 

@@ -9,6 +9,7 @@
 //	go test -bench=. -benchmem -run '^$' . | benchjson -out BENCH_RESULTS.json
 //	benchjson -merge serve.json -out BENCH_RESULTS.json
 //	benchjson -compare -threshold 25 BENCH_RESULTS.json fresh.json
+//	benchjson -alloc-gate 5 -match S400 fresh.json
 //
 // Only benchmark result lines are parsed; everything else (pass/fail
 // trailers, goos/goarch headers) is carried into the metadata block or
@@ -23,6 +24,13 @@
 // present in both regressed its wall time by more than -threshold percent.
 // Serving metrics (Metrics map) ride along in both modes but are reported
 // only — run-to-run QPS on shared CI runners is too noisy to gate on.
+// -alloc-gate checks the scalar/vectorized benchmark pairs inside ONE file:
+// each vectorized arm must allocate at most the given percent of its scalar
+// twin's allocs/op. Allocation counts are deterministic, so unlike wall time
+// this gate is safe at a tight threshold on shared runners. -match restricts
+// the gate to pairs whose name matches (CI gates the full-scale S400 pairs:
+// smoke scales carry a fixed result-materialization floor that dominates
+// their small scalar arms, so a ratio gate is meaningless there).
 package main
 
 import (
@@ -129,6 +137,41 @@ func merge(base, extra File) File {
 	return base
 }
 
+// allocGate checks every scalar/vectorized benchmark pair in one file: a
+// result with a "/scalar" path segment is paired with the same name under
+// "/vectorized" (so B1's scalar_exec/vectorized_exec arms pair up too), and
+// the vectorized arm must allocate at most pct percent of the scalar arm's
+// allocs/op — the claim behind the batch pipeline is near-zero steady-state
+// allocation, so a creeping alloc count is a regression even when wall time
+// still looks fine.
+func allocGate(f File, pct float64, match *regexp.Regexp, w *os.File) (failed, compared int) {
+	byName := map[string]Result{}
+	names := make([]string, 0, len(f.Results))
+	for _, r := range f.Results {
+		byName[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(name, "/scalar") || !match.MatchString(name) {
+			continue
+		}
+		sr := byName[name]
+		vr, ok := byName[strings.Replace(name, "/scalar", "/vectorized", 1)]
+		if !ok || sr.AllocsPerOp <= 0 || vr.AllocsPerOp <= 0 {
+			continue
+		}
+		compared++
+		limit := float64(sr.AllocsPerOp) * pct / 100
+		if float64(vr.AllocsPerOp) > limit {
+			failed++
+			fmt.Fprintf(w, "ALLOC REGRESSION %-55s %8d allocs/op > %.0f%% of scalar's %d\n",
+				vr.Name, vr.AllocsPerOp, pct, sr.AllocsPerOp)
+		}
+	}
+	return failed, compared
+}
+
 // compare reports the benchmarks present in both files whose fresh wall
 // time regressed beyond the threshold.
 func compare(base, fresh File, thresholdPct float64, w *os.File) (regressed int, compared int) {
@@ -167,7 +210,37 @@ func main() {
 	mergePath := flag.String("merge", "", "benchjson file whose results are folded into the output")
 	comparePair := flag.Bool("compare", false, "compare two files: baseline fresh; exit 1 on regression")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+	gatePct := flag.Float64("alloc-gate", 0, "check scalar/vectorized pairs in one file: vectorized allocs/op must be ≤ this percent of the scalar arm; exit 1 otherwise")
+	gateMatch := flag.String("match", "", "regexp restricting which pairs -alloc-gate checks (e.g. S400 for the full-scale pairs); empty = all")
 	flag.Parse()
+
+	if *gatePct > 0 {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -alloc-gate needs exactly one file")
+			os.Exit(2)
+		}
+		match, err := regexp.Compile(*gateMatch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -match: %v\n", err)
+			os.Exit(2)
+		}
+		f, err := readFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		failed, compared := allocGate(f, *gatePct, match, os.Stdout)
+		fmt.Printf("benchjson: checked %d scalar/vectorized pairs in %s, %d above the %.0f%% alloc budget\n",
+			compared, flag.Arg(0), failed, *gatePct)
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no scalar/vectorized pairs found — gate would pass vacuously")
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *comparePair {
 		if flag.NArg() != 2 {

@@ -1,0 +1,160 @@
+// Package col provides columnar projections of extents for the batch
+// executor: each referenced attribute is decoded once per extent into a
+// typed slice (int64/float64/string/oid/set), so vectorized operators scan
+// flat arrays instead of probing tuple attribute maps row by row.
+//
+// A projection keeps the original tuple rows alongside the decoded columns.
+// The rows are what operators emit (results are always value.Value), and
+// they are the fallback for anything the columnar fast paths cannot type: an
+// attribute that is missing on some row, mixed-kind, or nested gets a Mixed
+// column, and the operator evaluates those rows through the reference
+// interpreter — same semantics, same errors, just slower.
+package col
+
+import "repro/internal/value"
+
+// Kind classifies a decoded column.
+type Kind uint8
+
+// Column kinds. Mixed marks an attribute the decoder could not type
+// uniformly (missing on some row, differing kinds, nulls, or nested tuples);
+// operators must fall back to row-wise evaluation for it.
+const (
+	Mixed Kind = iota
+	Bool
+	Int
+	Float
+	Str
+	Date
+	OID
+	Set
+)
+
+// Col is one decoded attribute across all rows of a projection. Exactly one
+// backing slice is populated, chosen by Kind: Ints carries Int values,
+// Date days, OID bits and Bool as 0/1; Floats, Strs and Sets carry their
+// namesakes. A Mixed column has no backing.
+type Col struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Sets   []*value.Set
+}
+
+// Proj is a columnar projection of one extent: the original rows (tuples, in
+// extent order) plus the decoded columns for the attributes a pipeline
+// reads. A Proj is immutable once built and safe to share across queries.
+type Proj struct {
+	Extent string
+	Rows   []value.Value
+	cols   map[string]*Col
+}
+
+// New builds a projection of rows, decoding the named attributes. Attributes
+// that cannot be uniformly typed decode to Mixed columns; rows is retained,
+// not copied.
+func New(extent string, rows []value.Value, attrs []string) *Proj {
+	p := &Proj{Extent: extent, Rows: rows, cols: make(map[string]*Col, len(attrs))}
+	for _, a := range attrs {
+		if _, dup := p.cols[a]; !dup {
+			p.cols[a] = decode(rows, a)
+		}
+	}
+	return p
+}
+
+// Len reports the number of rows.
+func (p *Proj) Len() int { return len(p.Rows) }
+
+// Col returns the decoded column for attr, or nil when attr was not
+// requested at build time. Callers must treat a nil column like a Mixed one:
+// evaluate row-wise.
+func (p *Proj) Col(attr string) *Col { return p.cols[attr] }
+
+// Attrs returns the decoded attribute names (order unspecified).
+func (p *Proj) Attrs() []string {
+	out := make([]string, 0, len(p.cols))
+	for a := range p.cols {
+		out = append(out, a)
+	}
+	return out
+}
+
+// kindOf maps a value kind to its column kind; tuples and nulls are not
+// columnar.
+func kindOf(v value.Value) Kind {
+	switch v.Kind() {
+	case value.KindBool:
+		return Bool
+	case value.KindInt:
+		return Int
+	case value.KindFloat:
+		return Float
+	case value.KindString:
+		return Str
+	case value.KindDate:
+		return Date
+	case value.KindOID:
+		return OID
+	case value.KindSet:
+		return Set
+	}
+	return Mixed
+}
+
+// decode types one attribute across all rows, bailing to Mixed on the first
+// row that breaks uniformity.
+func decode(rows []value.Value, attr string) *Col {
+	c := &Col{}
+	for i, r := range rows {
+		t, ok := r.(*value.Tuple)
+		if !ok {
+			return &Col{Kind: Mixed}
+		}
+		v, ok := t.Get(attr)
+		if !ok {
+			return &Col{Kind: Mixed}
+		}
+		k := kindOf(v)
+		if k == Mixed {
+			return &Col{Kind: Mixed}
+		}
+		if i == 0 {
+			c.Kind = k
+			switch k {
+			case Int, Date, OID, Bool:
+				c.Ints = make([]int64, 0, len(rows))
+			case Float:
+				c.Floats = make([]float64, 0, len(rows))
+			case Str:
+				c.Strs = make([]string, 0, len(rows))
+			case Set:
+				c.Sets = make([]*value.Set, 0, len(rows))
+			}
+		} else if k != c.Kind {
+			return &Col{Kind: Mixed}
+		}
+		switch k {
+		case Int:
+			c.Ints = append(c.Ints, int64(v.(value.Int)))
+		case Date:
+			c.Ints = append(c.Ints, int64(v.(value.Date)))
+		case OID:
+			c.Ints = append(c.Ints, int64(v.(value.OID)))
+		case Bool:
+			if v.(value.Bool) {
+				c.Ints = append(c.Ints, 1)
+			} else {
+				c.Ints = append(c.Ints, 0)
+			}
+		case Float:
+			c.Floats = append(c.Floats, float64(v.(value.Float)))
+		case Str:
+			c.Strs = append(c.Strs, string(v.(value.String)))
+		case Set:
+			c.Sets = append(c.Sets, v.(*value.Set))
+		}
+	}
+	return c
+}

@@ -1,0 +1,89 @@
+package col
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func rowsOf(ts ...*value.Tuple) []value.Value {
+	out := make([]value.Value, len(ts))
+	for i, t := range ts {
+		out[i] = t
+	}
+	return out
+}
+
+func TestDecodeTypedColumns(t *testing.T) {
+	rows := rowsOf(
+		value.NewTuple("i", value.Int(1), "f", value.Float(1.5), "s", value.String("a"),
+			"d", value.Date(940101), "o", value.OID(7), "b", value.Bool(true),
+			"set", value.NewSet(value.Int(1))),
+		value.NewTuple("i", value.Int(-2), "f", value.Float(0), "s", value.String(""),
+			"d", value.Date(940102), "o", value.OID(9), "b", value.Bool(false),
+			"set", value.EmptySet()),
+	)
+	p := New("E", rows, []string{"i", "f", "s", "d", "o", "b", "set"})
+	if p.Len() != 2 || p.Extent != "E" {
+		t.Fatalf("proj shape: len=%d extent=%q", p.Len(), p.Extent)
+	}
+	cases := []struct {
+		attr string
+		kind Kind
+	}{{"i", Int}, {"f", Float}, {"s", Str}, {"d", Date}, {"o", OID}, {"b", Bool}, {"set", Set}}
+	for _, c := range cases {
+		cl := p.Col(c.attr)
+		if cl == nil || cl.Kind != c.kind {
+			t.Fatalf("col %q: got %+v, want kind %d", c.attr, cl, c.kind)
+		}
+	}
+	if got := p.Col("i").Ints; got[0] != 1 || got[1] != -2 {
+		t.Errorf("int column = %v", got)
+	}
+	if got := p.Col("o").Ints; got[0] != 7 || got[1] != 9 {
+		t.Errorf("oid column = %v", got)
+	}
+	if got := p.Col("b").Ints; got[0] != 1 || got[1] != 0 {
+		t.Errorf("bool column = %v", got)
+	}
+	if got := p.Col("s").Strs; got[0] != "a" || got[1] != "" {
+		t.Errorf("string column = %v", got)
+	}
+	if got := p.Col("set").Sets; got[0].Len() != 1 || got[1].Len() != 0 {
+		t.Errorf("set column = %v", got)
+	}
+	if len(p.Attrs()) != 7 {
+		t.Errorf("Attrs() = %v", p.Attrs())
+	}
+}
+
+func TestDecodeMixedFallbacks(t *testing.T) {
+	mixedKind := rowsOf(
+		value.NewTuple("a", value.Int(1)),
+		value.NewTuple("a", value.Float(2)),
+	)
+	missing := rowsOf(
+		value.NewTuple("a", value.Int(1)),
+		value.NewTuple("b", value.Int(2)),
+	)
+	nested := rowsOf(value.NewTuple("a", value.NewTuple("x", value.Int(1))))
+	nullValued := rowsOf(value.NewTuple("a", value.Null{}))
+	nonTuple := []value.Value{value.Int(3)}
+	for name, rows := range map[string][]value.Value{
+		"mixed kinds": mixedKind, "missing attr": missing,
+		"nested tuple": nested, "null": nullValued, "non-tuple row": nonTuple,
+	} {
+		p := New("E", rows, []string{"a"})
+		if c := p.Col("a"); c == nil || c.Kind != Mixed {
+			t.Errorf("%s: got %+v, want Mixed", name, c)
+		}
+	}
+	// Unrequested attribute: nil, caller treats as Mixed.
+	if c := New("E", mixedKind, nil).Col("a"); c != nil {
+		t.Errorf("unrequested attr: got %+v, want nil", c)
+	}
+	// Empty extent decodes to Mixed (no rows to type).
+	if c := New("E", nil, []string{"a"}).Col("a"); c == nil || c.Kind != Mixed {
+		t.Errorf("empty extent: got %+v, want Mixed", c)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adl"
 	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 func cloneFixtureTree() Operator {
@@ -98,4 +99,78 @@ func TestCloneTreeNil(t *testing.T) {
 	if CloneTree(nil) != nil {
 		t.Fatalf("CloneTree(nil) must be nil")
 	}
+	if CloneVecTree(nil) != nil {
+		t.Fatalf("CloneVecTree(nil) must be nil")
+	}
+}
+
+// TestCloneTreeVecPipeline checks cloning recurses through VecOp fields:
+// the adapter, the batch filter chain and the scan must all be fresh, and
+// the clone of a drained pipeline must still run.
+func TestCloneTreeVecPipeline(t *testing.T) {
+	l, r, _ := randomTables(3, 48, 24)
+	db := storage.NewMemDB("L", l, "R", r)
+	k := fieldKernel("b", adl.Lt, value.Int(5))
+	orig := &VecAdapter{Src: &VecSemiJoin{
+		L:     &VecFilter{Src: &VecScan{Extent: "L", Attrs: []string{"b"}, Batch: 8}, Var: "x", Kernels: []VecCmp{k}},
+		R:     &Scan{Table: "R"},
+		LAttr: "b",
+		LKey:  NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey:  NewScalar(adl.Dot(adl.V("y"), "d"), "y"),
+	}}
+	want, err := Collect(orig, &Ctx{DB: db})
+	if err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	cl := CloneTree(orig).(*VecAdapter)
+	if cl == orig || cl.Src == orig.Src {
+		t.Fatalf("vec pipeline must be cloned, not shared")
+	}
+	cj, oj := cl.Src.(*VecSemiJoin), orig.Src.(*VecSemiJoin)
+	if cj.L == oj.L || cj.R == oj.R {
+		t.Fatalf("vec join inputs must be cloned, not shared")
+	}
+	if cj.L.(*VecFilter).Src == oj.L.(*VecFilter).Src {
+		t.Fatalf("vec scan must be cloned, not shared")
+	}
+	got, err := Collect(cl, &Ctx{DB: db})
+	if err != nil {
+		t.Fatalf("clone: %v", err)
+	}
+	if !value.Equal(got, want) {
+		t.Fatalf("clone returned %d rows, original %d", got.Len(), want.Len())
+	}
+}
+
+// BenchmarkCloneTree measures the per-execution cost of cloning a cached
+// plan — the hot edge of the serving path — over a representative scalar
+// tree and a batch pipeline.
+func BenchmarkCloneTree(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) {
+		tree := cloneFixtureTree()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if CloneTree(tree) == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		k := fieldKernel("b", adl.Lt, value.Int(5))
+		tree := Operator(&VecAdapter{Src: &VecSemiJoin{
+			L:     &VecFilter{Src: &VecScan{Extent: "L", Attrs: []string{"b"}}, Var: "x", Kernels: []VecCmp{k}},
+			R:     &Scan{Table: "R"},
+			LAttr: "b",
+			LKey:  NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+			RKey:  NewScalar(adl.Dot(adl.V("y"), "d"), "y"),
+		}})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if CloneTree(tree) == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
 }

@@ -81,6 +81,9 @@ func (s Scalar) Bool(ctx *Ctx, vals ...value.Value) (bool, error) {
 // pipelines (goroutines, channels) in Close, and swallowing their errors
 // would hide a failed teardown.
 func Collect(op Operator, ctx *Ctx) (_ *value.Set, err error) {
+	if sc, ok := op.(SetCollector); ok {
+		return sc.CollectSet(ctx)
+	}
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -103,8 +106,17 @@ func Collect(op Operator, ctx *Ctx) (_ *value.Set, err error) {
 }
 
 // drain materializes an operator's rows into a slice, propagating Close
-// errors like Collect.
+// errors like Collect. A VecAdapter hands over its materialized buffer
+// directly instead of being copied row by row.
 func drain(op Operator, ctx *Ctx) (_ []value.Value, err error) {
+	if a, ok := op.(*VecAdapter); ok {
+		rows, err := a.drainVec(ctx)
+		if err != nil {
+			return nil, err
+		}
+		a.rows = nil // ownership moves to the caller
+		return rows, nil
+	}
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,360 @@
+package exec
+
+import (
+	"repro/internal/adl"
+	"repro/internal/col"
+	"repro/internal/value"
+)
+
+// VecScan produces an extent in batches over a columnar projection. Against
+// a ColumnarDB provider the projection is served snapshot-pinned and cached
+// by the store; otherwise the extent is fetched with Table and decoded here.
+// The selection vector is one reused buffer.
+type VecScan struct {
+	Extent string
+	// Attrs are the attributes the pipeline above reads columnar; the
+	// planner accumulates them while building the pipeline.
+	Attrs []string
+	// Batch is the number of rows per batch (plan.Config.BatchSize);
+	// non-positive falls back to DefaultBatchSize.
+	Batch int
+
+	proj *col.Proj
+	pos  int
+	sel  []int32
+}
+
+// OpenVec obtains the projection.
+func (s *VecScan) OpenVec(ctx *Ctx) error {
+	if cdb, ok := ctx.DB.(ColumnarDB); ok {
+		proj, err := cdb.ColProj(s.Extent, s.Attrs)
+		if err != nil {
+			return err
+		}
+		s.proj = proj
+	} else {
+		set, err := ctx.DB.Table(s.Extent)
+		if err != nil {
+			return err
+		}
+		s.proj = col.New(s.Extent, set.Elems(), s.Attrs)
+	}
+	s.pos = 0
+	return nil
+}
+
+// NextBatch yields the next run of rows with a dense selection vector.
+func (s *VecScan) NextBatch() (Batch, bool, error) {
+	n := s.proj.Len() - s.pos
+	if n <= 0 {
+		return Batch{}, false, nil
+	}
+	size := s.Batch
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	if n > size {
+		n = size
+	}
+	if cap(s.sel) < n {
+		s.sel = make([]int32, n)
+	}
+	sel := s.sel[:n]
+	for i := range sel {
+		sel[i] = int32(s.pos + i)
+	}
+	s.pos += n
+	return Batch{Proj: s.proj, Sel: sel}, true, nil
+}
+
+// CloseVec drops the projection reference (the store keeps its own cache).
+func (s *VecScan) CloseVec() error { s.proj = nil; return nil }
+
+// VecCmp is one compiled filter conjunct: column-versus-constant or
+// column-versus-column comparison. The typed kernels run only when the
+// column kinds line up exactly with the reference semantics (evalCmp); any
+// other shape evaluates Pred row-wise through the interpreter, so results
+// and errors match the scalar Filter bit for bit.
+type VecCmp struct {
+	Attr string
+	Op   adl.CmpOp
+	// Const is the right operand for column-vs-constant kernels; when nil,
+	// RAttr names the right column.
+	Const value.Value
+	RAttr string
+	// Pred is the conjunct's scalar form (over the filter's Var), the
+	// row-wise fallback.
+	Pred Scalar
+}
+
+// VecFilter narrows each batch's selection vector in place, one conjunct at
+// a time — conjunct order matches the scalar And's left-to-right
+// short-circuit, so rows are eliminated (and errors surface) in the same
+// order as the reference arm.
+type VecFilter struct {
+	Src     VecOp
+	Var     string
+	Kernels []VecCmp
+
+	ctx *Ctx
+}
+
+// OpenVec opens the source.
+func (f *VecFilter) OpenVec(ctx *Ctx) error { f.ctx = ctx; return f.Src.OpenVec(ctx) }
+
+// NextBatch yields the source's next batch with the selection narrowed.
+func (f *VecFilter) NextBatch() (Batch, bool, error) {
+	for {
+		b, ok, err := f.Src.NextBatch()
+		if err != nil || !ok {
+			return Batch{}, false, err
+		}
+		for ki := range f.Kernels {
+			if b.Sel, err = f.Kernels[ki].apply(f.ctx, b.Proj, b.Sel); err != nil {
+				return Batch{}, false, err
+			}
+			if len(b.Sel) == 0 {
+				break
+			}
+		}
+		if len(b.Sel) > 0 {
+			return b, true, nil
+		}
+	}
+}
+
+// CloseVec closes the source.
+func (f *VecFilter) CloseVec() error { return f.Src.CloseVec() }
+
+// apply narrows sel to the rows satisfying the conjunct, writing in place.
+func (k *VecCmp) apply(ctx *Ctx, p *col.Proj, sel []int32) ([]int32, error) {
+	c := p.Col(k.Attr)
+	if c == nil || c.Kind == col.Mixed {
+		return k.applyRows(ctx, p, sel)
+	}
+	if k.Const != nil {
+		return k.applyConst(ctx, p, c, sel)
+	}
+	rc := p.Col(k.RAttr)
+	if rc == nil || rc.Kind == col.Mixed {
+		return k.applyRows(ctx, p, sel)
+	}
+	return k.applyCols(ctx, p, c, rc, sel)
+}
+
+// applyRows is the reference fallback: evaluate the conjunct on each
+// selected row through the interpreter.
+func (k *VecCmp) applyRows(ctx *Ctx, p *col.Proj, sel []int32) ([]int32, error) {
+	out := sel[:0]
+	for _, i := range sel {
+		keep, err := k.Pred.Bool(ctx, p.Rows[i])
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// constKind maps a constant to the column kind it compares against natively.
+func constKind(v value.Value) col.Kind {
+	switch v.Kind() {
+	case value.KindBool:
+		return col.Bool
+	case value.KindInt:
+		return col.Int
+	case value.KindFloat:
+		return col.Float
+	case value.KindString:
+		return col.Str
+	case value.KindDate:
+		return col.Date
+	case value.KindOID:
+		return col.OID
+	}
+	return col.Mixed
+}
+
+// ordered reports whether a column kind supports the ordered comparisons
+// (mirrors eval's orderedKind: int, float, string, date).
+func ordered(k col.Kind) bool {
+	return k == col.Int || k == col.Float || k == col.Str || k == col.Date
+}
+
+// constBits extracts the int64 image of a constant for Ints-backed columns.
+func constBits(v value.Value) int64 {
+	switch cv := v.(type) {
+	case value.Int:
+		return int64(cv)
+	case value.Date:
+		return int64(cv)
+	case value.OID:
+		return int64(cv)
+	case value.Bool:
+		if cv {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// applyConst runs the column-vs-constant kernel.
+func (k *VecCmp) applyConst(ctx *Ctx, p *col.Proj, c *col.Col, sel []int32) ([]int32, error) {
+	ck := constKind(k.Const)
+	if ck != c.Kind {
+		// Cross-kind: Eq is uniformly false, Ne uniformly true
+		// (value.Equal never crosses kinds); ordered comparisons error in
+		// the interpreter — fall back so the error text matches.
+		switch k.Op {
+		case adl.Eq:
+			return sel[:0], nil
+		case adl.Ne:
+			return sel, nil
+		}
+		return k.applyRows(ctx, p, sel)
+	}
+	if k.Op != adl.Eq && k.Op != adl.Ne && !ordered(c.Kind) {
+		return k.applyRows(ctx, p, sel)
+	}
+	out := sel[:0]
+	switch c.Kind {
+	case col.Int, col.Date, col.OID, col.Bool:
+		cv := constBits(k.Const)
+		for _, i := range sel {
+			if cmpInt64(c.Ints[i], cv, k.Op) {
+				out = append(out, i)
+			}
+		}
+	case col.Float:
+		cv := float64(k.Const.(value.Float))
+		for _, i := range sel {
+			if cmpFloat64(c.Floats[i], cv, k.Op) {
+				out = append(out, i)
+			}
+		}
+	case col.Str:
+		cv := string(k.Const.(value.String))
+		for _, i := range sel {
+			if cmpString(c.Strs[i], cv, k.Op) {
+				out = append(out, i)
+			}
+		}
+	default:
+		return k.applyRows(ctx, p, sel)
+	}
+	return out, nil
+}
+
+// applyCols runs the column-vs-column kernel.
+func (k *VecCmp) applyCols(ctx *Ctx, p *col.Proj, l, r *col.Col, sel []int32) ([]int32, error) {
+	if l.Kind != r.Kind {
+		switch k.Op {
+		case adl.Eq:
+			return sel[:0], nil
+		case adl.Ne:
+			return sel, nil
+		}
+		return k.applyRows(ctx, p, sel)
+	}
+	if k.Op != adl.Eq && k.Op != adl.Ne && !ordered(l.Kind) {
+		return k.applyRows(ctx, p, sel)
+	}
+	out := sel[:0]
+	switch l.Kind {
+	case col.Int, col.Date, col.OID, col.Bool:
+		for _, i := range sel {
+			if cmpInt64(l.Ints[i], r.Ints[i], k.Op) {
+				out = append(out, i)
+			}
+		}
+	case col.Float:
+		for _, i := range sel {
+			if cmpFloat64(l.Floats[i], r.Floats[i], k.Op) {
+				out = append(out, i)
+			}
+		}
+	case col.Str:
+		for _, i := range sel {
+			if cmpString(l.Strs[i], r.Strs[i], k.Op) {
+				out = append(out, i)
+			}
+		}
+	default:
+		return k.applyRows(ctx, p, sel)
+	}
+	return out, nil
+}
+
+func cmpInt64(a, b int64, op adl.CmpOp) bool {
+	switch op {
+	case adl.Eq:
+		return a == b
+	case adl.Ne:
+		return a != b
+	case adl.Lt:
+		return a < b
+	case adl.Le:
+		return a <= b
+	case adl.Gt:
+		return a > b
+	case adl.Ge:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat64(a, b float64, op adl.CmpOp) bool {
+	// Matches evalCmp: Eq/Ne via Go == (NaN ≠ NaN), ordered via
+	// value.Compare's natural float order.
+	switch op {
+	case adl.Eq:
+		return a == b
+	case adl.Ne:
+		return a != b
+	case adl.Lt:
+		return a < b
+	case adl.Le:
+		return a <= b
+	case adl.Gt:
+		return a > b
+	case adl.Ge:
+		return a >= b
+	}
+	return false
+}
+
+func cmpString(a, b string, op adl.CmpOp) bool {
+	switch op {
+	case adl.Eq:
+		return a == b
+	case adl.Ne:
+		return a != b
+	case adl.Lt:
+		return a < b
+	case adl.Le:
+		return a <= b
+	case adl.Gt:
+		return a > b
+	case adl.Ge:
+		return a >= b
+	}
+	return false
+}
+
+// VecScanOf walks a batch pipeline to its scan leaf (used by the planner to
+// accumulate required attributes while wrapping fragments).
+func VecScanOf(op VecOp) *VecScan {
+	for {
+		switch v := op.(type) {
+		case *VecScan:
+			return v
+		case *VecFilter:
+			op = v.Src
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/eval"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// vecScan builds a batch scan over a table with a deliberately small batch
+// size so multi-batch paths are exercised even on tiny tables.
+func vecScan(table string, attrs []string, batch int) *VecScan {
+	return &VecScan{Extent: table, Attrs: attrs, Batch: batch}
+}
+
+// fieldPred builds the conjunct x.attr <op> const and its compiled kernel.
+func fieldKernel(attr string, op adl.CmpOp, c value.Value) VecCmp {
+	pred := adl.CmpE(op, adl.Dot(adl.V("x"), attr), adl.C(c))
+	return VecCmp{Attr: attr, Op: op, Const: c, Pred: NewScalar(pred, "x")}
+}
+
+// colKernel builds the conjunct x.l <op> x.r and its compiled kernel.
+func colKernel(l string, op adl.CmpOp, r string) VecCmp {
+	pred := adl.CmpE(op, adl.Dot(adl.V("x"), l), adl.Dot(adl.V("x"), r))
+	return VecCmp{Attr: l, Op: op, RAttr: r, Pred: NewScalar(pred, "x")}
+}
+
+// TestVecFilterAgainstScalar checks every kernel op against the scalar
+// Filter on randomized int tables, across batch sizes.
+func TestVecFilterAgainstScalar(t *testing.T) {
+	ops := []adl.CmpOp{adl.Eq, adl.Ne, adl.Lt, adl.Le, adl.Gt, adl.Ge}
+	for seed := int64(1); seed <= 3; seed++ {
+		d := db(seed, 30, 20)
+		for _, op := range ops {
+			for _, batch := range []int{1, 7, 0} { // 0 → DefaultBatchSize
+				k := fieldKernel("b", op, value.Int(4))
+				vf := &VecFilter{Src: vecScan("L", []string{"b"}, batch), Var: "x", Kernels: []VecCmp{k}}
+				got := collect(t, &VecAdapter{Src: vf}, d)
+
+				sf := &Filter{Child: &Scan{Table: "L"}, Var: "x", Pred: k.Pred}
+				want := collect(t, sf, d)
+				if !value.Equal(got, want) {
+					t.Errorf("seed %d op %v batch %d: got %v want %v", seed, op, batch, got, want)
+				}
+
+				ck := colKernel("a", op, "b")
+				vf2 := &VecFilter{Src: vecScan("L", []string{"a", "b"}, batch), Var: "x", Kernels: []VecCmp{ck}}
+				got2 := collect(t, &VecAdapter{Src: vf2}, d)
+				sf2 := &Filter{Child: &Scan{Table: "L"}, Var: "x", Pred: ck.Pred}
+				want2 := collect(t, sf2, d)
+				if !value.Equal(got2, want2) {
+					t.Errorf("seed %d col-col op %v batch %d: got %v want %v", seed, op, batch, got2, want2)
+				}
+			}
+		}
+	}
+}
+
+// TestVecFilterConjunctChain checks multiple kernels narrow in sequence.
+func TestVecFilterConjunctChain(t *testing.T) {
+	d := db(5, 40, 10)
+	ks := []VecCmp{
+		fieldKernel("b", adl.Lt, value.Int(6)),
+		fieldKernel("a", adl.Ge, value.Int(3)),
+		fieldKernel("b", adl.Ne, value.Int(2)),
+	}
+	vf := &VecFilter{Src: vecScan("L", []string{"a", "b"}, 8), Var: "x", Kernels: ks}
+	got := collect(t, &VecAdapter{Src: vf}, d)
+
+	pred := adl.AndE(ks[0].Pred.Expr, ks[1].Pred.Expr, ks[2].Pred.Expr)
+	sf := &Filter{Child: &Scan{Table: "L"}, Var: "x", Pred: NewScalar(pred, "x")}
+	want := collect(t, sf, d)
+	if !value.Equal(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// TestVecFilterCrossKindAndFallback checks the semantics corners: cross-kind
+// Eq/Ne kernels, ordered comparisons that must fall back and error exactly
+// like the interpreter, and Mixed columns going row-wise.
+func TestVecFilterCrossKindAndFallback(t *testing.T) {
+	d := db(2, 10, 5)
+
+	// Cross-kind Eq on an int column: empty; Ne: everything.
+	eq := fieldKernel("b", adl.Eq, value.String("x"))
+	vf := &VecFilter{Src: vecScan("L", []string{"b"}, 4), Var: "x", Kernels: []VecCmp{eq}}
+	if got := collect(t, &VecAdapter{Src: vf}, d); got.Len() != 0 {
+		t.Errorf("cross-kind Eq kept %d rows", got.Len())
+	}
+	ne := fieldKernel("b", adl.Ne, value.String("x"))
+	vf = &VecFilter{Src: vecScan("L", []string{"b"}, 4), Var: "x", Kernels: []VecCmp{ne}}
+	all := collect(t, &Scan{Table: "L"}, d)
+	if got := collect(t, &VecAdapter{Src: vf}, d); !value.Equal(got, all) {
+		t.Errorf("cross-kind Ne dropped rows: %v", got)
+	}
+
+	// Cross-kind ordered comparison: the scalar arm errors; the vectorized
+	// arm must produce the identical error.
+	lt := fieldKernel("b", adl.Lt, value.String("x"))
+	vf = &VecFilter{Src: vecScan("L", []string{"b"}, 4), Var: "x", Kernels: []VecCmp{lt}}
+	_, vecErr := Collect(&VecAdapter{Src: vf}, &Ctx{DB: d})
+	sf := &Filter{Child: &Scan{Table: "L"}, Var: "x", Pred: lt.Pred}
+	_, scalErr := Collect(sf, &Ctx{DB: d})
+	if vecErr == nil || scalErr == nil || vecErr.Error() != scalErr.Error() {
+		t.Errorf("error mismatch: vec=%v scalar=%v", vecErr, scalErr)
+	}
+
+	// A column absent from the projection attrs is nil → row-wise fallback,
+	// still correct.
+	k := fieldKernel("b", adl.Lt, value.Int(4))
+	vf = &VecFilter{Src: vecScan("L", nil, 4), Var: "x", Kernels: []VecCmp{k}}
+	got := collect(t, &VecAdapter{Src: vf}, d)
+	want := collect(t, &Filter{Child: &Scan{Table: "L"}, Var: "x", Pred: k.Pred}, d)
+	if !value.Equal(got, want) {
+		t.Errorf("fallback: got %v want %v", got, want)
+	}
+}
+
+// TestVecAdapterProject checks the π applied during materialization.
+func TestVecAdapterProject(t *testing.T) {
+	d := db(3, 12, 5)
+	va := &VecAdapter{Src: vecScan("L", []string{"b"}, 5), Project: []string{"b"}}
+	got := collect(t, va, d)
+	want := evalRef(t, adl.Proj(adl.T("L"), "b"), d)
+	if !value.Equal(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// TestVecSemiJoinAgainstScalar checks semi/anti against HashJoin, across
+// batch sizes and a filtered build side.
+func TestVecSemiJoinAgainstScalar(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		d := db(seed, 25, 18)
+		for _, anti := range []bool{false, true} {
+			kind := adl.Semi
+			if anti {
+				kind = adl.Anti
+			}
+			lkey := NewScalar(adl.Dot(adl.V("x"), "b"), "x")
+			rkey := NewScalar(adl.Dot(adl.V("y"), "d"), "y")
+			want := collect(t, &HashJoin{Kind: kind, L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+				LVar: "x", RVar: "y", LKey: lkey, RKey: rkey}, d)
+
+			vj := &VecSemiJoin{Anti: anti, L: vecScan("L", []string{"b"}, 6), R: &Scan{Table: "R"},
+				LAttr: "b", LKey: lkey, RKey: rkey}
+			got := collect(t, &VecAdapter{Src: vj}, d)
+			if !value.Equal(got, want) {
+				t.Errorf("seed %d anti=%v: got %v want %v", seed, anti, got, want)
+			}
+		}
+	}
+}
+
+// TestVecSemiJoinKeyShapes drives the non-int table paths: string keys, a
+// cross-kind build side, and an empty build side.
+func TestVecSemiJoinKeyShapes(t *testing.T) {
+	l := value.EmptySet()
+	for i := 0; i < 6; i++ {
+		l.Add(value.NewTuple("a", value.Int(int64(i)), "s", value.String(fmt.Sprintf("k%d", i%3))))
+	}
+	r := value.EmptySet()
+	r.Add(value.NewTuple("t", value.String("k1")))
+	r.Add(value.NewTuple("t", value.String("k2")))
+	mixed := value.EmptySet()
+	mixed.Add(value.NewTuple("t", value.String("k1")))
+	mixed.Add(value.NewTuple("t", value.Int(0)))
+	empty := value.EmptySet()
+	d := storage.NewMemDB("L", l, "R", r, "M", mixed, "E", empty)
+
+	lkeyS := NewScalar(adl.Dot(adl.V("x"), "s"), "x")
+	lkeyA := NewScalar(adl.Dot(adl.V("x"), "a"), "x")
+	rkey := NewScalar(adl.Dot(adl.V("y"), "t"), "y")
+
+	cases := []struct {
+		name  string
+		lattr string
+		lkey  Scalar
+		table string
+	}{
+		{"string-keys", "s", lkeyS, "R"},
+		{"mixed-build", "s", lkeyS, "M"},
+		{"cross-kind", "a", lkeyA, "R"},
+		{"empty-build", "s", lkeyS, "E"},
+	}
+	for _, tc := range cases {
+		for _, anti := range []bool{false, true} {
+			kind := adl.Semi
+			if anti {
+				kind = adl.Anti
+			}
+			want := collect(t, &HashJoin{Kind: kind, L: &Scan{Table: "L"}, R: &Scan{Table: tc.table},
+				LVar: "x", RVar: "y", LKey: tc.lkey, RKey: rkey}, d)
+			vj := &VecSemiJoin{Anti: anti, L: vecScan("L", []string{tc.lattr}, 2), R: &Scan{Table: tc.table},
+				LAttr: tc.lattr, LKey: tc.lkey, RKey: rkey}
+			got := collect(t, &VecAdapter{Src: vj}, d)
+			if !value.Equal(got, want) {
+				t.Errorf("%s anti=%v: got %v want %v", tc.name, anti, got, want)
+			}
+		}
+	}
+}
+
+// TestVecInnerJoinAgainstScalar checks the inner join across batch sizes
+// and both the typed and generic table paths.
+func TestVecInnerJoinAgainstScalar(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		d := db(seed, 22, 16)
+		lkey := NewScalar(adl.Dot(adl.V("x"), "b"), "x")
+		rkey := NewScalar(adl.Dot(adl.V("y"), "d"), "y")
+		want := collect(t, &HashJoin{Kind: adl.Inner, L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+			LVar: "x", RVar: "y", LKey: lkey, RKey: rkey}, d)
+		for _, batch := range []int{3, 0} {
+			vj := &VecInnerJoin{L: vecScan("L", []string{"b"}, batch), R: &Scan{Table: "R"},
+				LAttr: "b", LKey: lkey, RKey: rkey}
+			got := collect(t, vj, d)
+			if !value.Equal(got, want) {
+				t.Errorf("seed %d batch %d: got %v want %v", seed, batch, got, want)
+			}
+		}
+	}
+}
+
+// TestVecNLJoinAgainstScalar checks the batch nested-loop reference for
+// inner, semi and anti kinds with an arbitrary (non-equi) predicate.
+func TestVecNLJoinAgainstScalar(t *testing.T) {
+	d := db(9, 15, 12)
+	pred := NewScalar(adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "b"), adl.Dot(adl.V("y"), "d")), "x", "y")
+	for _, kind := range []adl.JoinKind{adl.Inner, adl.Semi, adl.Anti} {
+		want := collect(t, &NLJoin{Kind: kind, L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+			LVar: "x", RVar: "y", Pred: pred}, d)
+		vj := &VecNLJoin{Kind: kind, L: vecScan("L", []string{"b"}, 4), R: &Scan{Table: "R"}, Pred: pred}
+		got := collect(t, vj, d)
+		if !value.Equal(got, want) {
+			t.Errorf("kind %v: got %v want %v", kind, got, want)
+		}
+	}
+}
+
+// TestVecSetProbeJoinGeneric drives the generic (hash/Equal) probe path:
+// sets of plain ints probed with an atomic int build key.
+func TestVecSetProbeJoinGeneric(t *testing.T) {
+	owners := value.EmptySet()
+	for i := 0; i < 8; i++ {
+		refs := value.EmptySet()
+		for j := 0; j <= i%4; j++ {
+			refs.Add(value.Int(int64(i + j)))
+		}
+		owners.Add(value.NewTuple("a", value.Int(int64(i)), "refs", refs))
+	}
+	items := value.EmptySet()
+	for i := 0; i < 6; i++ {
+		items.Add(value.NewTuple("k", value.Int(int64(2*i)), "w", value.Int(int64(i))))
+	}
+	d := storage.NewMemDB("O", owners, "I", items)
+
+	rkey := NewScalar(adl.Dot(adl.V("y"), "k"), "y")
+	for _, anti := range []bool{false, true} {
+		kind := adl.Semi
+		if anti {
+			kind = adl.Anti
+		}
+		want := collect(t, &SetProbeJoin{Kind: kind, L: &Scan{Table: "O"}, R: &Scan{Table: "I"},
+			Attr: "refs", RKey: rkey}, d)
+		vj := &VecSetProbeJoin{Anti: anti, L: vecScan("O", []string{"refs"}, 3), R: &Scan{Table: "I"},
+			Attr: "refs", RKey: rkey}
+		got := collect(t, &VecAdapter{Src: vj}, d)
+		if !value.Equal(got, want) {
+			t.Errorf("anti=%v: got %v want %v", anti, got, want)
+		}
+	}
+}
+
+// TestVecSetProbeJoinHits builds a database where the unary-tuple fast path
+// gets genuine hits and misses, and cross-checks the scalar result.
+func TestVecSetProbeJoinHits(t *testing.T) {
+	// Owners hold sets of ⟨k:int⟩ refs; ITEMS is the flat table keyed by k.
+	// Items carry even keys only, so odd owners miss and even owners hit.
+	owners := value.EmptySet()
+	for i := 0; i < 8; i++ {
+		parts := value.EmptySet()
+		parts.Add(value.NewTuple("k", value.Int(int64(i))))
+		parts.Add(value.NewTuple("k", value.Int(int64(i+4))))
+		owners.Add(value.NewTuple("a", value.Int(int64(i)), "parts", parts))
+	}
+	items := value.EmptySet()
+	for i := 0; i < 6; i++ {
+		items.Add(value.NewTuple("k", value.Int(int64(2*i)), "w", value.Int(int64(i))))
+	}
+	d := storage.NewMemDB("O", owners, "I", items)
+
+	rkey := NewScalar(adl.SubT(adl.V("y"), "k"), "y")
+	for _, anti := range []bool{false, true} {
+		kind := adl.Semi
+		if anti {
+			kind = adl.Anti
+		}
+		want := collect(t, &SetProbeJoin{Kind: kind, L: &Scan{Table: "O"}, R: &Scan{Table: "I"},
+			Attr: "parts", RKey: rkey}, d)
+		vj := &VecSetProbeJoin{Anti: anti, L: vecScan("O", []string{"parts"}, 3), R: &Scan{Table: "I"},
+			Attr: "parts", RKey: rkey}
+		got := collect(t, &VecAdapter{Src: vj}, d)
+		if !value.Equal(got, want) {
+			t.Errorf("anti=%v: got %v want %v", anti, got, want)
+		}
+		if anti && got.Len() == 0 {
+			t.Errorf("anti arm matched every owner — fast path suspiciously total")
+		}
+		if !anti && got.Len() == 0 {
+			t.Errorf("semi arm matched nothing — fast path suspiciously empty")
+		}
+	}
+
+	// Error parity: probing a non-set attribute.
+	vj := &VecSetProbeJoin{L: vecScan("O", []string{"a"}, 3), R: &Scan{Table: "I"},
+		Attr: "a", RKey: rkey}
+	_, gerr := Collect(&VecAdapter{Src: vj}, &Ctx{DB: d})
+	_, werr := Collect(&SetProbeJoin{Kind: adl.Semi, L: &Scan{Table: "O"}, R: &Scan{Table: "I"},
+		Attr: "a", RKey: rkey}, &Ctx{DB: d})
+	if gerr == nil || werr == nil || gerr.Error() != werr.Error() {
+		t.Errorf("non-set error mismatch: vec=%v scalar=%v", gerr, werr)
+	}
+}
+
+// rowFacade drives op through the plain Open/Next/Close contract. Collect
+// prefers the bulk SetCollector path and drain short-circuits VecAdapter,
+// so without this loop the row-at-a-time facades would go untested.
+func rowFacade(t *testing.T, op Operator, d eval.DB) *value.Set {
+	t.Helper()
+	ctx := &Ctx{DB: d}
+	if err := op.Open(ctx); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got := value.EmptySet()
+	for {
+		v, ok, err := op.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		got.Add(v)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return got
+}
+
+// TestRowFacadesMatchBulkCollect checks that each vectorized operator's
+// Operator facade yields exactly what its bulk CollectSet path yields.
+func TestRowFacadesMatchBulkCollect(t *testing.T) {
+	d := db(11, 20, 14)
+	lkey := NewScalar(adl.Dot(adl.V("x"), "b"), "x")
+	rkey := NewScalar(adl.Dot(adl.V("y"), "d"), "y")
+	nlPred := NewScalar(adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "b"), adl.Dot(adl.V("y"), "d")), "x", "y")
+	makers := map[string]func() Operator{
+		"adapter": func() Operator {
+			vf := &VecFilter{Src: vecScan("L", []string{"a", "b"}, 6), Var: "x",
+				Kernels: []VecCmp{fieldKernel("b", adl.Ge, value.Int(2))}}
+			return &VecAdapter{Src: vf, Project: []string{"b"}}
+		},
+		"inner": func() Operator {
+			return &VecInnerJoin{L: vecScan("L", []string{"b"}, 5), R: &Scan{Table: "R"},
+				LAttr: "b", LKey: lkey, RKey: rkey}
+		},
+		"nljoin": func() Operator {
+			return &VecNLJoin{Kind: adl.Inner, L: vecScan("L", []string{"b"}, 5),
+				R: &Scan{Table: "R"}, Pred: nlPred}
+		},
+	}
+	for name, mk := range makers {
+		want := collect(t, mk(), d)
+		got := rowFacade(t, mk(), d)
+		if !value.Equal(got, want) {
+			t.Errorf("%s: row facade %v, bulk %v", name, got, want)
+		}
+	}
+}
+
+// TestVecFilterFloatAndStringKernels checks the float and string compare
+// kernels (const and column-column) against the scalar Filter for every op.
+func TestVecFilterFloatAndStringKernels(t *testing.T) {
+	set := value.EmptySet()
+	names := []string{"ash", "birch", "cedar", "fir", "oak"}
+	for i := 0; i < 25; i++ {
+		set.Add(value.NewTuple(
+			"f", value.Float(float64(i%7))/2,
+			"g", value.Float(float64(i%5)),
+			"s", value.String(names[i%5]),
+			"u", value.String(names[(i*3)%5])))
+	}
+	d := storage.NewMemDB("S", set)
+	for _, op := range []adl.CmpOp{adl.Eq, adl.Ne, adl.Lt, adl.Le, adl.Gt, adl.Ge} {
+		for _, k := range []VecCmp{
+			fieldKernel("f", op, value.Float(1.5)),
+			fieldKernel("s", op, value.String("cedar")),
+			colKernel("f", op, "g"),
+			colKernel("s", op, "u"),
+		} {
+			attrs := []string{k.Attr}
+			if k.RAttr != "" {
+				attrs = append(attrs, k.RAttr)
+			}
+			vf := &VecFilter{Src: vecScan("S", attrs, 4), Var: "x", Kernels: []VecCmp{k}}
+			got := collect(t, &VecAdapter{Src: vf}, d)
+			sf := &Filter{Child: &Scan{Table: "S"}, Var: "x", Pred: k.Pred}
+			want := collect(t, sf, d)
+			if !value.Equal(got, want) {
+				t.Errorf("op %v attr %s/%s: got %v want %v", op, k.Attr, k.RAttr, got, want)
+			}
+		}
+	}
+}
+
+// TestVecScanOfWalksToTheLeaf checks the planner's pipeline-leaf walk.
+func TestVecScanOfWalksToTheLeaf(t *testing.T) {
+	scan := vecScan("L", []string{"b"}, 4)
+	chain := &VecFilter{Src: &VecFilter{Src: scan}}
+	if got := VecScanOf(chain); got != scan {
+		t.Errorf("VecScanOf(filter chain) = %v, want the scan leaf", got)
+	}
+	if got := VecScanOf(&VecSemiJoin{}); got != nil {
+		t.Errorf("VecScanOf(join) = %v, want nil", got)
+	}
+}

@@ -9,6 +9,8 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +28,39 @@ func timed(f func() error) (time.Duration, error) {
 	err := f()
 	return time.Since(start), err
 }
+
+// timedAllocs runs f once and returns its duration plus the runtime.MemStats
+// Mallocs delta it incurred, so every experiment arm can report an allocation
+// count next to its wall time without a separate go test -bench run. The
+// delta includes whatever the goroutine's peers allocate meanwhile; arms run
+// serially here, so in practice it is the arm's own footprint.
+func timedAllocs(f func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := f()
+	d := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return d, after.Mallocs - before.Mallocs, err
+}
+
+// kilo formats an allocation count compactly (1234 → "1.2k").
+func kilo(n uint64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.0fM", float64(n)/1e6)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprint(n)
+}
+
+// allocsDelta formats a naive→optimized allocation comparison cell.
+func allocsDelta(naive, opt uint64) string { return kilo(naive) + "→" + kilo(opt) }
 
 // ms formats a duration in milliseconds.
 func ms(d time.Duration) string {
@@ -48,12 +83,12 @@ func speedup(naive, opt time.Duration) string {
 func B1(scales [][2]int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B1 — EQ5: suppliers supplying red parts (σ[∃∃] vs semijoin)",
-		Cols:  []string{"|SUPPLIER|", "|PART|", "nested-loop", "semijoin(NL)", "semijoin(hash)", "speedup(hash)"},
+		Cols:  []string{"|SUPPLIER|", "|PART|", "nested-loop", "semijoin(NL)", "semijoin(hash)", "speedup(hash)", "allocs(NL→hash)"},
 	}
 	for _, sc := range scales {
 		w := NewEQ5(sc[0], sc[1], seed)
 		var naiveRes, optRes, optNLRes *value.Set
-		naiveT, err := timed(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
+		naiveT, naiveA, err := timedAllocs(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B1 naive: %w", err)
 		}
@@ -61,14 +96,14 @@ func B1(scales [][2]int, seed int64) (*bench.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("B1 opt-nl: %w", err)
 		}
-		optT, err := timed(func() error { var e error; optRes, e = w.RunOpt(); return e })
+		optT, optA, err := timedAllocs(func() error { var e error; optRes, e = w.RunOpt(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B1 opt: %w", err)
 		}
 		if !value.Equal(naiveRes, optRes) || !value.Equal(naiveRes, optNLRes) {
 			return nil, fmt.Errorf("B1: results diverge at scale %v", sc)
 		}
-		t.AddRow(sc[0], sc[1], ms(naiveT), ms(optNLT), ms(optT), speedup(naiveT, optT))
+		t.AddRow(sc[0], sc[1], ms(naiveT), ms(optNLT), ms(optT), speedup(naiveT, optT), allocsDelta(naiveA, optA))
 	}
 	t.Notes = append(t.Notes,
 		"all three arms verified equal; semijoin(NL) isolates the logical rewrite, semijoin(hash) adds the physical win")
@@ -81,23 +116,23 @@ func B1(scales [][2]int, seed int64) (*bench.Table, error) {
 func B2(scales [][2]int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B2 — EQ4: referential-integrity check (σ[∃¬∃] vs μ+antijoin)",
-		Cols:  []string{"|SUPPLIER|", "|PART|", "nested-loop", "μ+antijoin(hash)", "speedup", "violations"},
+		Cols:  []string{"|SUPPLIER|", "|PART|", "nested-loop", "μ+antijoin(hash)", "speedup", "allocs(NL→opt)", "violations"},
 	}
 	for _, sc := range scales {
 		w := NewEQ4(sc[0], sc[1], seed)
 		var naiveRes, optRes *value.Set
-		naiveT, err := timed(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
+		naiveT, naiveA, err := timedAllocs(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B2 naive: %w", err)
 		}
-		optT, err := timed(func() error { var e error; optRes, e = w.RunOpt(); return e })
+		optT, optA, err := timedAllocs(func() error { var e error; optRes, e = w.RunOpt(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B2 opt: %w", err)
 		}
 		if !value.Equal(naiveRes, optRes) {
 			return nil, fmt.Errorf("B2: results diverge at scale %v", sc)
 		}
-		t.AddRow(sc[0], sc[1], ms(naiveT), ms(optT), speedup(naiveT, optT), naiveRes.Len())
+		t.AddRow(sc[0], sc[1], ms(naiveT), ms(optT), speedup(naiveT, optT), allocsDelta(naiveA, optA), naiveRes.Len())
 	}
 	return t, nil
 }
@@ -109,16 +144,16 @@ func B2(scales [][2]int, seed int64) (*bench.Table, error) {
 func B3(suppliers, parts int, emptyFracs []float64, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B3 — subset query: nested loop vs nestjoin vs join+nest [GaWo87] vs outerjoin repair",
-		Cols:  []string{"empty%", "nested-loop", "nestjoin", "join+nest", "lost tuples", "outerjoin", "correct size"},
+		Cols:  []string{"empty%", "nested-loop", "nestjoin", "allocs(NL→nestjoin)", "join+nest", "lost tuples", "outerjoin", "correct size"},
 	}
 	for _, ef := range emptyFracs {
 		w := NewSubset(suppliers, parts, ef, seed)
 		var naiveRes, optRes *value.Set
-		naiveT, err := timed(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
+		naiveT, naiveA, err := timedAllocs(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B3 naive: %w", err)
 		}
-		optT, err := timed(func() error { var e error; optRes, e = w.RunOpt(); return e })
+		optT, optA, err := timedAllocs(func() error { var e error; optRes, e = w.RunOpt(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B3 opt: %w", err)
 		}
@@ -156,8 +191,8 @@ func B3(suppliers, parts int, emptyFracs []float64, seed int64) (*bench.Table, e
 		if !value.Equal(naiveRes, repairedRes) {
 			return nil, fmt.Errorf("B3: outerjoin repair diverges at empty=%v", ef)
 		}
-		t.AddRow(fmt.Sprintf("%.0f%%", ef*100), ms(naiveT), ms(optT), ms(groupedT), lost,
-			ms(repairedT), naiveRes.Len())
+		t.AddRow(fmt.Sprintf("%.0f%%", ef*100), ms(naiveT), ms(optT), allocsDelta(naiveA, optA),
+			ms(groupedT), lost, ms(repairedT), naiveRes.Len())
 	}
 	t.Notes = append(t.Notes,
 		"join+nest silently loses exactly the suppliers whose subquery is empty (the Complex Object bug)",
@@ -172,37 +207,37 @@ func B3(suppliers, parts int, emptyFracs []float64, seed int64) (*bench.Table, e
 func B4(suppliers, parts, fanout int, budgets []int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: fmt.Sprintf("B4 — materialize parts (fanout %d): PNHL vs alternatives", fanout),
-		Cols:  []string{"arm", "budget(rows)", "segments", "time", "result size"},
+		Cols:  []string{"arm", "budget(rows)", "segments", "time", "allocs/run", "result size"},
 	}
 	m := NewMaterialize(suppliers, parts, fanout, seed)
 	var naiveRes *value.Set
-	naiveT, err := timed(func() error { var e error; naiveRes, e = m.RunNaive(); return e })
+	naiveT, naiveA, err := timedAllocs(func() error { var e error; naiveRes, e = m.RunNaive(); return e })
 	if err != nil {
 		return nil, fmt.Errorf("B4 naive: %w", err)
 	}
-	t.AddRow("nested-loop", "-", "-", ms(naiveT), naiveRes.Len())
+	t.AddRow("nested-loop", "-", "-", ms(naiveT), kilo(naiveA), naiveRes.Len())
 
 	var njRes *value.Set
-	njT, err := timed(func() error { var e error; njRes, e = m.RunNestjoin(); return e })
+	njT, njA, err := timedAllocs(func() error { var e error; njRes, e = m.RunNestjoin(); return e })
 	if err != nil {
 		return nil, fmt.Errorf("B4 nestjoin: %w", err)
 	}
 	if !value.Equal(naiveRes, njRes) {
 		return nil, fmt.Errorf("B4: nestjoin arm diverges")
 	}
-	t.AddRow("nestjoin(set-probe)", "-", "-", ms(njT), njRes.Len())
+	t.AddRow("nestjoin(set-probe)", "-", "-", ms(njT), kilo(njA), njRes.Len())
 
 	var ujnLen int
-	ujnT, err := timed(func() error { var e error; ujnLen, e = m.RunUnnestJoinNest(); return e })
+	ujnT, ujnA, err := timedAllocs(func() error { var e error; ujnLen, e = m.RunUnnestJoinNest(); return e })
 	if err != nil {
 		return nil, fmt.Errorf("B4 unnest-join-nest: %w", err)
 	}
-	t.AddRow("unnest-join-nest", "-", "-", ms(ujnT), ujnLen)
+	t.AddRow("unnest-join-nest", "-", "-", ms(ujnT), kilo(ujnA), ujnLen)
 
 	for _, b := range budgets {
 		var pnhlRes *value.Set
 		var segs int
-		pnhlT, err := timed(func() error {
+		pnhlT, pnhlA, err := timedAllocs(func() error {
 			var e error
 			pnhlRes, segs, e = m.RunPNHL(b)
 			return e
@@ -217,7 +252,7 @@ func B4(suppliers, parts, fanout int, budgets []int, seed int64) (*bench.Table, 
 		if b == 0 {
 			label = "unlimited"
 		}
-		t.AddRow("PNHL", label, segs, ms(pnhlT), pnhlRes.Len())
+		t.AddRow("PNHL", label, segs, ms(pnhlT), kilo(pnhlA), pnhlRes.Len())
 	}
 	t.Notes = append(t.Notes,
 		"unnest-join-nest loses suppliers with empty part sets (result size vs the others) and pays restructuring",
@@ -231,17 +266,17 @@ func B4(suppliers, parts, fanout int, budgets []int, seed int64) (*bench.Table, 
 func B5(scales [][2]int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B5 — materialize d.supplier: value hash join vs pointer-based assembly",
-		Cols:  []string{"|SUPPLIER|", "|DELIVERY|", "hash join", "assembly", "speedup", "object reads"},
+		Cols:  []string{"|SUPPLIER|", "|DELIVERY|", "hash join", "assembly", "speedup", "allocs(hash→asm)", "object reads"},
 	}
 	for _, sc := range scales {
 		p := NewPointerJoin(sc[0], sc[1], seed)
 		var hjRes, asRes *value.Set
-		hjT, err := timed(func() error { var e error; hjRes, e = p.RunHashJoin(); return e })
+		hjT, hjA, err := timedAllocs(func() error { var e error; hjRes, e = p.RunHashJoin(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B5 hash: %w", err)
 		}
 		p.Store.ResetStats()
-		asT, err := timed(func() error { var e error; asRes, e = p.RunAssembly(); return e })
+		asT, asA, err := timedAllocs(func() error { var e error; asRes, e = p.RunAssembly(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B5 assembly: %w", err)
 		}
@@ -249,7 +284,7 @@ func B5(scales [][2]int, seed int64) (*bench.Table, error) {
 		if !value.Equal(hjRes, asRes) {
 			return nil, fmt.Errorf("B5: results diverge at scale %v", sc)
 		}
-		t.AddRow(sc[0], sc[1], ms(hjT), ms(asT), speedup(hjT, asT), reads)
+		t.AddRow(sc[0], sc[1], ms(hjT), ms(asT), speedup(hjT, asT), allocsDelta(hjA, asA), reads)
 	}
 	t.Notes = append(t.Notes,
 		"assembly touches exactly one object per reference; the hash join scans and hashes the whole supplier extent")
@@ -261,12 +296,12 @@ func B5(scales [][2]int, seed int64) (*bench.Table, error) {
 func B6(scales [][2]int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B6 — ∀z ∈ x.c • z ⊇ Y′: nested loop vs exchanged antijoin",
-		Cols:  []string{"|X|", "|Y|", "nested-loop", "antijoin", "speedup"},
+		Cols:  []string{"|X|", "|Y|", "nested-loop", "antijoin", "speedup", "allocs(NL→anti)"},
 	}
 	for _, sc := range scales {
 		db, naive, opt := NewForallExchange(sc[0], sc[1], seed)
 		var naiveRes, optRes *value.Set
-		naiveT, err := timed(func() error {
+		naiveT, naiveA, err := timedAllocs(func() error {
 			var e error
 			naiveRes, e = eval.EvalSet(naive, nil, db)
 			return e
@@ -274,7 +309,7 @@ func B6(scales [][2]int, seed int64) (*bench.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("B6 naive: %w", err)
 		}
-		optT, err := timed(func() error {
+		optT, optA, err := timedAllocs(func() error {
 			var e error
 			optRes, e = eval.EvalSet(opt, nil, db)
 			return e
@@ -285,7 +320,7 @@ func B6(scales [][2]int, seed int64) (*bench.Table, error) {
 		if !value.Equal(naiveRes, optRes) {
 			return nil, fmt.Errorf("B6: results diverge at scale %v", sc)
 		}
-		t.AddRow(sc[0], sc[1], ms(naiveT), ms(optT), speedup(naiveT, optT))
+		t.AddRow(sc[0], sc[1], ms(naiveT), ms(optT), speedup(naiveT, optT), allocsDelta(naiveA, optA))
 	}
 	t.Notes = append(t.Notes,
 		"the antijoin evaluates the uncorrelated subquery once and stops at the first witness",
@@ -299,7 +334,7 @@ func B6(scales [][2]int, seed int64) (*bench.Table, error) {
 func B7(suppliers, parts int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: fmt.Sprintf("B7 — end-to-end strategy at |SUPPLIER|=%d, |PART|=%d", suppliers, parts),
-		Cols:  []string{"query", "options used", "nested-loop", "optimized", "speedup"},
+		Cols:  []string{"query", "options used", "nested-loop", "optimized", "speedup", "allocs(NL→opt)"},
 	}
 	mk := []func() *Workload{
 		func() *Workload { return NewEQ5(suppliers, parts, seed) },
@@ -310,11 +345,11 @@ func B7(suppliers, parts int, seed int64) (*bench.Table, error) {
 	for _, f := range mk {
 		w := f()
 		var naiveRes, optRes *value.Set
-		naiveT, err := timed(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
+		naiveT, naiveA, err := timedAllocs(func() error { var e error; naiveRes, e = w.RunNaive(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B7 %s naive: %w", w.Name, err)
 		}
-		optT, err := timed(func() error { var e error; optRes, e = w.RunOpt(); return e })
+		optT, optA, err := timedAllocs(func() error { var e error; optRes, e = w.RunOpt(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B7 %s opt: %w", w.Name, err)
 		}
@@ -325,7 +360,7 @@ func B7(suppliers, parts int, seed int64) (*bench.Table, error) {
 		if len(w.Rewrite.OptionsUsed) > 0 {
 			opts = fmt.Sprint(w.Rewrite.OptionsUsed)
 		}
-		t.AddRow(w.Name, opts, ms(naiveT), ms(optT), speedup(naiveT, optT))
+		t.AddRow(w.Name, opts, ms(naiveT), ms(optT), speedup(naiveT, optT), allocsDelta(naiveA, optA))
 	}
 	return t, nil
 }
@@ -345,7 +380,7 @@ func B9(suppliers, deliveries, parallelism int, analyze bool, seed int64) (*benc
 	}
 	t := &bench.Table{
 		Title: fmt.Sprintf("B9 — forced join strategies vs optimizer choice (%s)", mode),
-		Cols:  []string{"workload", "arm", "time", "result size"},
+		Cols:  []string{"workload", "arm", "time", "allocs/run", "result size"},
 	}
 	workloads := []*StrategyArms{
 		NewStrategyJoin(fmt.Sprintf("inner_asym[%dx%d]", suppliers/10, deliveries),
@@ -367,12 +402,12 @@ func B9(suppliers, deliveries, parallelism int, analyze bool, seed int64) (*benc
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(w.Name, "ANALYZE (one-off)", ms(analyzeT), "-")
+			t.AddRow(w.Name, "ANALYZE (one-off)", ms(analyzeT), "-", "-")
 		}
 		var ref *value.Set
 		for _, arm := range w.Arms() {
 			var res *value.Set
-			d, err := timed(func() error { var e error; res, e = w.RunForced(arm); return e })
+			d, allocs, err := timedAllocs(func() error { var e error; res, e = w.RunForced(arm); return e })
 			if err != nil {
 				return nil, fmt.Errorf("B9 %s/%s: %w", w.Name, arm, err)
 			}
@@ -381,11 +416,11 @@ func B9(suppliers, deliveries, parallelism int, analyze bool, seed int64) (*benc
 			} else if !value.Equal(res, ref) {
 				return nil, fmt.Errorf("B9 %s: arm %s diverges", w.Name, arm)
 			}
-			t.AddRow(w.Name, arm, ms(d), res.Len())
+			t.AddRow(w.Name, arm, ms(d), kilo(allocs), res.Len())
 		}
 		var optRes *value.Set
 		var chosen string
-		d, err := timed(func() error {
+		d, allocs, err := timedAllocs(func() error {
 			var e error
 			optRes, chosen, e = w.RunOptimizer(analyze)
 			return e
@@ -396,7 +431,7 @@ func B9(suppliers, deliveries, parallelism int, analyze bool, seed int64) (*benc
 		if !value.Equal(optRes, ref) {
 			return nil, fmt.Errorf("B9 %s: optimizer arm diverges", w.Name)
 		}
-		t.AddRow(w.Name, "optimizer→"+chosen, ms(d), optRes.Len())
+		t.AddRow(w.Name, "optimizer→"+chosen, ms(d), kilo(allocs), optRes.Len())
 		t.Notes = append(t.Notes, fmt.Sprintf("%s: optimizer chose %s", w.Name, chosen))
 	}
 	return t, nil
@@ -413,7 +448,7 @@ func B9(suppliers, deliveries, parallelism int, analyze bool, seed int64) (*benc
 func B10(orders, items, custs, regions, parallelism int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B10 — star join: enumerated join order vs rewriter order",
-		Cols:  []string{"workload", "arm", "est. plan cost", "time", "result size"},
+		Cols:  []string{"workload", "arm", "est. plan cost", "time", "allocs/run", "result size"},
 	}
 	w := NewStarJoin(orders, items, custs, regions, parallelism, seed)
 	if err := w.Warm(); err != nil {
@@ -423,7 +458,7 @@ func B10(orders, items, custs, regions, parallelism int, seed int64) (*bench.Tab
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow(w.Name, "ANALYZE (one-off)", "-", ms(analyzeT), "-")
+	t.AddRow(w.Name, "ANALYZE (one-off)", "-", ms(analyzeT), "-", "-")
 
 	ref, err := w.RunReference()
 	if err != nil {
@@ -438,7 +473,7 @@ func B10(orders, items, custs, regions, parallelism int, seed int64) (*bench.Tab
 	for _, a := range []arm{{"rewriter order", false}, {"enumerated order", true}} {
 		var res *value.Set
 		var pl *plan.Plan
-		d, err := timed(func() error {
+		d, allocs, err := timedAllocs(func() error {
 			var e error
 			res, pl, e = w.Run(a.reorder)
 			return e
@@ -454,7 +489,7 @@ func B10(orders, items, custs, regions, parallelism int, seed int64) (*bench.Tab
 			return nil, fmt.Errorf("B10 %s: %s arm not annotated", w.Name, a.label)
 		}
 		costs[a.label] = est.Cost
-		t.AddRow(w.Name, a.label, fmt.Sprintf("%.0f", est.Cost), ms(d), res.Len())
+		t.AddRow(w.Name, a.label, fmt.Sprintf("%.0f", est.Cost), ms(d), kilo(allocs), res.Len())
 		if a.reorder {
 			if note := est.Note; note != "" {
 				t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", w.Name, note))
@@ -490,7 +525,7 @@ func B11(suppliers, deliveries, parallelism int, indexes bool, seed int64) (*ben
 	}
 	t := &bench.Table{
 		Title: fmt.Sprintf("B11 — selective lookup join: forced hash vs index-nested-loop (%s)", mode),
-		Cols:  []string{"workload", "arm", "time", "page reads", "index probes", "result size"},
+		Cols:  []string{"workload", "arm", "time", "allocs/run", "page reads", "index probes", "result size"},
 	}
 	w := NewLookupJoin(suppliers, deliveries, parallelism, indexes, seed)
 	if err := w.Warm(); err != nil {
@@ -500,7 +535,7 @@ func B11(suppliers, deliveries, parallelism int, indexes bool, seed int64) (*ben
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow(w.Name, "ANALYZE (one-off)", ms(analyzeT), "-", "-", "-")
+	t.AddRow(w.Name, "ANALYZE (one-off)", ms(analyzeT), "-", "-", "-", "-")
 
 	type armResult struct {
 		time  time.Duration
@@ -514,17 +549,21 @@ func B11(suppliers, deliveries, parallelism int, indexes bool, seed int64) (*ben
 	// the experiment's faster-than assertion in CI.
 	runArm := func(label string, f func() (*value.Set, error)) error {
 		var best time.Duration
+		var bestA uint64
 		var pages, probes int
 		var res *value.Set
 		for i := 0; i < 3; i++ {
 			w.Store.ResetStats()
-			d, err := timed(func() error { var e error; res, e = f(); return e })
+			d, allocs, err := timedAllocs(func() error { var e error; res, e = f(); return e })
 			if err != nil {
 				return fmt.Errorf("B11 %s/%s: %w", w.Name, label, err)
 			}
 			st := w.Store.Stats()
 			if i == 0 || d < best {
 				best = d
+			}
+			if i == 0 || allocs < bestA {
+				bestA = allocs
 			}
 			pages, probes = st.PageReads, st.IndexProbes
 		}
@@ -534,7 +573,7 @@ func B11(suppliers, deliveries, parallelism int, indexes bool, seed int64) (*ben
 			return fmt.Errorf("B11 %s: arm %s diverges", w.Name, label)
 		}
 		results[label] = armResult{time: best, pages: pages}
-		t.AddRow(w.Name, label, ms(best), pages, probes, res.Len())
+		t.AddRow(w.Name, label, ms(best), kilo(bestA), pages, probes, res.Len())
 		return nil
 	}
 	if err := runArm("hash (build DELIVERY)", func() (*value.Set, error) {
@@ -596,7 +635,7 @@ func B11(suppliers, deliveries, parallelism int, indexes bool, seed int64) (*ben
 func B12(facts, dims, parallelism int, seed int64) (*bench.Table, error) {
 	t := &bench.Table{
 		Title: "B12 — skewed star join: histogram estimates vs the NDV-only model",
-		Cols:  []string{"workload", "arm", "est. plan cost", "time", "page reads", "result size"},
+		Cols:  []string{"workload", "arm", "est. plan cost", "time", "allocs/run", "page reads", "result size"},
 	}
 	w := NewSkewJoin(facts, dims, parallelism, seed)
 	if err := w.Warm(); err != nil {
@@ -606,7 +645,7 @@ func B12(facts, dims, parallelism int, seed int64) (*bench.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow(w.Name, "ANALYZE (one-off)", "-", ms(analyzeT), "-", "-")
+	t.AddRow(w.Name, "ANALYZE (one-off)", "-", ms(analyzeT), "-", "-", "-")
 
 	ref, err := w.RunReference()
 	if err != nil {
@@ -625,12 +664,13 @@ func B12(facts, dims, parallelism int, seed int64) (*bench.Table, error) {
 	// pause fail the strictly-faster assertion in CI.
 	runArm := func(label string, noHist bool) error {
 		var best time.Duration
+		var bestA uint64
 		var pages int
 		var res *value.Set
 		var pl *plan.Plan
 		for i := 0; i < 3; i++ {
 			w.Store.ResetStats()
-			d, err := timed(func() error {
+			d, allocs, err := timedAllocs(func() error {
 				var e error
 				res, pl, e = w.Run(noHist)
 				return e
@@ -640,6 +680,9 @@ func B12(facts, dims, parallelism int, seed int64) (*bench.Table, error) {
 			}
 			if i == 0 || d < best {
 				best = d
+			}
+			if i == 0 || allocs < bestA {
+				bestA = allocs
 			}
 			pages = w.Store.Stats().PageReads
 		}
@@ -652,7 +695,7 @@ func B12(facts, dims, parallelism int, seed int64) (*bench.Table, error) {
 		}
 		results[label] = armResult{time: best, pages: pages, cost: est.Cost,
 			explain: pl.Explain()}
-		t.AddRow(w.Name, label, fmt.Sprintf("%.0f", est.Cost), ms(best), pages, res.Len())
+		t.AddRow(w.Name, label, fmt.Sprintf("%.0f", est.Cost), ms(best), kilo(bestA), pages, res.Len())
 		return nil
 	}
 	if err := runArm("ndv (NoHistograms)", true); err != nil {
@@ -708,25 +751,117 @@ func B8(scales [][2]int, parallelism int, seed int64) (*bench.Table, error) {
 	}
 	t := &bench.Table{
 		Title: fmt.Sprintf("B8 — grouping join: serial HashJoin vs PartitionedHashJoin (%s)", mode),
-		Cols:  []string{"|SUPPLIER|", "|DELIVERY|", "serial", "parallel", "speedup"},
+		Cols:  []string{"|SUPPLIER|", "|DELIVERY|", "serial", "parallel", "speedup", "allocs(ser→par)"},
 	}
 	for _, sc := range scales {
 		p := NewParallelJoin(sc[0], sc[1], parallelism, seed)
 		var serialRes, parallelRes *value.Set
-		serialT, err := timed(func() error { var e error; serialRes, e = p.RunSerial(); return e })
+		serialT, serialA, err := timedAllocs(func() error { var e error; serialRes, e = p.RunSerial(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B8 serial: %w", err)
 		}
-		parallelT, err := timed(func() error { var e error; parallelRes, e = p.RunParallel(); return e })
+		parallelT, parallelA, err := timedAllocs(func() error { var e error; parallelRes, e = p.RunParallel(); return e })
 		if err != nil {
 			return nil, fmt.Errorf("B8 parallel: %w", err)
 		}
 		if !value.Equal(serialRes, parallelRes) {
 			return nil, fmt.Errorf("B8: results diverge at scale %v", sc)
 		}
-		t.AddRow(sc[0], sc[1], ms(serialT), ms(parallelT), speedup(serialT, parallelT))
+		t.AddRow(sc[0], sc[1], ms(serialT), ms(parallelT), speedup(serialT, parallelT), allocsDelta(serialA, parallelA))
 	}
 	t.Notes = append(t.Notes,
 		"both operands are hash-partitioned on the join key; each partition builds and probes on its own goroutine")
+	return t, nil
+}
+
+// B13 measures vectorized batch execution (plan.Config.Vectorized) on the
+// large equi-join + filter pipeline: σ(date < cutoff)(DELIVERY) semi-joined
+// with SUPPLIER. Both arms execute the identical logical plan — the scalar
+// operators interpret the predicate and probe row at a time, the vectorized
+// pipeline runs typed comparison kernels over the store's columnar extent
+// projection and probes a flat hash table batch at a time. Arms are
+// execution-only: plans are compiled once and every run executes a clone of
+// the cached tree, the serving path's shape. Wall time is best of three;
+// allocations are the smallest per-run runtime.MemStats Mallocs delta, so
+// one-off cache warming never counts. At full scale (suppliers ≥ 400) the
+// experiment asserts the tentpole claims: ≥3× faster wall, ≥10× fewer
+// allocations per run.
+func B13(suppliers, deliveries, batch int, seed int64) (*bench.Table, error) {
+	t := &bench.Table{
+		Title: "B13 — vectorized batch execution: scalar vs columnar kernels (semi-join pipeline)",
+		Cols:  []string{"|SUPPLIER|", "|DELIVERY|", "arm", "time", "allocs/run", "result size"},
+	}
+	w := NewVecJoin(suppliers, deliveries, batch, seed)
+	if err := w.Warm(); err != nil {
+		return nil, fmt.Errorf("B13 %s: warm: %w", w.Name, err)
+	}
+
+	type armResult struct {
+		time   time.Duration
+		allocs uint64
+		res    *value.Set
+	}
+	runArm := func(vectorized bool) (armResult, error) {
+		pl := w.Plan(vectorized)
+		ctx := &exec.Ctx{DB: w.Store}
+		var out armResult
+		for i := 0; i < 3; i++ {
+			tree := exec.CloneTree(pl.Root)
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			var res *value.Set
+			d, err := timed(func() error {
+				var e error
+				res, e = exec.Collect(tree, ctx)
+				return e
+			})
+			if err != nil {
+				return out, err
+			}
+			runtime.ReadMemStats(&after)
+			allocs := after.Mallocs - before.Mallocs
+			if i == 0 || d < out.time {
+				out.time = d
+			}
+			if i == 0 || allocs < out.allocs {
+				out.allocs = allocs
+			}
+			out.res = res
+		}
+		return out, nil
+	}
+
+	scalar, err := runArm(false)
+	if err != nil {
+		return nil, fmt.Errorf("B13 %s: scalar: %w", w.Name, err)
+	}
+	vec, err := runArm(true)
+	if err != nil {
+		return nil, fmt.Errorf("B13 %s: vectorized: %w", w.Name, err)
+	}
+	if !value.Equal(scalar.res, vec.res) {
+		return nil, fmt.Errorf("B13 %s: vectorized result diverges from scalar", w.Name)
+	}
+	t.AddRow(suppliers, deliveries, "scalar", ms(scalar.time), kilo(scalar.allocs), scalar.res.Len())
+	t.AddRow(suppliers, deliveries, "vectorized", ms(vec.time), kilo(vec.allocs), vec.res.Len())
+
+	// The tentpole claims are asserted at full scale only; smoke scales
+	// (adlbench -quick, tests) print the comparison without gating on it.
+	if suppliers >= 400 {
+		if vec.time*3 > scalar.time {
+			return nil, fmt.Errorf("B13 %s: vectorized (%v) not ≥3x faster than scalar (%v)",
+				w.Name, vec.time, scalar.time)
+		}
+		if vec.allocs*10 > scalar.allocs {
+			return nil, fmt.Errorf("B13 %s: vectorized (%d allocs) not ≥10x leaner than scalar (%d)",
+				w.Name, vec.allocs, scalar.allocs)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("identical results; vectorized is %s and allocates %.0fx less",
+			speedup(scalar.time, vec.time),
+			float64(scalar.allocs)/math.Max(1, float64(vec.allocs))),
+		"execution-only arms: cached plan, per-run clone — the serving path's shape",
+		"the vectorized arm reads the snapshot-pinned columnar projection and probes a flat int64 table")
 	return t, nil
 }

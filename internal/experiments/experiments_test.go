@@ -39,11 +39,11 @@ func TestB3LostTuplesGrowWithEmptyFraction(t *testing.T) {
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// Column 4 is "lost tuples": zero when nothing dangles, positive at 50%.
-	if tab.Rows[0][4] != "0" {
-		t.Errorf("no-danging row lost %s tuples", tab.Rows[0][4])
+	// Column 5 is "lost tuples": zero when nothing dangles, positive at 50%.
+	if tab.Rows[0][5] != "0" {
+		t.Errorf("no-danging row lost %s tuples", tab.Rows[0][5])
 	}
-	if tab.Rows[1][4] == "0" {
+	if tab.Rows[1][5] == "0" {
 		t.Errorf("50%% empty row lost no tuples — bug not reproduced")
 	}
 }
@@ -63,9 +63,9 @@ func TestB4BudgetsIncreaseSegments(t *testing.T) {
 	}
 	// unnest-join-nest (row 2) loses the empty suppliers: its size is below
 	// the naive result size (row 0).
-	if tab.Rows[2][4] >= tab.Rows[0][4] {
+	if tab.Rows[2][5] >= tab.Rows[0][5] {
 		t.Errorf("unnest-join-nest did not lose dangling suppliers: %v vs %v",
-			tab.Rows[2][4], tab.Rows[0][4])
+			tab.Rows[2][5], tab.Rows[0][5])
 	}
 }
 
@@ -75,8 +75,8 @@ func TestB5(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Object reads equal the delivery count (one deref per reference).
-	if tab.Rows[0][5] != "50" {
-		t.Errorf("object reads = %s, want 50", tab.Rows[0][5])
+	if tab.Rows[0][6] != "50" {
+		t.Errorf("object reads = %s, want 50", tab.Rows[0][6])
 	}
 }
 
@@ -245,7 +245,7 @@ func TestStarJoinArmsAgree(t *testing.T) {
 }
 
 func TestExplainPlansCoversEveryExperiment(t *testing.T) {
-	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12"} {
+	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13"} {
 		out, err := ExplainPlans(exp, 2, true, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", exp, err)
@@ -300,5 +300,32 @@ func TestB9WithoutAnalyzeFallsBackToThreshold(t *testing.T) {
 	}
 	if !strings.Contains(tab.String(), "threshold fallback") {
 		t.Errorf("B9 title should flag the fallback mode:\n%s", tab.String())
+	}
+}
+
+func TestB13VectorizedAgreesAtSmokeScale(t *testing.T) {
+	// Small scale: the ≥3x/≥10x acceptance gates are full-scale-only, so a
+	// nil error here asserts result equality and table shape.
+	tab, err := B13(60, 1200, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"scalar", "vectorized", "allocs/run", "columnar projection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B13 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestB13ExplainShowsBothArms(t *testing.T) {
+	out, err := ExplainPlans("B13", 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"VecScan(DELIVERY", "VecHashJoin[semi", "HashJoin[⋉", "typed kernels"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B13 explain missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -103,6 +103,12 @@ func ExplainPlans(exp string, parallelism int, analyze bool, seed int64) (string
 		b.WriteString(w.Plan(true).Explain())
 		section(w.Name + " histogram arm")
 		b.WriteString(w.Plan(false).Explain())
+	case "B13":
+		w := NewVecJoin(100, 2000, 0, seed)
+		section(w.Name + " scalar arm (reference semantics)")
+		b.WriteString(w.Plan(false).Explain())
+		section(w.Name + " vectorized arm (-vectorized)")
+		b.WriteString(w.Plan(true).Explain())
 	default:
 		return "", fmt.Errorf("explain: unknown experiment %q", exp)
 	}

@@ -35,9 +35,19 @@ func (w *Workload) RunNaive() (*value.Set, error) {
 	return eval.EvalSet(w.Naive, nil, w.Store)
 }
 
+// ExecMode selects the physical execution mode for every workload's
+// optimized arm: the zero value plans scalar. adlbench sets it from
+// -vectorized/-batch so the whole suite can be A/B'd without a rebuild;
+// B13 ignores it (its two arms ARE the A/B).
+var ExecMode struct {
+	Vectorized bool
+	BatchSize  int
+}
+
 // RunOpt executes the optimized form through the physical planner.
 func (w *Workload) RunOpt() (*value.Set, error) {
-	return plan.Run(w.Opt, w.Store)
+	cfg := plan.Config{Vectorized: ExecMode.Vectorized, BatchSize: ExecMode.BatchSize}
+	return exec.Collect(cfg.Compile(w.Opt), &exec.Ctx{DB: w.Store})
 }
 
 // RunOptNL executes the optimized logical form with nested-loop physical
@@ -854,4 +864,62 @@ func (p *ParallelJoinArms) RunParallel() (*value.Set, error) {
 		return p.RunSerial()
 	}
 	return exec.Collect(p.ParallelOp(), &exec.Ctx{DB: p.Store})
+}
+
+// VecJoinArms is the B13 workload: the large equi-join + filter pipeline
+// σ(date < cutoff)(DELIVERY) ⋉(d.supplier = s.eid) SUPPLIER, executed twice
+// from identical logical form — once by the scalar reference operators, once
+// by the vectorized batch pipeline (plan.Config.Vectorized). The cutoff
+// keeps ~1/28 of the deliveries, so the scalar arm's per-row predicate
+// interpretation dominates and the vectorized arm's typed kernels over the
+// columnar projection show their full margin.
+type VecJoinArms struct {
+	Name  string
+	Store *storage.Store
+	// Query is the logical semi-join pipeline both arms compile.
+	Query *adl.Join
+	// BatchSize overrides the vectorized arm's rows-per-batch; 0 means
+	// exec.DefaultBatchSize.
+	BatchSize int
+}
+
+// NewVecJoin builds the B13 workload at a scale.
+func NewVecJoin(suppliers, deliveries, batch int, seed int64) *VecJoinArms {
+	st := bench.Generate(bench.Config{Suppliers: suppliers, Parts: 10, Fanout: 2,
+		SupplySize: 1, Deliveries: deliveries, Seed: seed})
+	sel := adl.Sel("d",
+		adl.CmpE(adl.Lt, adl.Dot(adl.V("d"), "date"), adl.C(value.Date(940102))),
+		adl.T("DELIVERY"))
+	j := adl.JoinE(sel, "d", "s",
+		adl.EqE(adl.Dot(adl.V("d"), "supplier"), adl.Dot(adl.V("s"), "eid")),
+		adl.T("SUPPLIER"))
+	j.Kind = adl.Semi
+	return &VecJoinArms{
+		Name:      fmt.Sprintf("VecJoin[%dx%d]", suppliers, deliveries),
+		Store:     st,
+		Query:     j,
+		BatchSize: batch,
+	}
+}
+
+// Warm materializes both extents and the vectorized arm's columnar
+// projection so neither timed arm pays a one-off cache build.
+func (a *VecJoinArms) Warm() error {
+	for _, ext := range []string{"SUPPLIER", "DELIVERY"} {
+		if _, err := a.Store.Table(ext); err != nil {
+			return err
+		}
+	}
+	_, err := a.Store.ColProj("DELIVERY", []string{"date", "supplier"})
+	return err
+}
+
+// Plan compiles the query scalar or vectorized.
+func (a *VecJoinArms) Plan(vectorized bool) *plan.Plan {
+	cfg := plan.Config{}
+	if vectorized {
+		cfg.Vectorized = true
+		cfg.BatchSize = a.BatchSize
+	}
+	return cfg.Plan(a.Query)
 }

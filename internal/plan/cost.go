@@ -258,3 +258,49 @@ func log2(x float64) float64 {
 	}
 	return math.Log2(x)
 }
+
+// Vectorized execution constants. A batch pipeline pays a fixed dispatch
+// cost per batch (virtual call, selection-vector reset) and a much smaller
+// per-row cost than the interpreter: typed kernels compare decoded column
+// slices without env binding or value boxing.
+const (
+	pageRows       = 1024.0 // default batch granularity for page-unit costing
+	cBatchDispatch = 16.0   // fixed cost of dispatching one batch
+	cVecRow        = 0.25   // per-row cost inside a typed kernel
+)
+
+// pages is the number of batches n rows occupy at the given batch size.
+func pages(n float64, batch int) float64 {
+	b := pageRows
+	if batch > 0 {
+		b = float64(batch)
+	}
+	return math.Ceil(math.Max(0, n) / b)
+}
+
+// costVecScan prices a columnar extent scan emitting n rows in batches.
+func costVecScan(n float64, batch int) float64 {
+	return pages(n, batch)*cBatchDispatch + n*cVecRow
+}
+
+// costVecFilter prices a selection-vector filter: every input row passes
+// through each kernel (no short-circuit across rows, only across kernels as
+// the selection narrows — priced pessimistically at full width).
+func costVecFilter(n, kernels float64, batch int) float64 {
+	return pages(n, batch)*cBatchDispatch + n*math.Max(1, kernels)*cVecRow
+}
+
+// costVecHash prices the batch hash join: the build side is evaluated and
+// hashed row-wise (same as the scalar build), the probe side streams in
+// batches through a flat typed table, and the output rows are emitted.
+func costVecHash(build, probe, out float64, batch int) float64 {
+	return build*(cEval+cHashBuild) + pages(probe, batch)*cBatchDispatch +
+		probe*cVecRow + out*cRow
+}
+
+// costVecSetProbe prices the batch set-probe join: the right keys build a
+// flat table, and each left row probes it once per set element.
+func costVecSetProbe(l, avgSet, r, out float64, batch int) float64 {
+	return r*(cEval+cHashBuild) + pages(l, batch)*cBatchDispatch +
+		l*avgSet*cVecRow + out*cRow
+}

@@ -82,6 +82,36 @@ type Config struct {
 	// ranges, min-NDV join keys). It exists for A/B comparisons
 	// (experiments.B12) and differential tests.
 	NoHistograms bool
+	// Vectorized enables batch execution: eligible fragments — extent
+	// scans, conjunctive selections, single-key equi-joins (inner, semi,
+	// anti), set-probe joins — compile to batch-at-a-time operators over
+	// columnar extent projections with selection vectors (vectorize.go).
+	// Default off: the scalar operators are the reference semantics the
+	// differential harness compares against.
+	Vectorized bool
+	// BatchSize is the rows-per-batch of vectorized pipelines; 0 means
+	// exec.DefaultBatchSize. Use SetBatchSize to validate externally
+	// supplied values.
+	BatchSize int
+}
+
+// SetBatchSize sets an explicit vectorized batch size, rejecting
+// non-positive values — the validation entry point for externally supplied
+// sizes (serving engine options, adlbench flags).
+func (c *Config) SetBatchSize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("plan: batch size must be positive, got %d", n)
+	}
+	c.BatchSize = n
+	return nil
+}
+
+// batchSize resolves the effective rows-per-batch.
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return exec.DefaultBatchSize
 }
 
 // threshold resolves the effective parallel threshold.
@@ -172,6 +202,9 @@ func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
 		return op, unknownEst
 
 	case *adl.Select:
+		if op, est, ok := p.tryVecSelect(n); ok {
+			return op, est
+		}
 		if op, est, ok := p.tryIndexSelect(n); ok {
 			return op, est
 		}
@@ -214,6 +247,9 @@ func (p *planner) compile(e adl.Expr) (exec.Operator, nodeEst) {
 		return &exec.MapOp{Child: child, Var: n.Var, Body: body}, unknownEst
 
 	case *adl.Project:
+		if op, est, ok := p.tryVecProject(n); ok {
+			return op, est
+		}
 		child, ce := p.compile(n.X)
 		op := &exec.ProjectOp{Child: child, Attrs: n.Attrs}
 		est := ce.withOwn(ce.rows, ce.rows*cRow)
@@ -418,6 +454,9 @@ func joinExtent(kind adl.JoinKind, le nodeEst) string {
 // compileJoin chooses a join implementation — cost-based under Statistics,
 // by predicate shape and the size threshold otherwise.
 func (p *planner) compileJoin(j *adl.Join) (exec.Operator, nodeEst) {
+	if op, est, ok := p.tryVecJoin(j); ok {
+		return op, est
+	}
 	l, le := p.compile(j.L)
 	r, re := p.compile(j.R)
 	var rfun *exec.Scalar
@@ -721,17 +760,19 @@ func explainTree(op exec.Operator, est map[exec.Operator]Estimate, act func(exec
 	return b.String()
 }
 
-func explain(b *strings.Builder, op exec.Operator, depth int, est map[exec.Operator]Estimate, act func(exec.Operator) (int64, bool)) {
-	line, children := describe(op)
-	if e, ok := est[op]; ok {
-		line += fmt.Sprintf("  (rows≈%d cost≈%d)", e.Rows, int64(e.Cost+0.5))
-		if act != nil {
-			if a, ok := act(op); ok {
-				line += fmt.Sprintf(" (actual=%d)", a)
+func explain(b *strings.Builder, node any, depth int, est map[exec.Operator]Estimate, act func(exec.Operator) (int64, bool)) {
+	line, children := describe(node)
+	if op, isOp := node.(exec.Operator); isOp {
+		if e, ok := est[op]; ok {
+			line += fmt.Sprintf("  (rows≈%d cost≈%d)", e.Rows, int64(e.Cost+0.5))
+			if act != nil {
+				if a, ok := act(op); ok {
+					line += fmt.Sprintf(" (actual=%d)", a)
+				}
 			}
-		}
-		if e.Note != "" {
-			line += "  -- " + e.Note
+			if e.Note != "" {
+				line += "  -- " + e.Note
+			}
 		}
 	}
 	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), line)
@@ -740,10 +781,61 @@ func explain(b *strings.Builder, op exec.Operator, depth int, est map[exec.Opera
 	}
 }
 
-// describe renders one operator's line (sans indentation) and lists its
-// children.
-func describe(op exec.Operator) (string, []exec.Operator) {
-	switch o := op.(type) {
+// describe renders one node's line (sans indentation) and lists its
+// children. Nodes are either scalar Operators or batch VecOps — the
+// vectorized pipeline hangs under a VecAdapter bridge.
+func describe(node any) (string, []any) {
+	switch o := node.(type) {
+	case *exec.VecAdapter:
+		if len(o.Project) > 0 {
+			return fmt.Sprintf("VecAdapter[π %s]  -- vectorized→scalar bridge",
+				strings.Join(o.Project, ", ")), []any{o.Src}
+		}
+		return "VecAdapter  -- vectorized→scalar bridge", []any{o.Src}
+	case *exec.VecScan:
+		batch := o.Batch
+		if batch <= 0 {
+			batch = exec.DefaultBatchSize
+		}
+		cols := "∅"
+		if len(o.Attrs) > 0 {
+			cols = strings.Join(o.Attrs, ", ")
+		}
+		return fmt.Sprintf("VecScan(%s | batch %d | cols %s)  -- columnar projection",
+			o.Extent, batch, cols), nil
+	case *exec.VecFilter:
+		typed := 0
+		parts := make([]string, len(o.Kernels))
+		for i, k := range o.Kernels {
+			parts[i] = fmt.Sprint(k.Pred.Expr)
+			if k.Attr != "" {
+				typed++
+			}
+		}
+		return fmt.Sprintf("VecFilter[%s: %s | %d/%d typed kernels]  -- selection vector",
+			o.Var, strings.Join(parts, " ∧ "), typed, len(o.Kernels)), []any{o.Src}
+	case *exec.VecSemiJoin:
+		kind := "semi"
+		if o.Anti {
+			kind = "anti"
+		}
+		return fmt.Sprintf("VecHashJoin[%s on .%s = %s]  -- vectorized",
+			kind, o.LAttr, o.RKey.Expr), []any{o.L, o.R}
+	case *exec.VecInnerJoin:
+		return fmt.Sprintf("VecHashJoin[inner on .%s = %s]  -- vectorized",
+			o.LAttr, o.RKey.Expr), []any{o.L, o.R}
+	case *exec.VecNLJoin:
+		return fmt.Sprintf("VecNLJoin[%v on %s]  -- vectorized",
+			o.Kind, o.Pred.Expr), []any{o.L, o.R}
+	case *exec.VecSetProbeJoin:
+		kind := "semi"
+		if o.Anti {
+			kind = "anti"
+		}
+		return fmt.Sprintf("VecSetProbeJoin[%s on %s ∈ .%s]  -- vectorized",
+			kind, o.RKey.Expr, o.Attr), []any{o.L, o.R}
+	}
+	switch o := node.(type) {
 	case *exec.Scan:
 		return fmt.Sprintf("Scan(%s)", o.Table), nil
 	case *exec.IndexScan:
@@ -769,46 +861,46 @@ func describe(op exec.Operator) (string, []exec.Operator) {
 			o.Table, o.Attr, lob, lo, hi, hib), nil
 	case *exec.IndexNLJoin:
 		return fmt.Sprintf("IndexNLJoin[%v on %s -> %s.%s]  -- index nested loop",
-			o.Kind, o.LKey.Expr, o.Table, o.Attr), []exec.Operator{o.L}
+			o.Kind, o.LKey.Expr, o.Table, o.Attr), []any{o.L}
 	case *exec.SetScan:
 		return fmt.Sprintf("SetScan(%d elems)", o.Set.Len()), nil
 	case *exec.ExprScan:
 		return fmt.Sprintf("ExprScan(%s)  -- interpreter fallback", o.Expr), nil
 	case *exec.Filter:
-		return fmt.Sprintf("Filter[%s: %s]", o.Var, o.Pred.Expr), []exec.Operator{o.Child}
+		return fmt.Sprintf("Filter[%s: %s]", o.Var, o.Pred.Expr), []any{o.Child}
 	case *exec.MapOp:
-		return fmt.Sprintf("Map[%s: %s]", o.Var, o.Body.Expr), []exec.Operator{o.Child}
+		return fmt.Sprintf("Map[%s: %s]", o.Var, o.Body.Expr), []any{o.Child}
 	case *exec.ProjectOp:
-		return fmt.Sprintf("Project[%s]", strings.Join(o.Attrs, ", ")), []exec.Operator{o.Child}
+		return fmt.Sprintf("Project[%s]", strings.Join(o.Attrs, ", ")), []any{o.Child}
 	case *exec.UnnestOp:
-		return fmt.Sprintf("Unnest[%s]", o.Attr), []exec.Operator{o.Child}
+		return fmt.Sprintf("Unnest[%s]", o.Attr), []any{o.Child}
 	case *exec.NestOp:
-		return fmt.Sprintf("Nest[{%s} -> %s]", strings.Join(o.Attrs, ", "), o.As), []exec.Operator{o.Child}
+		return fmt.Sprintf("Nest[{%s} -> %s]", strings.Join(o.Attrs, ", "), o.As), []any{o.Child}
 	case *exec.FlattenOp:
-		return "Flatten", []exec.Operator{o.Child}
+		return "Flatten", []any{o.Child}
 	case *exec.Assembly:
-		return fmt.Sprintf("Assembly[%s -> %s]  -- pointer-based materialize", o.Attr, o.As), []exec.Operator{o.Child}
+		return fmt.Sprintf("Assembly[%s -> %s]  -- pointer-based materialize", o.Attr, o.As), []any{o.Child}
 	case *exec.LetOp:
-		return fmt.Sprintf("Let[%s = %s]  -- constant, evaluated once", o.Var, o.Val), []exec.Operator{o.Child}
+		return fmt.Sprintf("Let[%s = %s]  -- constant, evaluated once", o.Var, o.Val), []any{o.Child}
 	case *exec.HashJoin:
-		return fmt.Sprintf("HashJoin[%v on %s = %s]", o.Kind, o.LKey.Expr, o.RKey.Expr), []exec.Operator{o.L, o.R}
+		return fmt.Sprintf("HashJoin[%v on %s = %s]", o.Kind, o.LKey.Expr, o.RKey.Expr), []any{o.L, o.R}
 	case *exec.PartitionedHashJoin:
 		return fmt.Sprintf("PartitionedHashJoin[%v on %s = %s | %d partitions]  -- parallel",
-			o.Kind, o.LKey.Expr, o.RKey.Expr, exec.Parallelism(o.Partitions)), []exec.Operator{o.L, o.R}
+			o.Kind, o.LKey.Expr, o.RKey.Expr, exec.Parallelism(o.Partitions)), []any{o.L, o.R}
 	case *exec.ParallelFilter:
 		return fmt.Sprintf("ParallelFilter[%s: %s | %d workers]  -- parallel",
-			o.Var, o.Pred.Expr, exec.Parallelism(o.Workers)), []exec.Operator{o.Child}
+			o.Var, o.Pred.Expr, exec.Parallelism(o.Workers)), []any{o.Child}
 	case *exec.ParallelMap:
 		return fmt.Sprintf("ParallelMap[%s: %s | %d workers]  -- parallel",
-			o.Var, o.Body.Expr, exec.Parallelism(o.Workers)), []exec.Operator{o.Child}
+			o.Var, o.Body.Expr, exec.Parallelism(o.Workers)), []any{o.Child}
 	case *exec.SetProbeJoin:
-		return fmt.Sprintf("SetProbeJoin[%v on %s ∈ .%s]", o.Kind, o.RKey.Expr, o.Attr), []exec.Operator{o.L, o.R}
+		return fmt.Sprintf("SetProbeJoin[%v on %s ∈ .%s]", o.Kind, o.RKey.Expr, o.Attr), []any{o.L, o.R}
 	case *exec.SortMergeJoin:
-		return fmt.Sprintf("SortMergeJoin[%v on %s = %s]", o.Kind, o.LKey.Expr, o.RKey.Expr), []exec.Operator{o.L, o.R}
+		return fmt.Sprintf("SortMergeJoin[%v on %s = %s]", o.Kind, o.LKey.Expr, o.RKey.Expr), []any{o.L, o.R}
 	case *exec.NLJoin:
-		return fmt.Sprintf("NLJoin[%v on %s]", o.Kind, o.Pred.Expr), []exec.Operator{o.L, o.R}
+		return fmt.Sprintf("NLJoin[%v on %s]", o.Kind, o.Pred.Expr), []any{o.L, o.R}
 	case *exec.PNHL:
-		return fmt.Sprintf("PNHL[.%s with budget %d rows]", o.Attr, o.BudgetRows), []exec.Operator{o.L, o.R}
+		return fmt.Sprintf("PNHL[.%s with budget %d rows]", o.Attr, o.BudgetRows), []any{o.L, o.R}
 	}
-	return fmt.Sprintf("%T", op), nil
+	return fmt.Sprintf("%T", node), nil
 }

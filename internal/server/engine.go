@@ -52,6 +52,13 @@ type Options struct {
 	// FeedbackMinRows ignores drift where both estimate and observation
 	// stay under this row count; 0 means plan.DefaultFeedbackMinRows.
 	FeedbackMinRows int64
+	// Vectorized routes eligible plans through the batch execution pipeline
+	// (plan.Config.Vectorized); plans keep the scalar operators where no
+	// vectorized shape applies. BatchSize tunes rows per batch — 0 keeps the
+	// planner default, negative values surface plan.Config.SetBatchSize's
+	// error at planning time.
+	Vectorized bool
+	BatchSize  int
 }
 
 // Engine serves OOSQL queries and inserts over one store.
@@ -140,11 +147,18 @@ func (e *Engine) prepare(src string, epoch uint64) (*core.Query, bool, bool, err
 // plan prepares a query against freshly published statistics.
 func (e *Engine) plan(src string) (*core.Query, error) {
 	stats := e.st.Analyze()
-	return core.PrepareCfg(src, e.st.Catalog(), plan.Config{
+	cfg := plan.Config{
 		Statistics:  stats,
 		Stats:       stats,
 		Parallelism: e.opts.Parallelism,
-	})
+		Vectorized:  e.opts.Vectorized,
+	}
+	if e.opts.BatchSize != 0 {
+		if err := cfg.SetBatchSize(e.opts.BatchSize); err != nil {
+			return nil, err
+		}
+	}
+	return core.PrepareCfg(src, e.st.Catalog(), cfg)
 }
 
 // Query executes an OOSQL query against a snapshot pinned at call time:

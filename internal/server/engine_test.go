@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -302,5 +303,43 @@ func TestNoFeedbackOption(t *testing.T) {
 	}
 	if m := eng.Metrics(); m.FeedbackEvictions != 0 {
 		t.Fatalf("FeedbackEvictions = %d with feedback disabled", m.FeedbackEvictions)
+	}
+}
+
+func TestVectorizedEngine(t *testing.T) {
+	scalar := newEngine(t, Options{Parallelism: 1})
+	vec := New(scalar.Store(), Options{Parallelism: 1, Vectorized: true, BatchSize: 16})
+
+	rs, err := scalar.Query(redParts)
+	if err != nil {
+		t.Fatalf("scalar Query: %v", err)
+	}
+	rv, err := vec.Query(redParts)
+	if err != nil {
+		t.Fatalf("vectorized Query: %v", err)
+	}
+	if !value.Equal(rs.Set, rv.Set) {
+		t.Fatalf("vectorized engine diverges:\n scalar %v\n vec    %v", rs.Set, rv.Set)
+	}
+
+	// Mutations stay visible through the vectorized path (the columnar
+	// projection is snapshot-pinned, not a stale cache).
+	if _, err := vec.Insert("PART", newPart(900, "red")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	rv2, err := vec.Query(redParts)
+	if err != nil {
+		t.Fatalf("vectorized Query after insert: %v", err)
+	}
+	if rv2.Set.Len() != rv.Set.Len()+1 {
+		t.Fatalf("insert not visible vectorized: %d → %d rows", rv.Set.Len(), rv2.Set.Len())
+	}
+}
+
+func TestEngineRejectsNonPositiveBatchSize(t *testing.T) {
+	eng := newEngine(t, Options{Vectorized: true, BatchSize: -3})
+	_, err := eng.Query(redParts)
+	if err == nil || !strings.Contains(err.Error(), "batch size must be positive") {
+		t.Fatalf("want batch-size error, got %v", err)
 	}
 }

@@ -120,6 +120,16 @@ func (s *Store) gcLocked() GCStats {
 		}
 	}
 	s.matMu.Unlock()
+	// Columnar projections are derived from the same oid lists and go stale
+	// under the same rule.
+	s.colMu.Lock()
+	for name, e := range s.colProjs {
+		if !sharesPrefix(e.oids, head.extents[name]) {
+			delete(s.colProjs, name)
+			st.DroppedMaterializations++
+		}
+	}
+	s.colMu.Unlock()
 
 	s.mutations = 0
 	return st

@@ -80,6 +80,11 @@ type Store struct {
 	matMu sync.Mutex
 	mat   map[string]matEntry
 
+	// colProjs caches the latest columnar projection per extent for the
+	// batch executor (colproj.go).
+	colMu    sync.Mutex
+	colProjs map[string]colEntry
+
 	// indexes is the secondary-index registry (index.go): extent → attr →
 	// index. Probes take idxMu for reading; writes absorb under the writer
 	// lock.
@@ -121,6 +126,7 @@ func New(cat *schema.Catalog) *Store {
 	s := &Store{
 		cat:            cat,
 		mat:            map[string]matEntry{},
+		colProjs:       map[string]colEntry{},
 		pins:           map[uint64]int{},
 		gcEvery:        DefaultGCEvery,
 		sinceEpoch:     map[string]int{},

@@ -1,8 +1,6 @@
 package value
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"math"
 )
 
@@ -143,10 +141,7 @@ func Hash(v Value) uint64 {
 	case Float:
 		return hashScalar(byte(KindFloat), math.Float64bits(float64(av)))
 	case String:
-		h := fnv.New64a()
-		h.Write([]byte{byte(KindString)})
-		h.Write([]byte(av))
-		return h.Sum64()
+		return fnvString(fnvByte(fnvOffset64, byte(KindString)), string(av))
 	case Date:
 		return hashScalar(byte(KindDate), uint64(uint32(av)))
 	case OID:
@@ -154,9 +149,7 @@ func Hash(v Value) uint64 {
 	case *Tuple:
 		var sum uint64
 		for i, n := range av.names {
-			h := fnv.New64a()
-			h.Write([]byte(n))
-			fieldHash := h.Sum64() * 0x100000001b3
+			fieldHash := fnvString(fnvOffset64, n) * fnvPrime64
 			sum += fieldHash ^ Hash(av.vals[i])
 		}
 		return sum ^ 0xa5a5a5a5a5a5a5a5
@@ -170,11 +163,33 @@ func Hash(v Value) uint64 {
 	panic("value.Hash: unknown kind")
 }
 
+// FNV-1a, hand-rolled so hashing never allocates: hash/fnv's New64a boxes
+// the state behind hash.Hash64 and forces []byte conversions of strings.
+// The byte-for-byte fold order below reproduces the library exactly, so
+// hash values are unchanged (sets, hash joins and the storage layer's
+// materialization cache all key on them).
+const (
+	fnvOffset64 uint64 = 0xcbf29ce484222325
+	fnvPrime64  uint64 = 0x100000001b3
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// hashScalar folds the kind byte then the value bits little-endian, matching
+// the former binary.LittleEndian.PutUint64 buffer layout.
 func hashScalar(kind byte, bits uint64) uint64 {
-	var buf [9]byte
-	buf[0] = kind
-	binary.LittleEndian.PutUint64(buf[1:], bits)
-	h := fnv.New64a()
-	h.Write(buf[:])
-	return h.Sum64()
+	h := fnvByte(fnvOffset64, kind)
+	for i := 0; i < 64; i += 8 {
+		h = fnvByte(h, byte(bits>>i))
+	}
+	return h
 }

@@ -1,0 +1,176 @@
+package value
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refHash is the original hash/fnv-based implementation, kept verbatim as
+// the reference: the hand-rolled FNV-1a in compare.go must produce the same
+// 64-bit values, bit for bit, or every persisted hash-keyed structure
+// (set indexes, materialization cache) would silently mismatch.
+func refHash(v Value) uint64 {
+	switch av := v.(type) {
+	case Null:
+		return 0x9e3779b97f4a7c15
+	case Bool:
+		if av {
+			return 0xff51afd7ed558ccd
+		}
+		return 0xc4ceb9fe1a85ec53
+	case Int:
+		return refScalar(byte(KindInt), uint64(av))
+	case Float:
+		return refScalar(byte(KindFloat), math.Float64bits(float64(av)))
+	case String:
+		h := fnv.New64a()
+		h.Write([]byte{byte(KindString)})
+		h.Write([]byte(av))
+		return h.Sum64()
+	case Date:
+		return refScalar(byte(KindDate), uint64(uint32(av)))
+	case OID:
+		return refScalar(byte(KindOID), uint64(av))
+	case *Tuple:
+		var sum uint64
+		for i, n := range av.names {
+			h := fnv.New64a()
+			h.Write([]byte(n))
+			fieldHash := h.Sum64() * 0x100000001b3
+			sum += fieldHash ^ refHash(av.vals[i])
+		}
+		return sum ^ 0xa5a5a5a5a5a5a5a5
+	case *Set:
+		var sum uint64
+		for _, e := range av.elems {
+			sum += refHash(e)
+		}
+		return sum ^ 0x5a5a5a5a5a5a5a5a
+	}
+	panic("refHash: unknown kind")
+}
+
+func refScalar(kind byte, bits uint64) uint64 {
+	var buf [9]byte
+	buf[0] = kind
+	binary.LittleEndian.PutUint64(buf[1:], bits)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func hashSamples(rng *rand.Rand) []Value {
+	samples := []Value{
+		Null{}, Bool(true), Bool(false),
+		Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-3.25), Float(math.Inf(1)),
+		String(""), String("red"), String("a longer string with spaces"),
+		Date(940101), OID(0), OID(1 << 40),
+		NewTuple(), NewTuple("a", Int(1), "b", String("x")),
+		EmptySet(), NewSet(Int(1), Int(2), Int(3)),
+		NewSet(NewTuple("pid", OID(7)), NewTuple("pid", OID(9))),
+	}
+	for i := 0; i < 200; i++ {
+		samples = append(samples,
+			Int(rng.Int63()-rng.Int63()),
+			String(randWord(rng)),
+			NewTuple("k", Int(rng.Int63n(100)), "s", String(randWord(rng))),
+		)
+	}
+	return samples
+}
+
+func randWord(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func TestHashMatchesFNVReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for _, v := range hashSamples(rng) {
+		if got, want := Hash(v), refHash(v); got != want {
+			t.Errorf("Hash(%v) = %#x, reference fnv gives %#x", v, got, want)
+		}
+	}
+}
+
+func TestHashAllocationFree(t *testing.T) {
+	vals := []Value{
+		Int(42), String("supplier"), OID(9),
+		NewTuple("a", Int(1), "b", String("x")),
+		NewSet(Int(1), Int(2)),
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, v := range vals {
+			Hash(v)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Hash allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestNewSetFromSliceMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		elems := make([]Value, n)
+		for i := range elems {
+			// Small domains force duplicates, including hash collisions of
+			// equal values.
+			elems[i] = NewTuple("k", Int(rng.Int63n(8)), "s", String("ab"[:rng.Intn(3)]))
+		}
+		want := NewSet(elems...)
+		got := NewSetFromSlice(elems)
+		if !Equal(want, got) {
+			t.Fatalf("trial %d: NewSetFromSlice = %v, want %v", trial, got, want)
+		}
+		// The carved index must stay queryable.
+		for _, e := range elems {
+			if !got.Contains(e) {
+				t.Fatalf("trial %d: bulk set lost element %v", trial, e)
+			}
+		}
+		if got.Contains(Int(12345)) {
+			t.Fatalf("trial %d: bulk set contains foreign element", trial)
+		}
+	}
+}
+
+func TestNewSetFromSliceEmpty(t *testing.T) {
+	s := NewSetFromSlice(nil)
+	if s.Len() != 0 {
+		t.Fatalf("empty bulk set has %d elements", s.Len())
+	}
+	if !s.Add(Int(1)) {
+		t.Fatal("empty bulk set rejects Add")
+	}
+}
+
+func BenchmarkSetBuild(b *testing.B) {
+	elems := make([]Value, 4096)
+	for i := range elems {
+		elems[i] = NewTuple("k", Int(int64(i%1024)), "v", Int(int64(i)))
+	}
+	b.Run("add", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewSetCap(len(elems))
+			for _, e := range elems {
+				s.Add(e)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewSetFromSlice(elems)
+		}
+	})
+}

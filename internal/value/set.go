@@ -38,6 +38,50 @@ func NewSetCap(n int) *Set {
 // EmptySet returns a new empty set.
 func EmptySet() *Set { return NewSetCap(0) }
 
+// NewSetFromSlice builds a set from elems with full duplicate elimination
+// (same semantics as repeated Add) but a constant number of allocations:
+// element hashes are computed once into a scratch slice, per-hash bucket
+// sizes are counted up front, and every index bucket is carved out of one
+// shared arena instead of growing through per-bucket appends. The batch
+// executor uses it to materialize result sets without Add's per-element
+// allocation cost; elems is not retained.
+func NewSetFromSlice(elems []Value) *Set {
+	n := len(elems)
+	if n == 0 {
+		return EmptySet()
+	}
+	s := &Set{elems: make([]Value, 0, n), index: make(map[uint64][]int, n)}
+	hashes := make([]uint64, n)
+	counts := make(map[uint64]int32, n)
+	for i, e := range elems {
+		hashes[i] = Hash(e)
+		counts[hashes[i]]++
+	}
+	arena := make([]int, n)
+	off := 0
+next:
+	for i, e := range elems {
+		h := hashes[i]
+		bucket, seen := s.index[h]
+		for _, j := range bucket {
+			if Equal(s.elems[j], e) {
+				continue next
+			}
+		}
+		if !seen {
+			// First element with this hash: reserve capacity for every
+			// candidate that hashes here (duplicates overcount harmlessly),
+			// so the appends below never leave the arena.
+			c := int(counts[h])
+			bucket = arena[off : off : off+c]
+			off += c
+		}
+		s.index[h] = append(bucket, len(s.elems))
+		s.elems = append(s.elems, e)
+	}
+	return s
+}
+
 // Add inserts v unless an equal element is already present. It reports
 // whether the set grew. Add must only be called while the set is being
 // built, before it is shared.
