@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-vec bench-smoke serve-smoke bench-serve examples-smoke cover fuzz-smoke fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-json bench-vec bench-smoke serve-smoke bench-serve examples-smoke cover fuzz-smoke fmt fmt-check vet staticcheck lint ci
 
 build:
 	$(GO) build ./...
@@ -142,6 +142,17 @@ staticcheck:
 		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
 	fi
 
+# The project's custom analyzer suite (clonesafety, snapshotdiscipline,
+# atomicmeter, closepropagate, batchimmutable — see `adllint -list`). Fully
+# offline: the driver is in-tree and loads packages via `go list -export`.
+# Prefers an installed adllint binary, falls back to go run like staticcheck.
+lint: vet
+	@if command -v adllint >/dev/null 2>&1; then \
+		adllint ./...; \
+	else \
+		$(GO) run ./cmd/adllint ./...; \
+	fi
+
 # Exactly what .github/workflows/ci.yml runs. staticcheck is separate from
 # `ci` so the aggregate target stays runnable offline; CI runs both.
-ci: fmt-check vet build race cover fuzz-smoke bench-smoke examples-smoke serve-smoke
+ci: fmt-check lint build race cover fuzz-smoke bench-smoke examples-smoke serve-smoke

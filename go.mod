@@ -1,3 +1,10 @@
+// Zero module requirements, deliberately: the reference build environment is
+// fully offline (no module proxy), so everything — including the adllint
+// static-analysis suite in internal/lint — runs on the standard library.
+// adllint is shaped after golang.org/x/tools/go/analysis but uses an in-tree
+// shim instead of pinning x/tools here; the external tools CI runs are pinned
+// where they are invoked (STATICCHECK_VERSION in the Makefile, the
+// govulncheck version in .github/workflows/ci.yml).
 module repro
 
 go 1.22

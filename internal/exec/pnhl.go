@@ -42,12 +42,17 @@ type PNHL struct {
 	// which turns PNHL into reference materialization.
 	Member *Scalar
 
-	// SegmentsUsed reports how many build segments the last Open needed.
-	SegmentsUsed int
+	// segmentsUsed counts the build segments the last Open needed. It is
+	// per-run state (unexported so CloneTree zeroes it per clone, caught by
+	// the clonesafety analyzer); read it through Segments.
+	segmentsUsed int
 
 	out []value.Value
 	pos int
 }
+
+// Segments reports how many build segments the last Open needed.
+func (p *PNHL) Segments() int { return p.segmentsUsed }
 
 // Open runs both phases eagerly.
 func (p *PNHL) Open(ctx *Ctx) error {
@@ -73,7 +78,7 @@ func (p *PNHL) Open(ctx *Ctx) error {
 		partial[i] = value.EmptySet()
 	}
 
-	p.SegmentsUsed = 0
+	p.segmentsUsed = 0
 	for lo := 0; lo < len(build) || lo == 0; lo += segment {
 		hi := lo + segment
 		if hi > len(build) {
@@ -82,7 +87,7 @@ func (p *PNHL) Open(ctx *Ctx) error {
 		if lo >= hi && lo > 0 {
 			break
 		}
-		p.SegmentsUsed++
+		p.segmentsUsed++
 		// Build phase: hash this segment of the flat table.
 		table := map[uint64][]int{}
 		keys := make([]value.Value, hi-lo)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -554,12 +555,13 @@ func (j *VecInnerJoin) Close() error {
 // constructor.
 func (j *VecInnerJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
 	if err := j.Open(ctx); err != nil {
-		j.Close()
-		return nil, err
+		return nil, errors.Join(err, j.Close())
 	}
 	s := value.NewSetFromSlice(j.out)
 	j.out = j.out[:0]
-	j.Close()
+	if cerr := j.Close(); cerr != nil {
+		return nil, cerr
+	}
 	return s, nil
 }
 
@@ -665,12 +667,13 @@ func (j *VecNLJoin) Close() error { j.out = nil; return nil }
 // CollectSet materializes the join straight into a set.
 func (j *VecNLJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
 	if err := j.Open(ctx); err != nil {
-		j.Close()
-		return nil, err
+		return nil, errors.Join(err, j.Close())
 	}
 	s := value.NewSetFromSlice(j.out)
 	j.out = j.out[:0]
-	j.Close()
+	if cerr := j.Close(); cerr != nil {
+		return nil, cerr
+	}
 	return s, nil
 }
 
@@ -685,7 +688,6 @@ func (j *VecNLJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
 // of the same name and kind (exactly value.Equal on that shape). Anything
 // else uses the generic hash/Equal structure of the scalar SetProbeJoin.
 type VecSetProbeJoin struct {
-	Anti bool
 	L    VecOp
 	R    Operator
 	Attr string
@@ -698,6 +700,9 @@ type VecSetProbeJoin struct {
 	// uname/ukind describe the unary-tuple fast path's element shape.
 	uname string
 	ukind value.Kind
+	// Anti flips the semijoin to its complement. Config like the exported
+	// block up top, placed last so the two byte-wide fields share a word.
+	Anti bool
 }
 
 // OpenVec builds the table from the right operand and opens the left

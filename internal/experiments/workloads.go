@@ -215,7 +215,7 @@ func (m *MaterializeArms) RunPNHL(budgetRows int) (*value.Set, int, error) {
 		Member:     &member,
 	}
 	set, err := exec.Collect(op, &exec.Ctx{DB: m.Store})
-	return set, op.SegmentsUsed, err
+	return set, op.Segments(), err
 }
 
 // RunUnnestJoinNest executes the μ → hash join → ν alternative the paper

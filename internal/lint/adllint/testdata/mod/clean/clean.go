@@ -1,0 +1,62 @@
+// Package clean passes every adllint analyzer: pointer-receiver operator,
+// unexported state, propagated Close errors, paired open/close.
+package clean
+
+// Ctx and Row stand in for the engine's execution types.
+type Ctx struct{}
+type Row struct{}
+
+// Op structurally matches exec.Operator.
+type Op interface {
+	Open(*Ctx) error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// Filter is a well-behaved operator.
+type Filter struct {
+	Child Op
+	Attr  string
+	done  bool
+}
+
+// Open opens the child; the child is closed by Close.
+func (f *Filter) Open(ctx *Ctx) error {
+	f.done = false
+	return f.Child.Open(ctx)
+}
+
+// Next pulls from the child.
+func (f *Filter) Next() (Row, bool, error) {
+	if f.done {
+		return Row{}, false, nil
+	}
+	return f.Child.Next()
+}
+
+// Close tears down the child, propagating its error.
+func (f *Filter) Close() error {
+	return f.Child.Close()
+}
+
+// Collect drains an operator with the propagation idiom.
+func Collect(ctx *Ctx, op Op) (out []Row, err error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		r, ok, nerr := op.Next()
+		if nerr != nil {
+			return nil, nerr
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,3 @@
+module synthetic
+
+go 1.22

@@ -1,0 +1,40 @@
+// Package suppressed carries the same violations as package violating, each
+// muted by a documented //lint:adllint directive in both accepted positions
+// (trailing and standalone-above).
+package suppressed
+
+// Ctx and Row stand in for the engine's execution types.
+type Ctx struct{}
+type Row struct{}
+
+// Op structurally matches exec.Operator.
+type Op interface {
+	Open(*Ctx) error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// Counter mutates its exported field at run time, with suppressions.
+type Counter struct {
+	Child Op
+	Seen  int
+}
+
+// Open resets the exported counter (trailing suppression form).
+func (c *Counter) Open(ctx *Ctx) error {
+	c.Seen = 0 //lint:adllint clonesafety synthetic testdata exercising the trailing form
+	return c.Child.Open(ctx)
+}
+
+// Next bumps the exported counter (standalone suppression form).
+func (c *Counter) Next() (Row, bool, error) {
+	//lint:adllint clonesafety synthetic testdata exercising the standalone form
+	c.Seen++
+	return c.Child.Next()
+}
+
+// Close discards the child's Close error, suppressed.
+func (c *Counter) Close() error {
+	c.Child.Close() //lint:adllint closepropagate synthetic testdata; error intentionally dropped
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package violating seeds two adllint findings: a discarded Close error
+// (closepropagate) and a run-time write to an exported operator field
+// (clonesafety).
+package violating
+
+// Ctx and Row stand in for the engine's execution types.
+type Ctx struct{}
+type Row struct{}
+
+// Op structurally matches exec.Operator.
+type Op interface {
+	Open(*Ctx) error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// Counter mutates its exported field at run time.
+type Counter struct {
+	Child Op
+	Seen  int
+}
+
+// Open resets the exported counter — a clonesafety violation.
+func (c *Counter) Open(ctx *Ctx) error {
+	c.Seen = 0
+	return c.Child.Open(ctx)
+}
+
+// Next bumps the exported counter — a clonesafety violation.
+func (c *Counter) Next() (Row, bool, error) {
+	c.Seen++
+	return c.Child.Next()
+}
+
+// Close discards the child's Close error — a closepropagate violation.
+func (c *Counter) Close() error {
+	c.Child.Close()
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package analysis is an offline-compatible shim of the
+// golang.org/x/tools/go/analysis API surface the adllint suite needs:
+// Analyzer, Pass, Diagnostic, and a package loader built on the standard
+// library only (go/parser + go/types, with dependencies imported from the
+// compiler's export data via `go list -export`).
+//
+// The repository's build environment is fully offline — go.mod deliberately
+// has no module requirements — so the real x/tools module cannot be pinned.
+// The shim keeps the analyzer code shaped exactly like x/tools analyzers
+// (same Run(*Pass) contract, same Reportf idiom, same analysistest-style
+// `// want` testdata), so porting the suite onto the real driver is a matter
+// of swapping this import if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name the driver and the
+// //lint:adllint suppression syntax key on, documentation, and the Run
+// function applied once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions. It must
+	// be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description `adllint -list` prints: the
+	// invariant the analyzer encodes and why violating it is a bug.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The result value is unused by this driver (kept for API
+	// compatibility with x/tools).
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Sizes is the target platform's layout model (types.SizesFor("gc", …)),
+	// for analyzers that reason about struct layout.
+	Sizes types.Sizes
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

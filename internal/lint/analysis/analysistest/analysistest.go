@@ -1,0 +1,142 @@
+// Package analysistest runs one analyzer over a testdata package and checks
+// its diagnostics against `// want` comments, mirroring the x/tools package
+// of the same name: a comment
+//
+//	x.Close() // want `discards the Close error`
+//
+// expects exactly one diagnostic on that line whose message matches the
+// regular expression; several expectations may sit on one line. The runner
+// fails the test for unmatched expectations AND for unexpected diagnostics,
+// so testdata doubles as a false-positive regression suite.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkgRel> and applies az, comparing diagnostics
+// against want comments.
+func Run(t *testing.T, testdata string, az *analysis.Analyzer, pkgRel string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(filepath.Join(testdata, "src", pkgRel))
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgRel, err)
+	}
+
+	expects := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  az,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Sizes:     analysis.Sizes(),
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := az.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", az.Name, err)
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if !claim(expects, p, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(p.Filename), p.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering (p, msg).
+func claim(expects []*expectation, p token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == p.Filename && e.line == p.Line && e.rx.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses want comments from every file of the package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, p, c.Text[idx+len("// want "):]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", p.Filename, p.Line, pat, err)
+					}
+					out = append(out, &expectation{file: p.Filename, line: p.Line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns reads a sequence of Go-quoted strings (double or backquote).
+func parsePatterns(t *testing.T, p token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s:%d: want patterns must be quoted strings, got %q", p.Filename, p.Line, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern: %q", p.Filename, p.Line, s)
+		}
+		lit := s[:end+2]
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: cannot unquote %q: %v", p.Filename, p.Line, lit, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one source-loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goTool resolves the go command (ADLLINT_GO overrides for tests).
+func goTool() string {
+	if g := os.Getenv("ADLLINT_GO"); g != "" {
+		return g
+	}
+	return "go"
+}
+
+// goList runs `go list -e -export -deps -json args...` in dir and returns
+// the streamed package records. -export compiles the transitive dependency
+// set so every package carries export data the type checker can import —
+// the offline substitute for x/tools/go/packages' LoadAllSyntax.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command(goTool(), append([]string{"list", "-e", "-export", "-deps", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: starting go list: %w", err)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := &listedPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w", strings.Join(args, " "), err)
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that resolves imports from the
+// export files `go list -export` produced.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Sizes is the layout model analyzers and the loader share.
+func Sizes() types.Sizes { return types.SizesFor("gc", runtime.GOARCH) }
+
+// typecheck parses files and type-checks them into a Package.
+func typecheck(pkgPath, dir string, fset *token.FileSet, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    Sizes(),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, errs[0])
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// LoadPatterns loads the packages matching the go list patterns (run from
+// dir, a directory inside the target module), type-checking each matched
+// package from source with its dependencies imported from export data.
+func LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil && lp.Export == "" && !lp.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		exports[lp.ImportPath] = lp.Export
+		if !lp.DepOnly && !lp.Standard && lp.Name != "" {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range targets {
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := typecheck(lp.ImportPath, lp.Dir, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// LoadDir loads the single package rooted at pkgDir — a directory of .go
+// files that need not be part of any module build (analysistest testdata
+// lives under testdata/, which the go tool ignores). Imports are resolved
+// against the enclosing module: the loader collects the files' import paths
+// and asks `go list -export` for their export data from the module root.
+func LoadDir(pkgDir string) (*Package, error) {
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", pkgDir)
+	}
+	sort.Strings(filenames)
+
+	// Pre-parse just for the import lists (the real parse happens in
+	// typecheck, against the shared FileSet).
+	importSet := map[string]bool{}
+	scanFset := token.NewFileSet()
+	pkgName := ""
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(scanFset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", fn, err)
+		}
+		pkgName = f.Name.Name
+		for _, im := range f.Imports {
+			p := strings.Trim(im.Path.Value, `"`)
+			if p != "unsafe" && p != "C" {
+				importSet[p] = true
+			}
+		}
+	}
+
+	root, err := findModuleRoot(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		listed, err := goList(root, imports...)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Error != nil && lp.Export == "" {
+				return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	return typecheck(pkgName, pkgDir, fset, filenames, exportImporter(fset, exports))
+}

@@ -1,0 +1,198 @@
+// Package atomicmeter guards the metering counters that concurrent readers
+// sample while writers run: structs that mix sync/atomic fields with plain
+// integer fields are exactly where a bare `s.count++` slips in — it
+// compiles, it works single-threaded, and it corrupts metrics (or worse,
+// trips the race detector a month later) under load.
+//
+// For every struct type that declares at least one sync/atomic-typed field,
+// the analyzer flags writes (assignment, ++/--, compound assignment) to the
+// struct's plain integer fields from methods that do not visibly hold a
+// lock: a method body containing a receiver-rooted `.Lock()` call (a mutex
+// field of the same struct) is treated as guarded. Read-side locks (RLock)
+// do not count — they do not license writes.
+package atomicmeter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the atomicmeter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmeter",
+	Doc: "plain integer fields of structs holding sync/atomic meters must only be written " +
+		"under a held lock; bare increments corrupt counters sampled by concurrent readers",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	meterStructs := collectMeterStructs(pass)
+	if len(meterStructs) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			checkMethod(pass, fd, meterStructs)
+		}
+	}
+	return nil, nil
+}
+
+// collectMeterStructs finds named struct types in this package with at least
+// one sync/atomic field, keyed by the type name object.
+func collectMeterStructs(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isAtomicType(st.Field(i).Type()) {
+				out[tn] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isAtomicType reports whether t (or its pointee) is declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isPlainInteger reports whether t is a basic integer type (the kind of
+// field a meter counter would be if someone forgot the atomic).
+func isPlainInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, meterStructs map[types.Object]bool) {
+	recvField := fd.Recv.List[0]
+	if len(recvField.Names) != 1 || recvField.Names[0].Name == "_" {
+		return
+	}
+	recvObj := pass.TypesInfo.Defs[recvField.Names[0]]
+	if recvObj == nil {
+		return
+	}
+	rt := recvObj.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || !meterStructs[named.Obj()] {
+		return
+	}
+
+	if holdsLock(pass, fd.Body, recvObj) {
+		return
+	}
+
+	report := func(sel *ast.SelectorExpr) {
+		pass.Reportf(sel.Sel.Pos(),
+			"unguarded write to %s.%s, a plain integer field of a struct carrying sync/atomic "+
+				"meters; either write it under the struct's lock or make it atomic",
+			named.Obj().Name(), sel.Sel.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if sel := plainIntFieldWrite(pass, lhs, recvObj); sel != nil {
+					report(sel)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := plainIntFieldWrite(pass, st.X, recvObj); sel != nil {
+				report(sel)
+			}
+		}
+		return true
+	})
+}
+
+// holdsLock reports whether the method body contains a receiver-rooted
+// `.Lock()` call — `s.mu.Lock()` or `s.Lock()` — signalling the writes are
+// serialized. RLock is deliberately excluded.
+func holdsLock(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if rootedInReceiver(pass, sel.X, recv) {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// rootedInReceiver reports whether expr is the receiver or a selector chain
+// starting at it (s, s.mu, s.inner.mu, ...).
+func rootedInReceiver(pass *analysis.Pass, expr ast.Expr, recv types.Object) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[e] == recv
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// plainIntFieldWrite matches lhs = recv.Field where Field is a plain integer
+// field of the receiver's struct.
+func plainIntFieldWrite(pass *analysis.Pass, lhs ast.Expr, recv types.Object) *ast.SelectorExpr {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recv {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if !isPlainInteger(s.Obj().Type()) {
+		return nil
+	}
+	return sel
+}

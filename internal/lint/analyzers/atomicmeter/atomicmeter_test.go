@@ -1,0 +1,12 @@
+package atomicmeter_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/analyzers/atomicmeter"
+)
+
+func TestAtomicmeter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicmeter.Analyzer, "a")
+}

@@ -1,0 +1,57 @@
+// Package a is atomicmeter testdata: a metering struct mixing atomic
+// counters with mutex-guarded plain fields, written with and without the
+// lock held.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Meters mirrors storage.Store's shape: atomic hot counters next to plain
+// configuration/bookkeeping integers guarded by mu.
+type Meters struct {
+	mu        sync.Mutex
+	reads     atomic.Int64
+	last      *atomic.Int64
+	mutations int
+	gcEvery   int
+	name      string
+}
+
+func (m *Meters) BadInc() {
+	m.mutations++ // want `unguarded write to Meters.mutations`
+}
+
+func (m *Meters) BadSet(n int) {
+	m.gcEvery = n // want `unguarded write to Meters.gcEvery`
+}
+
+func (m *Meters) BadCompound(n int) {
+	m.mutations += n // want `unguarded write to Meters.mutations`
+}
+
+// GoodSet holds the struct's lock across the write.
+func (m *Meters) GoodSet(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gcEvery = n
+}
+
+// GoodAtomic goes through the atomic API, which is the point.
+func (m *Meters) GoodAtomic() {
+	m.reads.Add(1)
+}
+
+// GoodString writes a non-integer field — out of scope for a meter check.
+func (m *Meters) GoodString(s string) {
+	m.name = s
+}
+
+// Plain has no atomic fields, so its integer writes are not metering
+// territory.
+type Plain struct {
+	n int
+}
+
+func (p *Plain) Inc() { p.n++ }

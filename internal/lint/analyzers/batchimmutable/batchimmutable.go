@@ -1,0 +1,154 @@
+// Package batchimmutable protects the columnar read path's core bargain:
+// col.Proj and col.Col values are version-keyed, cached, and shared across
+// every concurrent query reading the same extent version — they are frozen
+// at construction. A single `p.Rows[i] = v`, `c.Ints[k]++`, or
+// `append(c.Strs, s)` from outside the col package compiles fine and is a
+// cross-query data race (append may write in place when capacity allows).
+//
+// The analyzer flags, in any package other than the type's defining
+// package:
+//
+//   - assignments to fields of col.Proj / col.Col (p.Rows = …, c.Kind = …)
+//   - element writes through those fields (p.Rows[i] = …, c.Ints[k] = …)
+//   - append calls whose first argument is a field of col.Proj / col.Col
+//   - assignments to exec.Batch's Proj field (re-pointing a batch at a
+//     projection it does not own)
+//
+// Construction stays where it belongs: the defining package (internal/col
+// for Proj/Col, internal/exec for Batch) is exempt, matching Go's own
+// encapsulation line.
+package batchimmutable
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/opshape"
+)
+
+// Analyzer is the batchimmutable check.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchimmutable",
+	Doc: "col.Proj / col.Col are immutable after construction and shared across concurrent " +
+		"queries; no field assignments, element writes, or appends outside their defining package",
+	Run: run,
+}
+
+// frozenRecv reports whether t is one of the shared-immutable container
+// types, returning which.
+func frozenRecv(t types.Type) (string, bool) {
+	switch {
+	case opshape.IsNamedIn(t, "internal/col", "Proj"):
+		return "col.Proj", true
+	case opshape.IsNamedIn(t, "internal/col", "Col"):
+		return "col.Col", true
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, st.X)
+			case *ast.CallExpr:
+				checkAppend(pass, st)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// frozenField matches expr being a field selector on a frozen type defined
+// outside pass.Pkg, returning the selector, the type label, and whether the
+// match held.
+func frozenField(pass *analysis.Pass, expr ast.Expr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	label, ok := frozenRecv(s.Recv())
+	if !ok {
+		return nil, "", false
+	}
+	// The defining package retains construction rights.
+	if definingPkg(s.Recv()) == pass.Pkg {
+		return nil, "", false
+	}
+	return sel, label, true
+}
+
+func definingPkg(t types.Type) *types.Package {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg()
+	}
+	return nil
+}
+
+// checkWrite flags direct and element writes.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	// Unwrap index chains: p.Rows[i], c.Mat[i][j].
+	target := lhs
+	indexed := false
+	for {
+		ix, ok := target.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		indexed = true
+		target = ix.X
+	}
+	if sel, label, ok := frozenField(pass, target); ok {
+		if indexed {
+			pass.Reportf(sel.Sel.Pos(),
+				"element write through %s.%s mutates a projection shared across concurrent "+
+					"queries; build a new column via the col constructors instead", label, sel.Sel.Name)
+		} else {
+			pass.Reportf(sel.Sel.Pos(),
+				"assignment to %s.%s after construction; projections are version-keyed and "+
+					"shared — build a new %s instead", label, sel.Sel.Name, label)
+		}
+		return
+	}
+	// Re-pointing a Batch at a foreign projection: flag outside exec.
+	if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Proj" {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal &&
+			opshape.IsNamedIn(s.Recv(), "internal/exec", "Batch") &&
+			definingPkg(s.Recv()) != pass.Pkg {
+			pass.Reportf(sel.Sel.Pos(),
+				"assignment to exec.Batch.Proj outside internal/exec; batches expose shared "+
+					"projections read-only — produce a new batch through a VecOp instead")
+		}
+	}
+}
+
+// checkAppend flags append(frozen.Slice, …): append writes in place when
+// capacity allows, racing with every concurrent reader of the projection.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if obj, ok := pass.TypesInfo.Uses[id]; !ok || obj != types.Universe.Lookup("append") {
+		return
+	}
+	if sel, label, ok := frozenField(pass, call.Args[0]); ok {
+		pass.Reportf(sel.Sel.Pos(),
+			"append to %s.%s may write in place into a projection shared across concurrent "+
+				"queries; copy into a fresh slice first", label, sel.Sel.Name)
+	}
+}

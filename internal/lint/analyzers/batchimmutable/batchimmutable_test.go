@@ -1,0 +1,12 @@
+package batchimmutable_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/analyzers/batchimmutable"
+)
+
+func TestBatchimmutable(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), batchimmutable.Analyzer, "a")
+}

@@ -1,0 +1,43 @@
+// Package a is batchimmutable testdata. It imports the real col and exec
+// packages and pokes at shared projections the way a buggy operator would.
+package a
+
+import (
+	"repro/internal/col"
+	"repro/internal/exec"
+	"repro/internal/value"
+)
+
+func mutateProj(p *col.Proj, v value.Value) {
+	p.Rows[0] = v  // want `element write through col.Proj.Rows`
+	p.Extent = "x" // want `assignment to col.Proj.Extent`
+	p.Rows = nil   // want `assignment to col.Proj.Rows`
+}
+
+func mutateCol(c *col.Col) {
+	c.Ints[0] = 1           // want `element write through col.Col.Ints`
+	c.Kind = 0              // want `assignment to col.Col.Kind`
+	_ = append(c.Strs, "x") // want `append to col.Col.Strs`
+	c.Floats[2] += 1.5      // want `element write through col.Col.Floats`
+}
+
+func rePoint(b *exec.Batch, p *col.Proj) {
+	b.Proj = p // want `assignment to exec.Batch.Proj`
+}
+
+// Reads are the whole point of sharing — none of these may be flagged.
+func reads(p *col.Proj, c *col.Col, b *exec.Batch) (value.Value, int64, int) {
+	fresh := append([]string(nil), c.Strs...)
+	_ = fresh
+	sel := b.Sel // operators own their selection vectors; Sel is not frozen
+	_ = sel
+	return p.Rows[0], c.Ints[0], len(p.Rows)
+}
+
+// Local copies are fair game: the frozen types only freeze shared values
+// reached through their fields, not values of the same element types.
+func localScratch(rows []value.Value, v value.Value) {
+	rows[0] = v
+	rows = append(rows, v)
+	_ = rows
+}

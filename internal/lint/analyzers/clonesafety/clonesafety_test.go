@@ -1,0 +1,12 @@
+package clonesafety_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/analyzers/clonesafety"
+)
+
+func TestClonesafety(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clonesafety.Analyzer, "a")
+}

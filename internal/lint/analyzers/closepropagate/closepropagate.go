@@ -1,0 +1,276 @@
+// Package closepropagate enforces the operator lifecycle contract from both
+// ends — the PR 2 Collect/drain bug class, made compile-time:
+//
+//  1. Close errors must be propagated, never discarded. A bare statement
+//     `op.Close()`, a `_ = op.Close()`, or a direct `defer op.Close()`
+//     throws away the only signal a cursor or spill file has for reporting
+//     teardown failure. The accepted idiom is the drain pattern:
+//
+//     defer func() {
+//     if cerr := op.Close(); cerr != nil && err == nil {
+//     err = cerr
+//     }
+//     }()
+//
+//  2. Children opened in an operator's Open/OpenVec must be closed: every
+//     receiver-rooted path opened there (j.left.Open(ctx), p.child.OpenVec)
+//     must have a matching Close/CloseVec on the same path either inside
+//     the method (error-path cleanup, including deferred closures) or in
+//     the type's own Close/CloseVec method. A path handed to another
+//     function (drain(p.child)) transfers ownership and is exempt.
+package closepropagate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/opshape"
+)
+
+// Analyzer is the closepropagate check.
+var Analyzer = &analysis.Analyzer{
+	Name: "closepropagate",
+	Doc: "operator Close/CloseVec errors must be propagated (not discarded), and every child " +
+		"opened in Open/OpenVec must have a matching close on the same field path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		checkDiscards(pass, file)
+	}
+	checkPairing(pass)
+	return nil, nil
+}
+
+// isOperatorClose reports whether call is x.Close() or x.CloseVec() on an
+// operator-shaped receiver, i.e. a call whose error result matters.
+func isOperatorClose(pass *analysis.Pass, call *ast.CallExpr) (*ast.SelectorExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "CloseVec") {
+		return nil, false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, false
+	}
+	if !opshape.IsOperator(s.Recv()) {
+		return nil, false
+	}
+	// Only calls that actually return an error can discard one.
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return nil, false
+	}
+	return sel, true
+}
+
+// checkDiscards flags the three discard shapes.
+func checkDiscards(pass *analysis.Pass, file *ast.File) {
+	report := func(sel *ast.SelectorExpr, how string) {
+		pass.Reportf(sel.Sel.Pos(),
+			"%s discards the %s error of an operator; propagate it "+
+				"(e.g. `if cerr := x.%s(); cerr != nil && err == nil { err = cerr }`)",
+			how, sel.Sel.Name, sel.Sel.Name)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if sel, ok := isOperatorClose(pass, call); ok {
+					report(sel, "bare statement")
+				}
+			}
+		case *ast.DeferStmt:
+			if sel, ok := isOperatorClose(pass, st.Call); ok {
+				report(sel, "direct defer")
+			}
+			// A deferred closure is fine — its body is walked normally.
+		case *ast.GoStmt:
+			if sel, ok := isOperatorClose(pass, st.Call); ok {
+				report(sel, "go statement")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(st.Lhs) {
+					continue
+				}
+				if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					if sel, ok := isOperatorClose(pass, call); ok {
+						report(sel, "assignment to _")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// methodSet groups a type's declared methods for the pairing check.
+type methodSet struct {
+	typeName string
+	open     []*ast.FuncDecl // Open / OpenVec
+	other    []*ast.FuncDecl // everything else, searched for closes
+}
+
+// checkPairing verifies opened receiver paths have matching closes.
+func checkPairing(pass *analysis.Pass) {
+	byType := map[types.Object]*methodSet{}
+	recvOf := map[*ast.FuncDecl]types.Object{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+				continue
+			}
+			recvObj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			rt := recvObj.Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := rt.(*types.Named)
+			if !ok || !opshape.IsOperator(named.Obj().Type()) {
+				continue
+			}
+			ms := byType[named.Obj()]
+			if ms == nil {
+				ms = &methodSet{typeName: named.Obj().Name()}
+				byType[named.Obj()] = ms
+			}
+			recvOf[fd] = recvObj
+			if fd.Name.Name == "Open" || fd.Name.Name == "OpenVec" {
+				ms.open = append(ms.open, fd)
+			} else {
+				ms.other = append(ms.other, fd)
+			}
+		}
+	}
+
+	for _, ms := range byType {
+		if len(ms.open) == 0 {
+			continue
+		}
+		// Paths closed anywhere in the type's non-open methods (Close,
+		// CloseVec, helpers they call stay out of scope — same-name paths
+		// only).
+		closed := map[string]bool{}
+		for _, fd := range ms.other {
+			collectClosed(pass, fd, recvOf[fd], closed)
+		}
+		for _, fd := range ms.open {
+			localClosed := map[string]bool{}
+			collectClosed(pass, fd, recvOf[fd], localClosed)
+			escaped := collectEscapes(pass, fd, recvOf[fd])
+			for _, op := range collectOpens(pass, fd, recvOf[fd]) {
+				if closed[op.path] || localClosed[op.path] || escaped[op.path] {
+					continue
+				}
+				pass.Reportf(op.pos,
+					"%s.%s opens %s but no matching Close/CloseVec on that path exists in %s or in "+
+						"%s's Close/CloseVec; the child leaks when this tree is torn down",
+					ms.typeName, fd.Name.Name, op.path, fd.Name.Name, ms.typeName)
+			}
+		}
+	}
+}
+
+type openSite struct {
+	path string
+	pos  token.Pos
+}
+
+// collectOpens finds receiver-rooted paths with .Open/.OpenVec calls.
+func collectOpens(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) []openSite {
+	var out []openSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Open" && sel.Sel.Name != "OpenVec") {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal || !opshape.IsOperator(s.Recv()) {
+			return true
+		}
+		if path, ok := receiverPath(pass, sel.X, recv); ok {
+			out = append(out, openSite{path: path, pos: sel.Sel.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+// collectClosed records receiver-rooted paths with .Close/.CloseVec calls.
+func collectClosed(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, into map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "CloseVec") {
+			return true
+		}
+		if path, ok := receiverPath(pass, sel.X, recv); ok {
+			into[path] = true
+		}
+		return true
+	})
+}
+
+// collectEscapes records receiver-rooted paths passed as call arguments —
+// ownership handed to a helper (drain, Collect, a goroutine body).
+func collectEscapes(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if path, ok := receiverPath(pass, arg, recv); ok {
+				out[path] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receiverPath renders expr as a normalized path when it is the receiver or
+// a field chain rooted at it: recv.child → "recv.child", recv.kids[i] →
+// "recv.kids[#]". Index expressions normalize to "#" so an open in a loop
+// matches a close in a different loop.
+func receiverPath(pass *analysis.Pass, expr ast.Expr, recv types.Object) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if pass.TypesInfo.Uses[e] == recv {
+			return "recv", true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		base, ok := receiverPath(pass, e.X, recv)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := receiverPath(pass, e.X, recv)
+		if !ok {
+			return "", false
+		}
+		return base + "[#]", true
+	case *ast.ParenExpr:
+		return receiverPath(pass, e.X, recv)
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package closepropagate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/analyzers/closepropagate"
+)
+
+func TestClosepropagate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), closepropagate.Analyzer, "a")
+}

@@ -1,0 +1,124 @@
+// Package a is closepropagate testdata: discard shapes, open/close pairing
+// violations, and the accepted drain/ownership idioms.
+package a
+
+// Ctx and Row stand in for the engine's execution context and row types.
+type Ctx struct{}
+type Row struct{}
+
+// Op structurally matches exec.Operator.
+type Op interface {
+	Open(*Ctx) error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// Leaf is a concrete operator.
+type Leaf struct{ pos int }
+
+func (l *Leaf) Open(*Ctx) error          { l.pos = 0; return nil }
+func (l *Leaf) Next() (Row, bool, error) { return Row{}, false, nil }
+func (l *Leaf) Close() error             { return nil }
+
+// --- discard shapes ---
+
+func discards(op Op) {
+	op.Close()     // want `bare statement discards`
+	_ = op.Close() // want `assignment to _ discards`
+}
+
+func deferred(op Op) error {
+	defer op.Close() // want `direct defer discards`
+	return nil
+}
+
+// propagate is the accepted idiom: the deferred closure folds the Close
+// error into the named return.
+func propagate(op Op) (err error) {
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// returned is also fine: the error leaves the function.
+func returned(op Op) error {
+	return op.Close()
+}
+
+// --- open/close pairing ---
+
+// LeakJoin closes its left child but never its right: flagged at the open.
+type LeakJoin struct {
+	Left  Op
+	Right Op
+}
+
+func (j *LeakJoin) Open(ctx *Ctx) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	return j.Right.Open(ctx) // want `opens recv.Right but no matching`
+}
+func (j *LeakJoin) Next() (Row, bool, error) { return Row{}, false, nil }
+func (j *LeakJoin) Close() error             { return j.Left.Close() }
+
+// PairJoin opens both children and closes both, including the error path.
+type PairJoin struct {
+	Left  Op
+	Right Op
+}
+
+func (j *PairJoin) Open(ctx *Ctx) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		if cerr := j.Left.Close(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return nil
+}
+func (j *PairJoin) Next() (Row, bool, error) { return Row{}, false, nil }
+func (j *PairJoin) Close() error {
+	err := j.Left.Close()
+	if cerr := j.Right.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// drain consumes and closes an operator, propagating the Close error.
+func drain(op Op) (err error) {
+	defer func() {
+		if cerr := op.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		if _, ok, nerr := op.Next(); nerr != nil {
+			return nerr
+		} else if !ok {
+			return nil
+		}
+	}
+}
+
+// EagerJoin hands its opened build side to drain — ownership transfer, not
+// a leak.
+type EagerJoin struct {
+	Build Op
+}
+
+func (j *EagerJoin) Open(ctx *Ctx) error {
+	if err := j.Build.Open(ctx); err != nil {
+		return err
+	}
+	return drain(j.Build)
+}
+func (j *EagerJoin) Next() (Row, bool, error) { return Row{}, false, nil }
+func (j *EagerJoin) Close() error             { return nil }

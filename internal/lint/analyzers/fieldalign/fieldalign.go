@@ -1,0 +1,91 @@
+// Package fieldalign reports struct types whose declared field order wastes
+// memory to padding, mirroring x/tools' fieldalignment analyzer. It is an
+// advisory check (the adllint driver runs it only with -fieldalign): field
+// order is often chosen for readability, and the engine only reorders hot
+// per-batch structs where the padding actually shows up in allocation
+// profiles.
+//
+// For each struct the analyzer compares the current size under the gc
+// layout model against the best size achievable by reordering (fields
+// sorted by alignment then size — optimal for gc's simple layout), and
+// reports when the gap is at least 8 bytes.
+package fieldalign
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// Threshold is the minimum padding waste, in bytes, worth reporting.
+const Threshold = 8
+
+// Analyzer is the fieldalign check.
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldalign",
+	Doc: "advisory: struct field order wastes " +
+		fmt.Sprint(Threshold) + "+ bytes of padding; reorder hot structs (run via adllint -fieldalign)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[st]
+			if !ok {
+				return true
+			}
+			strct, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok || strct.NumFields() < 2 {
+				return true
+			}
+			cur := pass.Sizes.Sizeof(strct)
+			best, order := optimalSize(pass.Sizes, strct)
+			if cur-best >= Threshold {
+				pass.Reportf(ts.Name.Pos(),
+					"struct %s is %d bytes; reordering fields to (%s) makes it %d bytes (%d saved)",
+					ts.Name.Name, cur, order, best, cur-best)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// optimalSize computes the best struct size achievable by reordering fields
+// by descending alignment, then descending size — optimal under gc's
+// sequential layout — and a human-readable field order.
+func optimalSize(sizes types.Sizes, strct *types.Struct) (int64, string) {
+	n := strct.NumFields()
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = strct.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := sizes.Alignof(fields[i].Type()), sizes.Alignof(fields[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		si, sj := sizes.Sizeof(fields[i].Type()), sizes.Sizeof(fields[j].Type())
+		return si > sj
+	})
+	names := ""
+	for i, f := range fields {
+		if i > 0 {
+			names += ", "
+		}
+		names += f.Name()
+	}
+	return sizes.Sizeof(types.NewStruct(fields, nil)), names
+}

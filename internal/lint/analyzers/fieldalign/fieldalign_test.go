@@ -1,0 +1,12 @@
+package fieldalign_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/analyzers/fieldalign"
+)
+
+func TestFieldalign(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), fieldalign.Analyzer, "a")
+}

@@ -1,0 +1,28 @@
+// Package a is fieldalign testdata: one padded struct, one already-tight
+// struct, and one whose waste is under the reporting threshold.
+package a
+
+// Padded interleaves bools with int64s: 40 bytes where 24 suffice.
+type Padded struct { // want `reordering fields`
+	a bool
+	b int64
+	c bool
+	d int64
+	e bool
+}
+
+// Tight is the same field set in optimal order.
+type Tight struct {
+	b int64
+	d int64
+	a bool
+	c bool
+	e bool
+}
+
+// Minor wastes under 8 bytes — below the advisory threshold.
+type Minor struct {
+	a bool
+	b int32
+	c bool
+}

@@ -1,0 +1,101 @@
+// Package snapshotdiscipline enforces MVCC read isolation at the call
+// graph's surface: code in the serving and execution layers must read object
+// state through a Snapshot (which implements eval.DB, exec.IndexedDB and
+// exec.ColumnarDB at a pinned version), never through the raw storage.Store
+// read accessors. A direct Store read compiles and returns plausible data —
+// but it sees concurrent writers mid-flight, silently escaping the snapshot
+// the rest of the query pinned.
+//
+// The analyzer flags method calls of the Store read surface (Table, Lookup,
+// Deref, OIDs, Size, IndexLookup, IndexRange, ColProj) on a value whose type
+// is storage.Store, in any package whose import path ends with one of the
+// scoped suffixes. Administrative and write-path methods (Snapshot, Insert,
+// Delete, Update, Analyze, Stats, GC, CreateIndex, ...) stay allowed: those
+// are the Store's actual contract with the serving layer.
+package snapshotdiscipline
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/opshape"
+)
+
+// Scope lists the import-path suffixes the discipline applies to. Nil means
+// every package (used by the analysistest suite, whose testdata package path
+// is synthetic). The serving and execution layers are scoped; internal/eval
+// and internal/storage itself are not — eval predates the serving layer and
+// is reached only through Snapshot already, and the Store must of course
+// call itself.
+var Scope = []string{
+	"internal/server",
+	"internal/exec",
+	"cmd/adlserve",
+	"cmd/adlload",
+}
+
+// readSurface is the set of Store methods that read object state and are
+// therefore version-sensitive.
+var readSurface = map[string]bool{
+	"Table":       true,
+	"Lookup":      true,
+	"Deref":       true,
+	"OIDs":        true,
+	"Size":        true,
+	"IndexLookup": true,
+	"IndexRange":  true,
+	"ColProj":     true,
+}
+
+// Analyzer is the snapshotdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotdiscipline",
+	Doc: "serving/exec code must read through Snapshot (eval.DB / exec.IndexedDB / exec.ColumnarDB), " +
+		"never storage.Store's raw read accessors, which escape MVCC visibility",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !readSurface[sel.Sel.Name] {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok {
+				return true // package-qualified call, not a method
+			}
+			if !opshape.IsNamedIn(s.Recv(), "internal/storage", "Store") {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"direct storage.Store.%s read escapes MVCC snapshot visibility; go through "+
+					"Store.Snapshot() (it implements the eval.DB, exec.IndexedDB and exec.ColumnarDB "+
+					"read interfaces at a pinned version)", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func inScope(pkgPath string) bool {
+	if Scope == nil {
+		return true
+	}
+	for _, suffix := range Scope {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) ||
+			strings.Contains(pkgPath, "/"+suffix+"/") || strings.HasPrefix(pkgPath, suffix+"/") {
+			return true
+		}
+	}
+	return false
+}

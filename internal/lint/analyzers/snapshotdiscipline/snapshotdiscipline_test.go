@@ -1,0 +1,17 @@
+package snapshotdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysis/analysistest"
+	"repro/internal/lint/analyzers/snapshotdiscipline"
+)
+
+func TestSnapshotdiscipline(t *testing.T) {
+	// The testdata package path is synthetic, so widen the scope for the run.
+	saved := snapshotdiscipline.Scope
+	snapshotdiscipline.Scope = nil
+	defer func() { snapshotdiscipline.Scope = saved }()
+
+	analysistest.Run(t, analysistest.TestData(t), snapshotdiscipline.Analyzer, "a")
+}

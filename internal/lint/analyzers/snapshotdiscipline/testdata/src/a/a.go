@@ -1,0 +1,35 @@
+// Package a is snapshotdiscipline testdata. It imports the real storage
+// package and exercises both the forbidden raw-Store read surface and the
+// allowed snapshot/admin surface. (The test runs with Scope = nil so the
+// synthetic package path is in scope.)
+package a
+
+import (
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func badReads(s *storage.Store) {
+	s.Table("emp")                             // want `direct storage.Store.Table read`
+	s.Lookup(value.OID(1))                     // want `direct storage.Store.Lookup read`
+	s.Deref(value.OID(1))                      // want `direct storage.Store.Deref read`
+	s.OIDs("emp")                              // want `direct storage.Store.OIDs read`
+	s.Size("emp")                              // want `direct storage.Store.Size read`
+	s.IndexLookup("emp", "age", value.Int(30)) // want `direct storage.Store.IndexLookup read`
+	s.ColProj("emp", []string{"age"})          // want `direct storage.Store.ColProj read`
+}
+
+func goodReads(s *storage.Store) {
+	snap := s.Snapshot()
+	snap.Table("emp")
+	snap.Lookup(value.OID(1))
+	_ = s.Stats()
+	_ = s.Catalog()
+	s.Analyze()
+}
+
+func writesAllowed(s *storage.Store, t *value.Tuple) {
+	s.Insert("emp", t)
+	s.Delete("emp", value.OID(1))
+	s.GC()
+}

@@ -1,0 +1,96 @@
+// Package opshape recognizes the engine's Volcano iterator shapes from type
+// structure alone: a row operator has Open/Next/Close methods, a batch
+// operator OpenVec/NextBatch/CloseVec, with Close returning exactly error
+// (the exec.Operator and exec.VecOp contracts). Matching structurally — by
+// method names and the Close signature, not by named interface identity —
+// keeps the analyzers working on any module, including the synthetic
+// testdata packages the analysistest suites and the driver test load, which
+// define their own toy operators.
+package opshape
+
+import "go/types"
+
+// hasMethod reports whether t's method set contains name, optionally
+// requiring the func() error signature (the Close/CloseVec contract).
+func hasMethod(t types.Type, name string, wantErrResult bool) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != name {
+			continue
+		}
+		if !wantErrResult {
+			return true
+		}
+		sig := f.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			return false
+		}
+		named, ok := sig.Results().At(0).Type().(*types.Named)
+		return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+	}
+	return false
+}
+
+// iteratorShape reports whether t (as given — pass a pointer type to get
+// the full method set) carries the row or batch iterator method triple.
+func iteratorShape(t types.Type) bool {
+	if hasMethod(t, "Close", true) && hasMethod(t, "Open", false) && hasMethod(t, "Next", false) {
+		return true
+	}
+	return hasMethod(t, "CloseVec", true) && hasMethod(t, "OpenVec", false) && hasMethod(t, "NextBatch", false)
+}
+
+// IsOperator reports whether values of type t behave as a row or batch
+// operator: t itself, or its pointer (for named non-pointer types), has the
+// iterator method triple. Interfaces qualify when they declare the triple.
+func IsOperator(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if iteratorShape(t) {
+		return true
+	}
+	// A named struct whose methods live on the pointer receiver.
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			return iteratorShape(types.NewPointer(t))
+		}
+	}
+	return false
+}
+
+// ValueReceiverOperator reports whether t is an operator whose iterator
+// methods are all in the VALUE method set — the shape exec.CloneTree cannot
+// clone: cloneAny only copies pointer-to-struct nodes, so a value-typed
+// operator stored in an Operator interface is returned as-is and every
+// "clone" shares its state.
+func ValueReceiverOperator(t types.Type) bool {
+	return iteratorShape(t)
+}
+
+// IsNamedIn reports whether t (possibly behind a pointer) is the named type
+// pkgSuffix.name — matching the defining package by import-path suffix so
+// the check is independent of the module name.
+func IsNamedIn(t types.Type, pkgSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgSuffix || len(path) > len(pkgSuffix) && path[len(path)-len(pkgSuffix)-1] == '/' &&
+		path[len(path)-len(pkgSuffix):] == pkgSuffix
+}

@@ -138,12 +138,14 @@ func New(cat *schema.Catalog) *Store {
 	return s
 }
 
-// SetObjectsPerPage tunes the page model clustering factor. It is a setup
-// call: tune before queries run, not concurrently with them.
+// SetObjectsPerPage tunes the page model clustering factor. Taking the
+// writer lock makes late tuning safe too, not just setup-time calls.
 func (s *Store) SetObjectsPerPage(n int) {
 	if n < 1 {
 		n = 1
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.objectsPerPage = n
 }
 
@@ -270,7 +272,7 @@ func (s *Store) aliveAt(extent string, oid value.OID, seq uint64) (*objVersion, 
 // mutated counts one delete/update toward the auto-GC trigger and runs a
 // collection when the threshold is reached. Caller holds the writer lock.
 func (s *Store) mutated() {
-	s.mutations++
+	s.mutations++ //lint:adllint atomicmeter every caller already holds s.mu (Delete/Update write path)
 	if s.gcEvery > 0 && s.mutations >= s.gcEvery {
 		s.gcLocked()
 	}
