@@ -47,15 +47,15 @@ bench-json:
 # allocate at most this percent of its scalar twin's allocs/op.
 VEC_ALLOC_PCT ?= 5
 
-# Scalar-vs-vectorized benchmark pairs (B1's execution-only arms and the B13
-# pipeline), gated on the allocation budget at the full S400 scale and folded
-# into the committed perf trajectory. The gate runs before the merge so a
-# failing run never pollutes $(BENCH_OUT). Smoke scales are measured and
-# archived but not gated: their scalar arms are small enough that the
-# vectorized pipeline's fixed result-materialization floor dominates the
-# ratio.
+# Scalar-vs-batch benchmark pairs (B1's execution-only arms, the B13
+# pipeline, and B14's four-way parallel-vectorized arms), gated on the
+# allocation budget at the full S400 scale and folded into the committed
+# perf trajectory. The gate runs before the merge so a failing run never
+# pollutes $(BENCH_OUT). Smoke scales are measured and archived but not
+# gated: their scalar arms are small enough that the vectorized pipeline's
+# fixed result-materialization floor dominates the ratio.
 bench-vec:
-	$(GO) test -bench='BenchmarkB1/(scalar|vectorized)_exec|BenchmarkB13/' \
+	$(GO) test -bench='BenchmarkB1/(scalar|vectorized)_exec|BenchmarkB13/|BenchmarkB14/' \
 		-benchmem -benchtime=$(BENCHTIME) -run='^$$' . > bench-vec-raw.txt
 	$(GO) run ./cmd/benchjson -out bench-vec.json < bench-vec-raw.txt
 	$(GO) run ./cmd/benchjson -alloc-gate $(VEC_ALLOC_PCT) -match S400 bench-vec.json

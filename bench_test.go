@@ -364,6 +364,52 @@ func BenchmarkB13(b *testing.B) {
 	}
 }
 
+// BenchmarkB14 — the four-way parallel-vectorized A/B on the B13 pipeline,
+// execution-only: scalar, parallel partitioned operators, vectorized batch
+// kernels, and the morsel-driven exchange feeding the partitioned batch
+// join. Sub-names pair up under benchjson -alloc-gate (scalar vs vectorized
+// AND scalar vs parallel-vectorized at S400).
+func BenchmarkB14(b *testing.B) {
+	for _, sc := range [][2]int{{100, 10000}, {400, 40000}} {
+		w := experiments.NewVecJoin(sc[0], sc[1], 0, 94)
+		if err := w.Warm(); err != nil {
+			b.Fatal(err)
+		}
+		ctx := &exec.Ctx{DB: w.Store}
+		arms := []struct {
+			name       string
+			vectorized bool
+			parallel   bool
+		}{
+			{"scalar", false, false},
+			{"parallel", false, true},
+			{"vectorized", true, false},
+			{"parallel-vectorized", true, true},
+		}
+		want, err := exec.Collect(exec.CloneTree(w.PlanArm(false, false, 4).Root), ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("S%d_D%d", sc[0], sc[1])
+		for _, arm := range arms {
+			pl := w.PlanArm(arm.vectorized, arm.parallel, 4)
+			got, err := exec.Collect(exec.CloneTree(pl.Root), ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !value.Equal(got, want) {
+				b.Fatalf("%s arm diverges from scalar at scale %v", arm.name, sc)
+			}
+			b.Run(arm.name+"/"+name, func(b *testing.B) {
+				run(b, func() error {
+					_, err := exec.Collect(exec.CloneTree(pl.Root), ctx)
+					return err
+				})
+			})
+		}
+	}
+}
+
 // BenchmarkParallelPlanner — the same optimized query compiled by the serial
 // planner and by the parallel configuration (stats-fed threshold), end to
 // end through plan.Config.Compile.

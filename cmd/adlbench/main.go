@@ -1,4 +1,4 @@
-// Command adlbench runs the performance experiment suite B1–B7 (see
+// Command adlbench runs the performance experiment suite B1–B14 (see
 // DESIGN.md §4) and prints paper-style result tables. Every optimized arm is
 // verified against the nested-loop reference before its time is reported.
 //
@@ -17,6 +17,7 @@
 //	adlbench -indexes=false  # B11 planned without indexes (A/B control)
 //	adlbench -exp B12        # histogram estimates vs the NDV-only model
 //	adlbench -exp B13        # scalar vs vectorized batch execution
+//	adlbench -exp B14        # four-way: scalar / parallel / vectorized / parallel-vectorized
 //	adlbench -vectorized     # run every optimized arm through the batch pipeline
 //	adlbench -batch 256      # vectorized rows per batch (rejects n ≤ 0)
 //	adlbench -explain        # print each experiment's annotated plan first
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment to run (B1..B13); empty = all")
+		exp        = flag.String("exp", "", "experiment to run (B1..B14); empty = all")
 		quick      = flag.Bool("quick", false, "smaller scales")
 		parallel   = flag.Int("parallel", -1, "partition/worker count for the parallel arms: n > 0 partitions, 0 = serial, negative = NumCPU")
 		analyze    = flag.Bool("analyze", true, "collect statistics (ANALYZE) before planning B9's optimizer arm; -analyze=false falls back to the size threshold")
@@ -133,6 +134,10 @@ func main() {
 		{"B13", func() (*bench.Table, error) {
 			return experiments.B13(scale(400, 60), scale(40000, 1200),
 				*batch, seed)
+		}},
+		{"B14", func() (*bench.Table, error) {
+			return experiments.B14(scale(400, 60), scale(200000, 1200),
+				*batch, *parallel, seed)
 		}},
 	}
 

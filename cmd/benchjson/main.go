@@ -24,9 +24,9 @@
 // present in both regressed its wall time by more than -threshold percent.
 // Serving metrics (Metrics map) ride along in both modes but are reported
 // only — run-to-run QPS on shared CI runners is too noisy to gate on.
-// -alloc-gate checks the scalar/vectorized benchmark pairs inside ONE file:
-// each vectorized arm must allocate at most the given percent of its scalar
-// twin's allocs/op. Allocation counts are deterministic, so unlike wall time
+// -alloc-gate checks the scalar-vs-batch benchmark pairs inside ONE file:
+// each vectorized (and parallel-vectorized) arm must allocate at most the
+// given percent of its scalar twin's allocs/op. Allocation counts are deterministic, so unlike wall time
 // this gate is safe at a tight threshold on shared runners. -match restricts
 // the gate to pairs whose name matches (CI gates the full-scale S400 pairs:
 // smoke scales carry a fixed result-materialization floor that dominates
@@ -137,13 +137,14 @@ func merge(base, extra File) File {
 	return base
 }
 
-// allocGate checks every scalar/vectorized benchmark pair in one file: a
+// allocGate checks every scalar-vs-batch benchmark pair in one file: a
 // result with a "/scalar" path segment is paired with the same name under
-// "/vectorized" (so B1's scalar_exec/vectorized_exec arms pair up too), and
-// the vectorized arm must allocate at most pct percent of the scalar arm's
+// "/vectorized" (so B1's scalar_exec/vectorized_exec arms pair up too) and,
+// when present, under "/parallel-vectorized" (B14's four-way arms), and
+// each batch arm must allocate at most pct percent of the scalar arm's
 // allocs/op — the claim behind the batch pipeline is near-zero steady-state
-// allocation, so a creeping alloc count is a regression even when wall time
-// still looks fine.
+// allocation (pooled buffers even across worker goroutines), so a creeping
+// alloc count is a regression even when wall time still looks fine.
 func allocGate(f File, pct float64, match *regexp.Regexp, w *os.File) (failed, compared int) {
 	byName := map[string]Result{}
 	names := make([]string, 0, len(f.Results))
@@ -157,16 +158,21 @@ func allocGate(f File, pct float64, match *regexp.Regexp, w *os.File) (failed, c
 			continue
 		}
 		sr := byName[name]
-		vr, ok := byName[strings.Replace(name, "/scalar", "/vectorized", 1)]
-		if !ok || sr.AllocsPerOp <= 0 || vr.AllocsPerOp <= 0 {
+		if sr.AllocsPerOp <= 0 {
 			continue
 		}
-		compared++
-		limit := float64(sr.AllocsPerOp) * pct / 100
-		if float64(vr.AllocsPerOp) > limit {
-			failed++
-			fmt.Fprintf(w, "ALLOC REGRESSION %-55s %8d allocs/op > %.0f%% of scalar's %d\n",
-				vr.Name, vr.AllocsPerOp, pct, sr.AllocsPerOp)
+		for _, arm := range []string{"/vectorized", "/parallel-vectorized"} {
+			vr, ok := byName[strings.Replace(name, "/scalar", arm, 1)]
+			if !ok || vr.AllocsPerOp <= 0 {
+				continue
+			}
+			compared++
+			limit := float64(sr.AllocsPerOp) * pct / 100
+			if float64(vr.AllocsPerOp) > limit {
+				failed++
+				fmt.Fprintf(w, "ALLOC REGRESSION %-55s %8d allocs/op > %.0f%% of scalar's %d\n",
+					vr.Name, vr.AllocsPerOp, pct, sr.AllocsPerOp)
+			}
 		}
 	}
 	return failed, compared
@@ -210,7 +216,7 @@ func main() {
 	mergePath := flag.String("merge", "", "benchjson file whose results are folded into the output")
 	comparePair := flag.Bool("compare", false, "compare two files: baseline fresh; exit 1 on regression")
 	threshold := flag.Float64("threshold", 25, "regression threshold in percent for -compare")
-	gatePct := flag.Float64("alloc-gate", 0, "check scalar/vectorized pairs in one file: vectorized allocs/op must be ≤ this percent of the scalar arm; exit 1 otherwise")
+	gatePct := flag.Float64("alloc-gate", 0, "check scalar vs (parallel-)vectorized pairs in one file: each batch arm allocs/op must be ≤ this percent of the scalar arm; exit 1 otherwise")
 	gateMatch := flag.String("match", "", "regexp restricting which pairs -alloc-gate checks (e.g. S400 for the full-scale pairs); empty = all")
 	flag.Parse()
 

@@ -297,3 +297,95 @@ func BenchmarkPartitionedVsSerialHashJoin(b *testing.B) {
 		})
 	}
 }
+
+// closeErr yields n rows and then fails on Close, for teardown-error tests.
+type closeErr struct {
+	n   int
+	pos int
+}
+
+var errTeardown = errors.New("teardown failed")
+
+func (e *closeErr) Open(*Ctx) error { e.pos = 0; return nil }
+func (e *closeErr) Next() (value.Value, bool, error) {
+	if e.pos >= e.n {
+		return nil, false, nil
+	}
+	e.pos++
+	return value.NewTuple("d", value.Int(int64(e.pos%4)), "c", value.Int(int64(e.pos))), true, nil
+}
+func (e *closeErr) Close() error { return errTeardown }
+
+// TestParallelCloseErrorPropagation checks Close errors surface instead of
+// vanishing into the merge machinery: a build side failing on teardown
+// fails the join's Open (drain semantics), and a child failing on teardown
+// fails the parallel map's Close.
+func TestParallelCloseErrorPropagation(t *testing.T) {
+	d := db(19, 20, 10)
+	pj := &PartitionedHashJoin{Kind: adl.Inner,
+		L: &Scan{Table: "L"}, R: &closeErr{n: 8},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), Partitions: 3}
+	if _, err := Collect(pj, &Ctx{DB: d}); !errors.Is(err, errTeardown) {
+		t.Errorf("build-side Close error lost: got %v", err)
+	}
+
+	pm := &ParallelMap{Child: &closeErr{n: 8}, Var: "x",
+		Body: NewScalar(adl.Dot(adl.V("x"), "c"), "x"), Workers: 3}
+	if _, err := Collect(pm, &Ctx{DB: d}); !errors.Is(err, errTeardown) {
+		t.Errorf("ParallelMap child Close error lost: got %v", err)
+	}
+}
+
+// TestPartitionedHashJoinSinglePartition pins the Partitions=1 degeneracy:
+// one worker, one partition, still identical to the serial join for every
+// kind.
+func TestPartitionedHashJoinSinglePartition(t *testing.T) {
+	d := db(23, 50, 30)
+	for _, kind := range []adl.JoinKind{adl.Inner, adl.Semi, adl.Anti, adl.Outer, adl.NestJ} {
+		as := ""
+		if kind == adl.NestJ {
+			as = "ys"
+		}
+		want := collect(t, &HashJoin{Kind: kind,
+			L: &Scan{Table: "L"}, R: &Scan{Table: "R"}, LVar: "x", RVar: "y",
+			LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+			RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), As: as}, d)
+		got := collect(t, &PartitionedHashJoin{Kind: kind,
+			L: &Scan{Table: "L"}, R: &Scan{Table: "R"}, LVar: "x", RVar: "y",
+			LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+			RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), As: as, Partitions: 1}, d)
+		if !value.Equal(got, want) {
+			t.Errorf("%v: got %v want %v", kind, got, want)
+		}
+	}
+}
+
+// TestParallelCancelMidPartition opens a join whose output far exceeds the
+// merge buffer, closes it while workers are parked on the full channel,
+// then reopens the same instance and checks full equivalence — cancellation
+// must not corrupt operator state.
+func TestParallelCancelMidPartition(t *testing.T) {
+	d := db(29, 4000, 200)
+	ctx := &Ctx{DB: d}
+	pj := &PartitionedHashJoin{Kind: adl.Inner,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"},
+		LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y"), Partitions: 4}
+	if err := pj.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No Next at all: every worker still mid-partition when Close lands.
+	if err := pj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, &HashJoin{Kind: adl.Inner,
+		L: &Scan{Table: "L"}, R: &Scan{Table: "R"}, LVar: "x", RVar: "y",
+		LKey: NewScalar(adl.Dot(adl.V("x"), "b"), "x"),
+		RKey: NewScalar(adl.Dot(adl.V("y"), "d"), "y")}, d)
+	if got := collect(t, pj, d); !value.Equal(got, want) {
+		t.Fatal("post-cancel reopen diverged from serial join")
+	}
+}

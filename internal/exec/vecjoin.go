@@ -179,6 +179,16 @@ func (t *keyTable) build(ctx *Ctx, rows []value.Value, key Scalar) error {
 			t.keys = append(t.keys, k)
 		}
 	}
+	t.index()
+	return nil
+}
+
+// index constructs the table over t.keys, which must already be evaluated.
+// Partitioned callers fill keys directly — routing rows by hash — and index
+// each partition independently; index never fails and touches only the
+// receiver, so disjoint partitions can be indexed concurrently.
+func (t *keyTable) index() {
+	t.i64, t.str, t.gen = nil, nil, nil
 	if len(t.keys) > 0 {
 		kind := t.keys[0].Kind()
 		uniform := true
@@ -197,7 +207,7 @@ func (t *keyTable) build(ctx *Ctx, rows []value.Value, key Scalar) error {
 				}
 				t.vkind = kind
 				t.i64 = newI64Table(bs)
-				return nil
+				return
 			case value.KindString:
 				ss := make([]string, len(t.keys))
 				for i, k := range t.keys {
@@ -205,7 +215,7 @@ func (t *keyTable) build(ctx *Ctx, rows []value.Value, key Scalar) error {
 				}
 				t.vkind = kind
 				t.str = newStrTable(ss)
-				return nil
+				return
 			}
 		}
 	}
@@ -214,7 +224,6 @@ func (t *keyTable) build(ctx *Ctx, rows []value.Value, key Scalar) error {
 		h := value.Hash(k)
 		t.gen[h] = append(t.gen[h], int32(i))
 	}
-	return nil
 }
 
 // appendFast fills keys by reading a v.attr key straight off each build
@@ -223,12 +232,8 @@ func (t *keyTable) build(ctx *Ctx, rows []value.Value, key Scalar) error {
 // is also how shape mismatches (non-tuple rows, missing attributes) surface
 // the interpreter's exact errors.
 func (t *keyTable) appendFast(rows []value.Value, key Scalar) bool {
-	f, ok := key.Expr.(*adl.Field)
-	if !ok || len(key.Vars) != 1 {
-		return false
-	}
-	v, ok := f.X.(*adl.Var)
-	if !ok || v.Name != key.Vars[0] {
+	attr := fieldKeyAttr(key)
+	if attr == "" {
 		return false
 	}
 	for _, r := range rows {
@@ -236,7 +241,7 @@ func (t *keyTable) appendFast(rows []value.Value, key Scalar) bool {
 		if !ok {
 			return false
 		}
-		k, ok := tup.Get(f.Name)
+		k, ok := tup.Get(attr)
 		if !ok {
 			return false
 		}
@@ -311,6 +316,69 @@ func (t *keyTable) forEach(k value.Value, fn func(ri int) error) error {
 	return nil
 }
 
+// errStopProbe is the sentinel a probe callback returns to end the match
+// walk early without error (a semijoin's first residual-passing hit);
+// probeEach and forEachElem swallow it.
+var errStopProbe = errors.New("exec: stop probe")
+
+// probeEach walks every build row whose key matches left row i, dispatching
+// on the probe column's type the way the join operators' inline fast paths
+// do: a typed column against the matching typed table walks the flat chain
+// with no value boxing; a typed column against a typed table of another kind
+// matches nothing (Equal never crosses kinds); a typed column against the
+// generic table reads the key off the decoded tuple; Mixed columns go
+// through the interpreter, reference semantics and scalar errors included.
+// fn may return errStopProbe to end the walk early.
+func (t *keyTable) probeEach(ctx *Ctx, p *col.Proj, i int32, c *col.Col, lkey Scalar, attr, opName string, fn func(ri int) error) error {
+	if err := t.probeWalk(ctx, p, i, c, lkey, attr, opName, fn); err != nil && err != errStopProbe {
+		return err
+	}
+	return nil
+}
+
+func (t *keyTable) probeWalk(ctx *Ctx, p *col.Proj, i int32, c *col.Col, lkey Scalar, attr, opName string, fn func(ri int) error) error {
+	typedCol := c != nil && c.Kind != col.Mixed
+	switch {
+	case typedCol && t.i64 != nil && intBacked(c.Kind) && mustColValueKind(c.Kind) == t.vkind:
+		k := c.Ints[i]
+		for s := t.i64.head(k); s != 0; s = t.i64.next[s-1] {
+			if t.i64.keys[s-1] == k {
+				if err := fn(int(s - 1)); err != nil {
+					return err
+				}
+			}
+		}
+	case typedCol && t.str != nil && c.Kind == col.Str:
+		k := c.Strs[i]
+		for s := t.str.head(k); s != 0; s = t.str.next[s-1] {
+			if t.str.keys[s-1] == k {
+				if err := fn(int(s - 1)); err != nil {
+					return err
+				}
+			}
+		}
+	case typedCol && t.typed():
+		// cross-kind: no matches
+	case typedCol:
+		// Generic table, typed column: the key comes straight off the
+		// decoded tuple (a typed column implies every row is a tuple
+		// carrying the attribute).
+		k, _ := p.Rows[i].(*value.Tuple).Get(attr)
+		return t.forEach(k, fn)
+	default:
+		// Mixed column: reference row-wise path.
+		if _, err := asTuple(p.Rows[i], opName); err != nil {
+			return err
+		}
+		k, err := lkey.Eval(ctx, p.Rows[i])
+		if err != nil {
+			return err
+		}
+		return t.forEach(k, fn)
+	}
+	return nil
+}
+
 // VecSemiJoin is the batch hash semijoin/antijoin on an equi-key: the right
 // operand is drained and hashed once, then left batches pass through with
 // their selection narrowed to rows whose key column hits (semi) or misses
@@ -324,9 +392,13 @@ type VecSemiJoin struct {
 	LAttr string
 	LKey  Scalar
 	RKey  Scalar
+	// Residual is an optional extra predicate over both join variables; a
+	// key match counts only after the residual passes on the pair.
+	Residual *Scalar
 
-	ctx *Ctx
-	tab keyTable
+	ctx   *Ctx
+	tab   keyTable
+	right []value.Value
 }
 
 // OpenVec builds the table from the right operand and opens the left
@@ -339,6 +411,9 @@ func (j *VecSemiJoin) OpenVec(ctx *Ctx) error {
 	}
 	if err := j.tab.build(ctx, rrows, j.RKey); err != nil {
 		return err
+	}
+	if j.Residual != nil {
+		j.right = rrows
 	}
 	return j.L.OpenVec(ctx)
 }
@@ -360,12 +435,41 @@ func (j *VecSemiJoin) NextBatch() (Batch, bool, error) {
 }
 
 // CloseVec closes the left pipeline (the right operand was drained at open).
-func (j *VecSemiJoin) CloseVec() error { return j.L.CloseVec() }
+func (j *VecSemiJoin) CloseVec() error {
+	j.right = nil
+	return j.L.CloseVec()
+}
 
 // probe narrows sel to the rows passing the (anti)semijoin.
 func (j *VecSemiJoin) probe(p *col.Proj, sel []int32) ([]int32, error) {
 	c := p.Col(j.LAttr)
 	out := sel[:0]
+	if j.Residual != nil {
+		// Residual predicate: every key match walks the pair through the
+		// interpreter until one passes (the scalar HashJoin's semi break).
+		for _, i := range sel {
+			lrow := p.Rows[i]
+			matched := false
+			err := j.tab.probeEach(j.ctx, p, i, c, j.LKey, j.LAttr, "hash join", func(ri int) error {
+				ok, err := j.Residual.Bool(j.ctx, lrow, j.right[ri])
+				if err != nil {
+					return err
+				}
+				if ok {
+					matched = true
+					return errStopProbe
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if matched != j.Anti {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	}
 	switch {
 	case c != nil && j.tab.i64 != nil && intBacked(c.Kind) && mustColValueKind(c.Kind) == j.tab.vkind:
 		for _, i := range sel {
@@ -420,20 +524,25 @@ func mustColValueKind(k col.Kind) value.Kind {
 	return vk
 }
 
-// VecInnerJoin is the batch hash inner join on an equi-key. It sinks the
-// batch pipeline: output rows are fresh concatenated tuples, so it exposes
-// the Operator interface (plus bulk collection) rather than VecOp.
+// VecInnerJoin is the batch hash inner/outer join on an equi-key. It sinks
+// the batch pipeline: output rows are fresh concatenated tuples, so it
+// exposes the Operator interface (plus bulk collection) rather than VecOp.
 type VecInnerJoin struct {
 	L     VecOp
 	R     Operator
 	LAttr string
 	LKey  Scalar
 	RKey  Scalar
+	// Residual is an optional extra predicate over both join variables.
+	Residual *Scalar
+	// Outer pads unmatched left rows with nulls over the right schema.
+	Outer bool
 
-	right []value.Value
-	tab   keyTable
-	out   []value.Value
-	pos   int
+	right   []value.Value
+	tab     keyTable
+	nullPad *value.Tuple
+	out     []value.Value
+	pos     int
 }
 
 // Open builds the table from the right operand and computes the join
@@ -445,6 +554,10 @@ func (j *VecInnerJoin) Open(ctx *Ctx) (err error) {
 	}
 	if err := j.tab.build(ctx, j.right, j.RKey); err != nil {
 		return err
+	}
+	j.nullPad = value.EmptyTuple()
+	if j.Outer {
+		j.nullPad = outerNullPad(adl.Outer, j.right)
 	}
 	if err := j.L.OpenVec(ctx); err != nil {
 		return err
@@ -473,49 +586,34 @@ func (j *VecInnerJoin) Open(ctx *Ctx) (err error) {
 // probeBatch joins one batch into the output.
 func (j *VecInnerJoin) probeBatch(ctx *Ctx, b Batch) error {
 	c := b.Proj.Col(j.LAttr)
-	typedCol := c != nil && c.Kind != col.Mixed
 	for _, i := range b.Sel {
 		lrow := b.Proj.Rows[i]
-		var lt *value.Tuple
-		var err error
-		if typedCol {
-			lt = lrow.(*value.Tuple)
-		} else if lt, err = asTuple(lrow, "hash join"); err != nil {
+		lt, err := asTuple(lrow, "hash join")
+		if err != nil {
 			return err
 		}
-		switch {
-		case typedCol && j.tab.i64 != nil && intBacked(c.Kind) && mustColValueKind(c.Kind) == j.tab.vkind:
-			k := c.Ints[i]
-			t := j.tab.i64
-			for s := t.head(k); s != 0; s = t.next[s-1] {
-				if t.keys[s-1] == k {
-					if err := j.emit(lt, int(s-1)); err != nil {
-						return err
-					}
+		matched := false
+		if err := j.tab.probeEach(ctx, b.Proj, i, c, j.LKey, j.LAttr, "hash join", func(ri int) error {
+			if j.Residual != nil {
+				ok, err := j.Residual.Bool(ctx, lrow, j.right[ri])
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
 				}
 			}
-		case typedCol && j.tab.str != nil && c.Kind == col.Str:
-			k := c.Strs[i]
-			t := j.tab.str
-			for s := t.head(k); s != 0; s = t.next[s-1] {
-				if t.keys[s-1] == k {
-					if err := j.emit(lt, int(s-1)); err != nil {
-						return err
-					}
-				}
-			}
-		case typedCol && j.tab.typed():
-			// cross-kind: no matches
-		default:
-			var k value.Value
-			if typedCol {
-				k, _ = lt.Get(j.LAttr)
-			} else if k, err = j.LKey.Eval(ctx, lrow); err != nil {
+			matched = true
+			return j.emit(lt, ri)
+		}); err != nil {
+			return err
+		}
+		if j.Outer && !matched {
+			cat, err := lt.Concat(j.nullPad)
+			if err != nil {
 				return err
 			}
-			if err := j.tab.forEach(k, func(ri int) error { return j.emit(lt, ri) }); err != nil {
-				return err
-			}
+			j.out = append(j.out, cat)
 		}
 	}
 	return nil
@@ -547,13 +645,128 @@ func (j *VecInnerJoin) Next() (value.Value, bool, error) {
 
 // Close releases buffers.
 func (j *VecInnerJoin) Close() error {
-	j.right, j.out = nil, nil
+	j.right, j.out, j.nullPad = nil, nil, nil
 	return nil
 }
 
 // CollectSet materializes the join straight into a set with the bulk
 // constructor.
 func (j *VecInnerJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
+	if err := j.Open(ctx); err != nil {
+		return nil, errors.Join(err, j.Close())
+	}
+	s := value.NewSetFromSlice(j.out)
+	j.out = j.out[:0]
+	if cerr := j.Close(); cerr != nil {
+		return nil, cerr
+	}
+	return s, nil
+}
+
+// VecHashGroupJoin is the batch hash nestjoin (grouping join) on an
+// equi-key: each left row is extended with a set-valued attribute holding
+// its matching right rows (or their RFun images) — the paper's nestjoin
+// evaluated with the §6.1 hash-join adaptation over the typed batch tables.
+// Exactly one output row per left row, matched or not.
+type VecHashGroupJoin struct {
+	L     VecOp
+	R     Operator
+	LAttr string
+	LKey  Scalar
+	RKey  Scalar
+	// Residual is an optional extra predicate over both join variables.
+	Residual *Scalar
+	// As names the nest attribute; RFun optionally maps each matched pair
+	// to the nested member.
+	As   string
+	RFun *Scalar
+
+	right []value.Value
+	tab   keyTable
+	out   []value.Value
+	pos   int
+}
+
+// Open builds the table from the right operand and computes the grouping
+// join eagerly.
+func (j *VecHashGroupJoin) Open(ctx *Ctx) (err error) {
+	j.right, err = drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	if err := j.tab.build(ctx, j.right, j.RKey); err != nil {
+		return err
+	}
+	if err := j.L.OpenVec(ctx); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := j.L.CloseVec(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	j.out = j.out[:0]
+	j.pos = 0
+	for {
+		b, ok, err := j.L.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		c := b.Proj.Col(j.LAttr)
+		for _, i := range b.Sel {
+			lrow := b.Proj.Rows[i]
+			lt, err := asTuple(lrow, "hash join")
+			if err != nil {
+				return err
+			}
+			nest := value.EmptySet()
+			if err := j.tab.probeEach(ctx, b.Proj, i, c, j.LKey, j.LAttr, "hash join", func(ri int) error {
+				if j.Residual != nil {
+					ok, err := j.Residual.Bool(ctx, lrow, j.right[ri])
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+				member := j.right[ri]
+				if j.RFun != nil {
+					if member, err = j.RFun.Eval(ctx, lrow, j.right[ri]); err != nil {
+						return err
+					}
+				}
+				nest.Add(member)
+				return nil
+			}); err != nil {
+				return err
+			}
+			j.out = append(j.out, lt.With(j.As, nest))
+		}
+	}
+}
+
+// Next yields the next grouped row.
+func (j *VecHashGroupJoin) Next() (value.Value, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (j *VecHashGroupJoin) Close() error {
+	j.right, j.out = nil, nil
+	return nil
+}
+
+// CollectSet materializes the grouping join straight into a set.
+func (j *VecHashGroupJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
 	if err := j.Open(ctx); err != nil {
 		return nil, errors.Join(err, j.Close())
 	}
@@ -692,17 +905,126 @@ type VecSetProbeJoin struct {
 	R    Operator
 	Attr string
 	RKey Scalar
+	// Anti flips the semijoin to its complement.
+	Anti bool
 
-	ctx  *Ctx
+	ctx *Ctx
+	tab setKeyTable
+}
+
+// setKeyTable is the build side of the vectorized set-probe joins: the
+// right operand's evaluated keys under either the unary-tuple int fast path
+// (a flat i64Table over the raw bits) or the generic hash/Equal structure of
+// the scalar SetProbeJoin.
+type setKeyTable struct {
 	keys []value.Value
 	gen  map[uint64][]int32
 	u    *i64Table
 	// uname/ukind describe the unary-tuple fast path's element shape.
 	uname string
 	ukind value.Kind
-	// Anti flips the semijoin to its complement. Config like the exported
-	// block up top, placed last so the two byte-wide fields share a word.
-	Anti bool
+}
+
+// build evaluates the key over each build row and constructs the table.
+func (t *setKeyTable) build(ctx *Ctx, rrows []value.Value, key Scalar) error {
+	t.keys = t.keys[:0]
+	t.gen, t.u = nil, nil
+	if bs, name, kind, ok := subscriptIntKeys(rrows, key); ok {
+		t.u, t.uname, t.ukind = newI64Table(bs), name, kind
+		return nil
+	}
+	for _, rrow := range rrows {
+		k, err := key.Eval(ctx, rrow)
+		if err != nil {
+			return err
+		}
+		t.keys = append(t.keys, k)
+	}
+	if bs, name, kind, ok := unaryIntKeys(t.keys); ok {
+		t.u, t.uname, t.ukind = newI64Table(bs), name, kind
+	} else {
+		t.gen = make(map[uint64][]int32, len(t.keys))
+		for i, k := range t.keys {
+			h := value.Hash(k)
+			t.gen[h] = append(t.gen[h], int32(i))
+		}
+	}
+	return nil
+}
+
+// anyMatch reports whether any element of as matches a build key.
+func (t *setKeyTable) anyMatch(as *value.Set) bool {
+	if t.u != nil {
+		for _, elem := range as.Elems() {
+			et, ok := elem.(*value.Tuple)
+			if !ok || et.Len() != 1 || et.Names()[0] != t.uname {
+				continue
+			}
+			ev, _ := et.Get(t.uname)
+			if ev.Kind() != t.ukind {
+				continue
+			}
+			b, _ := valueBits(ev)
+			if t.u.contains(b) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, elem := range as.Elems() {
+		h := value.Hash(elem)
+		for _, ri := range t.gen[h] {
+			if value.Equal(t.keys[ri], elem) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// forEachElem calls fn for every (set element, matching build row) pair in
+// element order — the scalar SetProbeJoin's probe loop. fn may return
+// errStopProbe to end the walk early.
+func (t *setKeyTable) forEachElem(as *value.Set, fn func(ri int) error) error {
+	err := t.walkElems(as, fn)
+	if err == errStopProbe {
+		return nil
+	}
+	return err
+}
+
+func (t *setKeyTable) walkElems(as *value.Set, fn func(ri int) error) error {
+	if t.u != nil {
+		for _, elem := range as.Elems() {
+			et, ok := elem.(*value.Tuple)
+			if !ok || et.Len() != 1 || et.Names()[0] != t.uname {
+				continue
+			}
+			ev, _ := et.Get(t.uname)
+			if ev.Kind() != t.ukind {
+				continue
+			}
+			b, _ := valueBits(ev)
+			for s := t.u.head(b); s != 0; s = t.u.next[s-1] {
+				if t.u.keys[s-1] == b {
+					if err := fn(int(s - 1)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, elem := range as.Elems() {
+		for _, ri := range t.gen[value.Hash(elem)] {
+			if value.Equal(t.keys[ri], elem) {
+				if err := fn(int(ri)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // OpenVec builds the table from the right operand and opens the left
@@ -713,27 +1035,8 @@ func (j *VecSetProbeJoin) OpenVec(ctx *Ctx) error {
 	if err != nil {
 		return err
 	}
-	j.keys = j.keys[:0]
-	j.gen, j.u = nil, nil
-	if bs, name, kind, ok := subscriptIntKeys(rrows, j.RKey); ok {
-		j.u, j.uname, j.ukind = newI64Table(bs), name, kind
-		return j.L.OpenVec(ctx)
-	}
-	for _, rrow := range rrows {
-		k, err := j.RKey.Eval(ctx, rrow)
-		if err != nil {
-			return err
-		}
-		j.keys = append(j.keys, k)
-	}
-	if bs, name, kind, ok := unaryIntKeys(j.keys); ok {
-		j.u, j.uname, j.ukind = newI64Table(bs), name, kind
-	} else {
-		j.gen = make(map[uint64][]int32, len(j.keys))
-		for i, k := range j.keys {
-			h := value.Hash(k)
-			j.gen[h] = append(j.gen[h], int32(i))
-		}
+	if err := j.tab.build(ctx, rrows, j.RKey); err != nil {
+		return err
 	}
 	return j.L.OpenVec(ctx)
 }
@@ -837,55 +1140,140 @@ func (j *VecSetProbeJoin) probe(p *col.Proj, sel []int32) ([]int32, error) {
 	c := p.Col(j.Attr)
 	out := sel[:0]
 	for _, i := range sel {
-		var as *value.Set
-		if c != nil && c.Kind == col.Set {
-			as = c.Sets[i]
-		} else {
-			lt, err := asTuple(p.Rows[i], "set-probe join")
-			if err != nil {
-				return nil, err
-			}
-			av, ok := lt.Get(j.Attr)
-			if !ok {
-				return nil, fmt.Errorf("exec: set-probe join on missing attribute %q", j.Attr)
-			}
-			if as, ok = av.(*value.Set); !ok {
-				return nil, fmt.Errorf("exec: set-probe join on non-set attribute %q", j.Attr)
-			}
+		as, err := setAttrOf(p, c, i, j.Attr)
+		if err != nil {
+			return nil, err
 		}
-		if j.probeSet(as) != j.Anti {
+		if j.tab.anyMatch(as) != j.Anti {
 			out = append(out, i)
 		}
 	}
 	return out, nil
 }
 
-// probeSet reports whether any element of as matches a build key.
-func (j *VecSetProbeJoin) probeSet(as *value.Set) bool {
-	if j.u != nil {
-		for _, elem := range as.Elems() {
-			et, ok := elem.(*value.Tuple)
-			if !ok || et.Len() != 1 || et.Names()[0] != j.uname {
-				continue
-			}
-			ev, _ := et.Get(j.uname)
-			if ev.Kind() != j.ukind {
-				continue
-			}
-			b, _ := valueBits(ev)
-			if j.u.contains(b) {
-				return true
-			}
-		}
-		return false
+// setAttrOf extracts the set-valued probe attribute of left row i, reading
+// the typed column when present and falling back to the decoded tuple with
+// the scalar SetProbeJoin's exact errors.
+func setAttrOf(p *col.Proj, c *col.Col, i int32, attr string) (*value.Set, error) {
+	if c != nil && c.Kind == col.Set {
+		return c.Sets[i], nil
 	}
-	for _, elem := range as.Elems() {
-		h := value.Hash(elem)
-		for _, ri := range j.gen[h] {
-			if value.Equal(j.keys[ri], elem) {
-				return true
+	lt, err := asTuple(p.Rows[i], "set-probe join")
+	if err != nil {
+		return nil, err
+	}
+	av, ok := lt.Get(attr)
+	if !ok {
+		return nil, fmt.Errorf("exec: set-probe join on missing attribute %q", attr)
+	}
+	as, ok := av.(*value.Set)
+	if !ok {
+		return nil, fmt.Errorf("exec: set-probe join on non-set attribute %q", attr)
+	}
+	return as, nil
+}
+
+// VecSetGroupJoin is the batch set-probe nestjoin: each left row gains a
+// set-valued attribute collecting the right rows (or their RFun images)
+// whose key matches some element of the left row's set attribute — the
+// single-segment PNHL shape with grouping output, sinking the batch
+// pipeline like VecHashGroupJoin.
+type VecSetGroupJoin struct {
+	L    VecOp
+	R    Operator
+	Attr string
+	RKey Scalar
+	As   string
+	RFun *Scalar
+
+	right []value.Value
+	tab   setKeyTable
+	out   []value.Value
+	pos   int
+}
+
+// Open builds the table from the right operand and computes the grouping
+// join eagerly.
+func (j *VecSetGroupJoin) Open(ctx *Ctx) (err error) {
+	j.right, err = drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	if err := j.tab.build(ctx, j.right, j.RKey); err != nil {
+		return err
+	}
+	if err := j.L.OpenVec(ctx); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := j.L.CloseVec(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	j.out = j.out[:0]
+	j.pos = 0
+	for {
+		b, ok, err := j.L.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		c := b.Proj.Col(j.Attr)
+		for _, i := range b.Sel {
+			lrow := b.Proj.Rows[i]
+			lt, err := asTuple(lrow, "set-probe join")
+			if err != nil {
+				return err
 			}
+			as, err := setAttrOf(b.Proj, c, i, j.Attr)
+			if err != nil {
+				return err
+			}
+			nest := value.EmptySet()
+			if err := j.tab.forEachElem(as, func(ri int) error {
+				member := j.right[ri]
+				if j.RFun != nil {
+					if member, err = j.RFun.Eval(ctx, lrow, j.right[ri]); err != nil {
+						return err
+					}
+				}
+				nest.Add(member)
+				return nil
+			}); err != nil {
+				return err
+			}
+			j.out = append(j.out, lt.With(j.As, nest))
 		}
 	}
-	return false
+}
+
+// Next yields the next grouped row.
+func (j *VecSetGroupJoin) Next() (value.Value, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (j *VecSetGroupJoin) Close() error {
+	j.right, j.out = nil, nil
+	return nil
+}
+
+// CollectSet materializes the grouping join straight into a set.
+func (j *VecSetGroupJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
+	if err := j.Open(ctx); err != nil {
+		return nil, errors.Join(err, j.Close())
+	}
+	s := value.NewSetFromSlice(j.out)
+	j.out = j.out[:0]
+	if cerr := j.Close(); cerr != nil {
+		return nil, cerr
+	}
+	return s, nil
 }

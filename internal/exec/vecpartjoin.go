@@ -1,0 +1,390 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adl"
+	"repro/internal/col"
+	"repro/internal/value"
+)
+
+// routeMode is how build and probe keys are routed to partitions. The mode
+// is chosen once from the build keys' uniformity and both sides must use
+// it: mixing typed and generic routes would send equal keys to different
+// partitions.
+type routeMode int
+
+const (
+	routeGeneric routeMode = iota // value.Hash
+	routeInt                      // uniform int-backed keys, Fibonacci-mixed bits
+	routeStr                      // uniform strings, FNV + Fibonacci mix
+)
+
+// vecPartition is one build partition: a typed key table over the keys
+// routed here plus the mapping from local slot to global build row.
+type vecPartition struct {
+	tab keyTable
+	idx []int32
+}
+
+// VecPartitionedHashJoin is the batch-native Grace-style parallel hash join
+// on an equi-key: the right operand is drained once, its keys partitioned by
+// hash into per-worker flat tables (built concurrently), and then left
+// batches are dispatched whole over one bounded channel to probe workers
+// that each probe all partitions read-only. The exchange granularity is
+// Batch — the hot path performs one channel send per batch and per recycled
+// selection buffer, never per tuple. Workers buffer their output rows
+// locally together with each row's precomputed value.Hash, so CollectSet's
+// final set build skips the serial deep-hash pass.
+//
+// Inner, semi, anti and outer kinds with an optional residual predicate —
+// the batch counterpart of the tuple-at-a-time PartitionedHashJoin.
+type VecPartitionedHashJoin struct {
+	Kind adl.JoinKind
+	L    VecOp
+	R    Operator
+	// LAttr is the left key column; LKey the same key as a scalar fallback.
+	LAttr string
+	LKey  Scalar
+	RKey  Scalar
+	// Residual is an optional extra predicate over both join variables.
+	Residual *Scalar
+	// Partitions is the partition/worker count; <=0 means NumCPU.
+	Partitions int
+
+	right  []value.Value
+	out    []value.Value
+	hashes []uint64
+	pos    int
+}
+
+// probeOut is one worker's private output buffer.
+type probeOut struct {
+	rows   []value.Value
+	hashes []uint64
+	err    error
+}
+
+// add appends a result row with its hash.
+func (w *probeOut) add(v value.Value) {
+	w.rows = append(w.rows, v)
+	w.hashes = append(w.hashes, value.Hash(v))
+}
+
+// Open materializes the build side, partitions and indexes it, then feeds
+// left batches to the probe workers and concatenates their outputs.
+func (j *VecPartitionedHashJoin) Open(ctx *Ctx) (err error) {
+	switch j.Kind {
+	case adl.Inner, adl.Semi, adl.Anti, adl.Outer:
+	default:
+		return fmt.Errorf("exec: partitioned batch join does not support kind %v", j.Kind)
+	}
+	p := Parallelism(j.Partitions)
+	j.right, err = drain(j.R, ctx)
+	if err != nil {
+		return err
+	}
+	rkeys, err := buildKeys(ctx, j.right, j.RKey, p)
+	if err != nil {
+		return err
+	}
+	mode, vkind := chooseRoute(rkeys)
+
+	parts := make([]vecPartition, p)
+	for i, k := range rkeys {
+		pt := &parts[routeOf(mode, p, k)]
+		pt.tab.keys = append(pt.tab.keys, k)
+		pt.idx = append(pt.idx, int32(i))
+	}
+	// Index the partitions concurrently: index touches only its receiver
+	// and never fails.
+	var bwg sync.WaitGroup
+	for pi := range parts {
+		bwg.Add(1)
+		go func(pt *vecPartition) {
+			defer bwg.Done()
+			pt.tab.index()
+		}(&parts[pi])
+	}
+	bwg.Wait()
+
+	nullPad := outerNullPad(j.Kind, j.right)
+
+	if err := j.L.OpenVec(ctx); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := j.L.CloseVec(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	j.out, j.hashes, j.pos = j.out[:0], j.hashes[:0], 0
+
+	// The caller's goroutine is the feeder: it is the sole caller of
+	// L.NextBatch and copies each selection into a pooled buffer before
+	// dispatch (the producer may reuse its own buffer on the next call).
+	in := make(chan Batch, p)
+	pool := make(chan []int32, p+1)
+	ws := make([]probeOut, p)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for wi := 0; wi < p; wi++ {
+		wg.Add(1)
+		go func(w *probeOut) {
+			defer wg.Done()
+			for b := range in {
+				if !failed.Load() {
+					if perr := j.probeBatch(ctx, b, parts, mode, vkind, nullPad, w); perr != nil {
+						w.err = perr
+						failed.Store(true)
+					}
+				}
+				select {
+				case pool <- b.Sel[:cap(b.Sel)]:
+				default:
+				}
+			}
+		}(&ws[wi])
+	}
+	var feedErr error
+	for {
+		b, ok, nerr := j.L.NextBatch()
+		if nerr != nil {
+			feedErr = nerr
+			break
+		}
+		if !ok || failed.Load() {
+			break
+		}
+		var buf []int32
+		select {
+		case buf = <-pool:
+		default:
+		}
+		if cap(buf) < len(b.Sel) {
+			buf = make([]int32, len(b.Sel))
+		}
+		sel := buf[:len(b.Sel)]
+		copy(sel, b.Sel)
+		in <- Batch{Proj: b.Proj, Sel: sel}
+	}
+	close(in)
+	wg.Wait()
+	if feedErr != nil {
+		return feedErr
+	}
+	total := 0
+	for i := range ws {
+		if ws[i].err != nil {
+			return ws[i].err
+		}
+		total += len(ws[i].rows)
+	}
+	if cap(j.out) < total {
+		j.out = make([]value.Value, 0, total)
+		j.hashes = make([]uint64, 0, total)
+	}
+	for i := range ws {
+		j.out = append(j.out, ws[i].rows...)
+		j.hashes = append(j.hashes, ws[i].hashes...)
+	}
+	return nil
+}
+
+// buildKeys evaluates the build key over every row: the v.attr shape reads
+// straight off the tuples, anything else goes through the interpreter in
+// parallel contiguous chunks.
+func buildKeys(ctx *Ctx, rows []value.Value, key Scalar, workers int) ([]value.Value, error) {
+	var kt keyTable
+	if kt.appendFast(rows, key) {
+		return kt.keys, nil
+	}
+	return evalKeys(ctx, rows, key, workers)
+}
+
+// chooseRoute picks the partition routing mode from the build keys.
+func chooseRoute(keys []value.Value) (routeMode, value.Kind) {
+	if len(keys) == 0 {
+		return routeGeneric, value.KindNull
+	}
+	kind := keys[0].Kind()
+	for _, k := range keys[1:] {
+		if k.Kind() != kind {
+			return routeGeneric, value.KindNull
+		}
+	}
+	switch kind {
+	case value.KindInt, value.KindDate, value.KindOID, value.KindBool:
+		return routeInt, kind
+	case value.KindString:
+		return routeStr, kind
+	}
+	return routeGeneric, value.KindNull
+}
+
+// routeOf maps a key to its partition. Typed modes must only be called with
+// keys of the routing kind.
+func routeOf(mode routeMode, p int, k value.Value) int {
+	switch mode {
+	case routeInt:
+		b, _ := valueBits(k)
+		return int((uint64(b) * fibMix) % uint64(p))
+	case routeStr:
+		return int((fnv64(string(k.(value.String))) * fibMix) % uint64(p))
+	}
+	return int(value.Hash(k) % uint64(p))
+}
+
+// probeBatch probes one batch against the partitioned tables into w. It
+// runs on a worker goroutine; parts, nullPad and j's exported config are
+// read-only here.
+func (j *VecPartitionedHashJoin) probeBatch(ctx *Ctx, b Batch, parts []vecPartition, mode routeMode, vkind value.Kind, nullPad *value.Tuple, w *probeOut) error {
+	p := len(parts)
+	c := b.Proj.Col(j.LAttr)
+	typedCol := c != nil && c.Kind != col.Mixed
+	intCol := typedCol && mode == routeInt && intBacked(c.Kind) && mustColValueKind(c.Kind) == vkind
+	strCol := typedCol && mode == routeStr && c.Kind == col.Str
+	for _, i := range b.Sel {
+		lrow := b.Proj.Rows[i]
+		lt, err := asTuple(lrow, "partitioned hash join")
+		if err != nil {
+			return err
+		}
+		matched := false
+		switch {
+		case intCol:
+			k := c.Ints[i]
+			pt := &parts[(uint64(k)*fibMix)%uint64(p)]
+			if t := pt.tab.i64; t != nil {
+				for s := t.head(k); s != 0; s = t.next[s-1] {
+					if t.keys[s-1] == k {
+						if merr := j.matchRow(ctx, lt, lrow, int(pt.idx[s-1]), &matched, w); merr != nil {
+							if merr == errStopProbe {
+								break
+							}
+							return merr
+						}
+					}
+				}
+			}
+		case strCol:
+			k := c.Strs[i]
+			pt := &parts[(fnv64(k)*fibMix)%uint64(p)]
+			if t := pt.tab.str; t != nil {
+				for s := t.head(k); s != 0; s = t.next[s-1] {
+					if t.keys[s-1] == k {
+						if merr := j.matchRow(ctx, lt, lrow, int(pt.idx[s-1]), &matched, w); merr != nil {
+							if merr == errStopProbe {
+								break
+							}
+							return merr
+						}
+					}
+				}
+			}
+		case typedCol && mode != routeGeneric:
+			// Typed routing, probe column of another kind: Equal never
+			// crosses kinds, so nothing matches.
+		default:
+			var k value.Value
+			if typedCol {
+				k, _ = lt.Get(j.LAttr)
+			} else if k, err = j.LKey.Eval(ctx, lrow); err != nil {
+				return err
+			}
+			// Route with the same function the build side used; under typed
+			// routing a cross-kind key matches nothing.
+			if mode == routeGeneric || k.Kind() == vkind {
+				pt := &parts[routeOf(mode, p, k)]
+				if ferr := pt.tab.forEach(k, func(li int) error {
+					return j.matchRow(ctx, lt, lrow, int(pt.idx[li]), &matched, w)
+				}); ferr != nil && ferr != errStopProbe {
+					return ferr
+				}
+			}
+		}
+		switch j.Kind {
+		case adl.Semi:
+			if matched {
+				w.add(lrow)
+			}
+		case adl.Anti:
+			if !matched {
+				w.add(lrow)
+			}
+		case adl.Outer:
+			if !matched {
+				cat, cerr := lt.Concat(nullPad)
+				if cerr != nil {
+					return cerr
+				}
+				w.add(cat)
+			}
+		}
+	}
+	return nil
+}
+
+// matchRow applies the residual to one candidate pair and emits per kind.
+// For semi/anti it returns errStopProbe after the first residual-passing
+// match — the scalar operators' probe break, which also skips any further
+// residual evaluations.
+func (j *VecPartitionedHashJoin) matchRow(ctx *Ctx, lt *value.Tuple, lrow value.Value, ri int, matched *bool, w *probeOut) error {
+	if j.Residual != nil {
+		ok, err := j.Residual.Bool(ctx, lrow, j.right[ri])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	*matched = true
+	switch j.Kind {
+	case adl.Semi, adl.Anti:
+		return errStopProbe
+	}
+	rt, err := asTuple(j.right[ri], "partitioned hash join")
+	if err != nil {
+		return err
+	}
+	cat, err := lt.Concat(rt)
+	if err != nil {
+		return err
+	}
+	w.add(cat)
+	return nil
+}
+
+// Next yields the next joined row.
+func (j *VecPartitionedHashJoin) Next() (value.Value, bool, error) {
+	if j.pos >= len(j.out) {
+		return nil, false, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (j *VecPartitionedHashJoin) Close() error {
+	j.right, j.out, j.hashes = nil, nil, nil
+	return nil
+}
+
+// CollectSet materializes the join straight into a set, reusing the hashes
+// the workers computed in parallel.
+func (j *VecPartitionedHashJoin) CollectSet(ctx *Ctx) (*value.Set, error) {
+	if err := j.Open(ctx); err != nil {
+		return nil, errors.Join(err, j.Close())
+	}
+	s := value.NewSetFromSliceHashed(j.out, j.hashes)
+	j.out, j.hashes = j.out[:0], j.hashes[:0]
+	if cerr := j.Close(); cerr != nil {
+		return nil, cerr
+	}
+	return s, nil
+}

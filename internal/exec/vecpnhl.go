@@ -1,0 +1,241 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adl"
+	"repro/internal/col"
+	"repro/internal/value"
+)
+
+// VecPNHL is the batch-native Partitioned Nested-Hashed-Loops join: the
+// same two-phase, budget-segmented algorithm as the scalar PNHL ([DeLa92]
+// §6.2), with the probe side streaming in as columnar batches and each
+// build segment indexed through the typed flat keyTable instead of a boxed
+// hash map. Set-valued probe attributes come straight off the typed Set
+// column when present, element keys are evaluated once and reused across
+// segments, and v.attr-shaped keys skip the interpreter entirely.
+type VecPNHL struct {
+	L VecOp    // operand with the set-valued attribute (probe side)
+	R Operator // flat build table
+	// Attr is the set-valued attribute of left tuples; its elements must be
+	// tuples.
+	Attr string
+	// ElemKey computes the join key of an attribute element.
+	ElemKey Scalar
+	// BuildKey computes the join key of a build-table row.
+	BuildKey Scalar
+	// BudgetRows is the memory budget: build rows hashed per segment. Zero
+	// means unlimited (single segment).
+	BudgetRows int
+	// Member, if non-nil, computes the joined member from (element, build
+	// row) instead of the default concatenation.
+	Member *Scalar
+
+	segmentsUsed int
+	out          []value.Value
+	pos          int
+}
+
+// Segments reports how many build segments the last Open needed.
+func (p *VecPNHL) Segments() int { return p.segmentsUsed }
+
+// Open runs both phases eagerly.
+func (p *VecPNHL) Open(ctx *Ctx) (err error) {
+	build, err := drain(p.R, ctx)
+	if err != nil {
+		return err
+	}
+
+	// Drain the probe pipeline, keeping each row's tuple and set attribute.
+	var (
+		tuples []*value.Tuple
+		sets   []*value.Set
+	)
+	if err := p.L.OpenVec(ctx); err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := p.L.CloseVec(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for {
+		b, ok, nerr := p.L.NextBatch()
+		if nerr != nil {
+			return nerr
+		}
+		if !ok {
+			break
+		}
+		c := b.Proj.Col(p.Attr)
+		for _, i := range b.Sel {
+			lt, terr := asTuple(b.Proj.Rows[i], "PNHL")
+			if terr != nil {
+				return terr
+			}
+			var as *value.Set
+			if c != nil && c.Kind == col.Set {
+				as = c.Sets[i]
+			} else {
+				av, ok := lt.Get(p.Attr)
+				if !ok {
+					return fmt.Errorf("exec: PNHL on missing attribute %q", p.Attr)
+				}
+				if as, ok = av.(*value.Set); !ok {
+					return fmt.Errorf("exec: PNHL on non-set attribute %q", p.Attr)
+				}
+			}
+			tuples = append(tuples, lt)
+			sets = append(sets, as)
+		}
+	}
+
+	// Evaluate element keys once per (row, element); the scalar PNHL
+	// re-evaluates them per segment, which is identical for pure keys.
+	fattr := fieldKeyAttr(p.ElemKey)
+	elemKeys := make([][]value.Value, len(sets))
+	for pi, as := range sets {
+		ks := make([]value.Value, as.Len())
+		for ei, elem := range as.Elems() {
+			et, ok := elem.(*value.Tuple)
+			if !ok {
+				return fmt.Errorf("exec: PNHL element of %q is not a tuple", p.Attr)
+			}
+			if fattr != "" {
+				if k, ok := et.Get(fattr); ok {
+					ks[ei] = k
+					continue
+				}
+			}
+			k, kerr := p.ElemKey.Eval(ctx, elem)
+			if kerr != nil {
+				return kerr
+			}
+			ks[ei] = k
+		}
+		elemKeys[pi] = ks
+	}
+
+	// Evaluate every build key once; segments slice into this.
+	var bt keyTable
+	if !bt.appendFast(build, p.BuildKey) {
+		bt.keys = bt.keys[:0]
+		for _, r := range build {
+			k, kerr := p.BuildKey.Eval(ctx, r)
+			if kerr != nil {
+				return kerr
+			}
+			bt.keys = append(bt.keys, k)
+		}
+	}
+	buildKeys := bt.keys
+
+	segment := p.BudgetRows
+	if segment <= 0 || segment > len(build) {
+		segment = len(build)
+	}
+	if segment == 0 {
+		segment = 1
+	}
+
+	partial := make([]*value.Set, len(tuples))
+	for i := range partial {
+		partial[i] = value.EmptySet()
+	}
+
+	p.segmentsUsed = 0
+	for lo := 0; lo < len(build) || lo == 0; lo += segment {
+		hi := lo + segment
+		if hi > len(build) {
+			hi = len(build)
+		}
+		if lo >= hi && lo > 0 {
+			break
+		}
+		p.segmentsUsed++
+		// Build phase: a typed flat table over this segment's keys.
+		seg := keyTable{keys: buildKeys[lo:hi]}
+		seg.index()
+		// Probe phase: each element's precomputed key against the segment.
+		for pi := range tuples {
+			for ei, elem := range sets[pi].Elems() {
+				if ferr := seg.forEach(elemKeys[pi][ei], func(li int) error {
+					bi := lo + li
+					if p.Member != nil {
+						m, merr := p.Member.Eval(ctx, elem, build[bi])
+						if merr != nil {
+							return merr
+						}
+						partial[pi].Add(m)
+						return nil
+					}
+					brow, berr := asTuple(build[bi], "PNHL")
+					if berr != nil {
+						return berr
+					}
+					cat, cerr := elem.(*value.Tuple).Concat(brow)
+					if cerr != nil {
+						return cerr
+					}
+					partial[pi].Add(cat)
+					return nil
+				}); ferr != nil {
+					return ferr
+				}
+			}
+		}
+		if len(build) == 0 {
+			break
+		}
+	}
+
+	// Merge phase: replace the attribute with the accumulated join result.
+	p.out = p.out[:0]
+	p.pos = 0
+	for pi, lt := range tuples {
+		p.out = append(p.out, lt.Except(value.NewTuple(p.Attr, partial[pi])))
+	}
+	return nil
+}
+
+// fieldKeyAttr returns the attribute a v.attr-shaped key scalar reads, or
+// "" when the key has another shape.
+func fieldKeyAttr(key Scalar) string {
+	f, ok := key.Expr.(*adl.Field)
+	if !ok || len(key.Vars) != 1 {
+		return ""
+	}
+	v, ok := f.X.(*adl.Var)
+	if !ok || v.Name != key.Vars[0] {
+		return ""
+	}
+	return f.Name
+}
+
+// Next yields the next merged row.
+func (p *VecPNHL) Next() (value.Value, bool, error) {
+	if p.pos >= len(p.out) {
+		return nil, false, nil
+	}
+	row := p.out[p.pos]
+	p.pos++
+	return row, true, nil
+}
+
+// Close releases buffers.
+func (p *VecPNHL) Close() error { p.out = nil; return nil }
+
+// CollectSet materializes the merged rows straight into a set.
+func (p *VecPNHL) CollectSet(ctx *Ctx) (*value.Set, error) {
+	if err := p.Open(ctx); err != nil {
+		return nil, errors.Join(err, p.Close())
+	}
+	s := value.NewSetFromSlice(p.out)
+	p.out = p.out[:0]
+	if cerr := p.Close(); cerr != nil {
+		return nil, cerr
+	}
+	return s, nil
+}

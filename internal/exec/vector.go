@@ -70,6 +70,10 @@ func (s *VecScan) NextBatch() (Batch, bool, error) {
 // CloseVec drops the projection reference (the store keeps its own cache).
 func (s *VecScan) CloseVec() error { s.proj = nil; return nil }
 
+// projection exposes the opened columnar projection to the exchange, which
+// claims row ranges from it directly instead of calling NextBatch.
+func (s *VecScan) projection() *col.Proj { return s.proj }
+
 // VecCmp is one compiled filter conjunct: column-versus-constant or
 // column-versus-column comparison. The typed kernels run only when the
 // column kinds line up exactly with the reference semantics (evalCmp); any

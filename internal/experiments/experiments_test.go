@@ -245,7 +245,7 @@ func TestStarJoinArmsAgree(t *testing.T) {
 }
 
 func TestExplainPlansCoversEveryExperiment(t *testing.T) {
-	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13"} {
+	for _, exp := range []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13", "B14"} {
 		out, err := ExplainPlans(exp, 2, true, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", exp, err)
@@ -326,6 +326,53 @@ func TestB13ExplainShowsBothArms(t *testing.T) {
 	for _, want := range []string{"VecScan(DELIVERY", "VecHashJoin[semi", "HashJoin[⋉", "typed kernels"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("B13 explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestB4VectorizedPNHLAgrees(t *testing.T) {
+	// Under ExecMode.Vectorized the PNHL arm runs batch-native (VecPNHL);
+	// B4 itself diff-checks every budget against the naive reference and
+	// the segment expectations must still hold.
+	ExecMode.Vectorized = true
+	defer func() { ExecMode.Vectorized = false }()
+	tab, err := B4(40, 60, 4, []int{0, 10, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tab.Rows)
+	if tab.Rows[n-3][2] != "1" {
+		t.Errorf("unlimited budget used %s segments", tab.Rows[n-3][2])
+	}
+	if tab.Rows[n-1][2] == "1" {
+		t.Errorf("tight budget should need multiple segments")
+	}
+}
+
+func TestB14FourArmsAgreeAtSmokeScale(t *testing.T) {
+	// Small scale on whatever cores the host has: the ≥2x gate is
+	// full-scale multi-core only, so a nil error asserts four-way result
+	// equality (parallelism 4 forces the partitioned plans even here).
+	tab, err := B14(60, 1200, 0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"scalar", "parallel", "vectorized", "parallel-vectorized", "no per-tuple sends"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B14 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestB14ExplainShowsParallelVectorizedPlan(t *testing.T) {
+	out, err := ExplainPlans("B14", 4, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"VecExchange", "VecPartitionedHashJoin", "parallel vectorized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("B14 explain missing %q:\n%s", want, out)
 		}
 	}
 }

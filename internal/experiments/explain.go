@@ -109,6 +109,16 @@ func ExplainPlans(exp string, parallelism int, analyze bool, seed int64) (string
 		b.WriteString(w.Plan(false).Explain())
 		section(w.Name + " vectorized arm (-vectorized)")
 		b.WriteString(w.Plan(true).Explain())
+	case "B14":
+		w := NewVecJoin(100, 4000, 0, seed)
+		section(w.Name + " scalar arm (reference semantics)")
+		b.WriteString(w.PlanArm(false, false, parallelism).Explain())
+		section(w.Name + " parallel arm (partitioned operators)")
+		b.WriteString(w.PlanArm(false, true, parallelism).Explain())
+		section(w.Name + " vectorized arm (batch kernels)")
+		b.WriteString(w.PlanArm(true, false, parallelism).Explain())
+		section(w.Name + " parallel vectorized arm (VecExchange + partitioned batch join)")
+		b.WriteString(w.PlanArm(true, true, parallelism).Explain())
 	default:
 		return "", fmt.Errorf("explain: unknown experiment %q", exp)
 	}

@@ -202,15 +202,32 @@ func (m *MaterializeArms) RunNestjoin() (*value.Set, error) {
 }
 
 // RunPNHL executes the partitioned nested-hashed-loops algorithm with the
-// given build-side memory budget (rows per segment; 0 = unlimited).
+// given build-side memory budget (rows per segment; 0 = unlimited). Under
+// ExecMode.Vectorized the batch-native VecPNHL runs instead, with the same
+// segmentation semantics.
 func (m *MaterializeArms) RunPNHL(budgetRows int) (*value.Set, int, error) {
 	member := exec.NewScalar(adl.V("y"), "e", "y")
+	elemKey := exec.NewScalar(adl.Dot(adl.V("e"), "pid"), "e")
+	buildKey := exec.NewScalar(adl.Dot(adl.V("y"), "pid"), "y")
+	if ExecMode.Vectorized {
+		op := &exec.VecPNHL{
+			L:          &exec.VecScan{Extent: "SUPPLIER", Attrs: []string{"parts"}, Batch: ExecMode.BatchSize},
+			R:          &exec.Scan{Table: "PART"},
+			Attr:       "parts",
+			ElemKey:    elemKey,
+			BuildKey:   buildKey,
+			BudgetRows: budgetRows,
+			Member:     &member,
+		}
+		set, err := exec.Collect(op, &exec.Ctx{DB: m.Store})
+		return set, op.Segments(), err
+	}
 	op := &exec.PNHL{
 		L:          &exec.Scan{Table: "SUPPLIER"},
 		R:          &exec.Scan{Table: "PART"},
 		Attr:       "parts",
-		ElemKey:    exec.NewScalar(adl.Dot(adl.V("e"), "pid"), "e"),
-		BuildKey:   exec.NewScalar(adl.Dot(adl.V("y"), "pid"), "y"),
+		ElemKey:    elemKey,
+		BuildKey:   buildKey,
 		BudgetRows: budgetRows,
 		Member:     &member,
 	}
@@ -920,6 +937,26 @@ func (a *VecJoinArms) Plan(vectorized bool) *plan.Plan {
 	if vectorized {
 		cfg.Vectorized = true
 		cfg.BatchSize = a.BatchSize
+	}
+	return cfg.Plan(a.Query)
+}
+
+// PlanArm compiles the query for one of B14's four arms: scalar reference,
+// parallel partitioned operators, vectorized batch kernels, or both
+// combined (morsel-driven VecExchange feeding the partitioned batch join).
+// The parallel arms are forced, not optimizer decisions: the threshold is
+// pinned to 1 so the A/B comparison holds at smoke scales too, mirroring
+// how -vectorized forces the batch pipeline.
+func (a *VecJoinArms) PlanArm(vectorized, parallel bool, workers int) *plan.Plan {
+	cfg := plan.Config{}
+	if vectorized {
+		cfg.Vectorized = true
+		cfg.BatchSize = a.BatchSize
+	}
+	if parallel {
+		cfg.Parallelism = workers
+		cfg.Stats = a.Store
+		cfg.ParallelThreshold = 1
 	}
 	return cfg.Plan(a.Query)
 }

@@ -18,6 +18,22 @@
 //     the method (error-path cleanup, including deferred closures) or in
 //     the type's own Close/CloseVec method. A path handed to another
 //     function (drain(p.child)) transfers ownership and is exempt.
+//
+//     Closes may go through a local alias of the path — the goroutine
+//     hand-off pattern, where a method rebinds the child before a
+//     completion goroutine closes it:
+//
+//     src := e.Src
+//     go func() {
+//     e.wg.Wait()
+//     if cerr := src.CloseVec(); cerr != nil { e.fail(cerr) }
+//     }()
+//
+//     The alias resolves to the path it was bound to (flow-insensitively;
+//     a rebound alias keeps its last binding), so the close above pairs
+//     with an e.Src.OpenVec in the same method. Aliasing alone transfers
+//     nothing: without the close call through the alias, the open is still
+//     flagged.
 package closepropagate
 
 import (
@@ -187,6 +203,7 @@ type openSite struct {
 
 // collectOpens finds receiver-rooted paths with .Open/.OpenVec calls.
 func collectOpens(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) []openSite {
+	aliases := collectAliases(pass, fd, recv)
 	var out []openSite
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -201,7 +218,7 @@ func collectOpens(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) []op
 		if !ok || s.Kind() != types.MethodVal || !opshape.IsOperator(s.Recv()) {
 			return true
 		}
-		if path, ok := receiverPath(pass, sel.X, recv); ok {
+		if path, ok := receiverPath(pass, sel.X, recv, aliases); ok {
 			out = append(out, openSite{path: path, pos: sel.Sel.Pos()})
 		}
 		return true
@@ -210,7 +227,10 @@ func collectOpens(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) []op
 }
 
 // collectClosed records receiver-rooted paths with .Close/.CloseVec calls.
+// Closes through a local alias of a path (the goroutine hand-off pattern)
+// resolve to the aliased path.
 func collectClosed(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, into map[string]bool) {
+	aliases := collectAliases(pass, fd, recv)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -220,7 +240,7 @@ func collectClosed(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, int
 		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "CloseVec") {
 			return true
 		}
-		if path, ok := receiverPath(pass, sel.X, recv); ok {
+		if path, ok := receiverPath(pass, sel.X, recv, aliases); ok {
 			into[path] = true
 		}
 		return true
@@ -228,8 +248,11 @@ func collectClosed(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, int
 }
 
 // collectEscapes records receiver-rooted paths passed as call arguments —
-// ownership handed to a helper (drain, Collect, a goroutine body).
+// ownership handed to a helper (drain, Collect, a goroutine body). Binding
+// an alias is NOT an escape: only a call argument transfers ownership, so
+// an alias that is never closed still leaves its open flagged.
 func collectEscapes(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) map[string]bool {
+	aliases := collectAliases(pass, fd, recv)
 	out := map[string]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -237,8 +260,40 @@ func collectEscapes(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) ma
 			return true
 		}
 		for _, arg := range call.Args {
-			if path, ok := receiverPath(pass, arg, recv); ok {
+			if path, ok := receiverPath(pass, arg, recv, aliases); ok {
 				out[path] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectAliases maps local variables bound to a receiver-rooted path
+// (src := e.Src) to that path. The mapping is flow-insensitive: a variable
+// rebound to a second path keeps the last binding seen in source order.
+func collectAliases(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) map[types.Object]string {
+	out := map[types.Object]string{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			path, ok := receiverPath(pass, as.Rhs[i], recv, nil)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = path
 			}
 		}
 		return true
@@ -249,28 +304,33 @@ func collectEscapes(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) ma
 // receiverPath renders expr as a normalized path when it is the receiver or
 // a field chain rooted at it: recv.child → "recv.child", recv.kids[i] →
 // "recv.kids[#]". Index expressions normalize to "#" so an open in a loop
-// matches a close in a different loop.
-func receiverPath(pass *analysis.Pass, expr ast.Expr, recv types.Object) (string, bool) {
+// matches a close in a different loop. A non-nil aliases map additionally
+// resolves local variables bound to receiver paths.
+func receiverPath(pass *analysis.Pass, expr ast.Expr, recv types.Object, aliases map[types.Object]string) (string, bool) {
 	switch e := expr.(type) {
 	case *ast.Ident:
-		if pass.TypesInfo.Uses[e] == recv {
+		obj := pass.TypesInfo.Uses[e]
+		if obj == recv {
 			return "recv", true
+		}
+		if path, ok := aliases[obj]; ok {
+			return path, true
 		}
 		return "", false
 	case *ast.SelectorExpr:
-		base, ok := receiverPath(pass, e.X, recv)
+		base, ok := receiverPath(pass, e.X, recv, aliases)
 		if !ok {
 			return "", false
 		}
 		return base + "." + e.Sel.Name, true
 	case *ast.IndexExpr:
-		base, ok := receiverPath(pass, e.X, recv)
+		base, ok := receiverPath(pass, e.X, recv, aliases)
 		if !ok {
 			return "", false
 		}
 		return base + "[#]", true
 	case *ast.ParenExpr:
-		return receiverPath(pass, e.X, recv)
+		return receiverPath(pass, e.X, recv, aliases)
 	}
 	return "", false
 }

@@ -122,3 +122,47 @@ func (j *EagerJoin) Open(ctx *Ctx) error {
 }
 func (j *EagerJoin) Next() (Row, bool, error) { return Row{}, false, nil }
 func (j *EagerJoin) Close() error             { return nil }
+
+// --- goroutine-transferred close ownership ---
+
+// HandoffExchange rebinds its source to a local before a completion
+// goroutine closes it — the morsel-exchange pattern. The close through the
+// alias pairs with the open on recv.Src: accepted.
+type HandoffExchange struct {
+	Src  Op
+	errs chan error
+}
+
+func (e *HandoffExchange) Open(ctx *Ctx) error {
+	if err := e.Src.Open(ctx); err != nil {
+		return err
+	}
+	src := e.Src
+	go func() {
+		if cerr := src.Close(); cerr != nil {
+			e.errs <- cerr
+		}
+	}()
+	return nil
+}
+func (e *HandoffExchange) Next() (Row, bool, error) { return Row{}, false, nil }
+func (e *HandoffExchange) Close() error             { return nil }
+
+// AliasLeak binds the same alias but never closes through it: the alias
+// alone transfers nothing, so the open is still flagged.
+type AliasLeak struct {
+	Src Op
+}
+
+func (e *AliasLeak) Open(ctx *Ctx) error {
+	if err := e.Src.Open(ctx); err != nil { // want `opens recv.Src but no matching`
+		return err
+	}
+	src := e.Src
+	go func() {
+		_ = src
+	}()
+	return nil
+}
+func (e *AliasLeak) Next() (Row, bool, error) { return Row{}, false, nil }
+func (e *AliasLeak) Close() error             { return nil }

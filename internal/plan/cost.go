@@ -304,3 +304,34 @@ func costVecSetProbe(l, avgSet, r, out float64, batch int) float64 {
 	return r*(cEval+cHashBuild) + pages(l, batch)*cBatchDispatch +
 		l*avgSet*cVecRow + out*cRow
 }
+
+// Parallel-vectorized constants. Exchanging whole batches over bounded
+// channels needs orders of magnitude fewer channel operations than the
+// tuple-at-a-time pool, so the startup hurdle is well below cPoolStartup
+// and the per-transfer cost is paid per batch, not per row.
+const (
+	cChannelBatch       = 4.0    // send one Batch over a bounded channel
+	cVecParallelStartup = 4000.0 // spawn workers, allocate pools and channels
+)
+
+// costVecExchange prices the morsel-driven parallel scan+filter pipeline:
+// workers claim morsels from a shared cursor, run the filter kernels, and
+// send surviving batches over one bounded channel. Kernel work divides by
+// the worker count; the batch sends and the startup hurdle do not.
+func costVecExchange(n, kernels float64, batch, w int) float64 {
+	ww := math.Max(1, float64(w))
+	return cVecParallelStartup +
+		(pages(n, batch)*cBatchDispatch+n*math.Max(1, kernels)*cVecRow)/ww +
+		pages(n, batch)*cChannelBatch
+}
+
+// costVecPartHash prices the partitioned batch hash join: the build side is
+// evaluated and routed serially, then indexed and probed by w workers with
+// whole batches exchanged over one bounded channel. Build indexing, probe
+// kernels and output emission divide by the worker count.
+func costVecPartHash(build, probe, out float64, batch int, w float64) float64 {
+	ww := math.Max(1, w)
+	return cVecParallelStartup + build*cRow +
+		pages(probe, batch)*(cBatchDispatch+cChannelBatch) +
+		(build*(cEval+cHashBuild)+probe*cVecRow+out*cRow)/ww
+}

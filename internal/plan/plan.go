@@ -814,16 +814,30 @@ func describe(node any) (string, []any) {
 		}
 		return fmt.Sprintf("VecFilter[%s: %s | %d/%d typed kernels]  -- selection vector",
 			o.Var, strings.Join(parts, " ∧ "), typed, len(o.Kernels)), []any{o.Src}
+	case *exec.VecExchange:
+		return fmt.Sprintf("VecExchange(workers %d | morsel %d)  -- parallel morsel scan",
+			exec.Parallelism(o.Workers), o.Morsel), []any{o.Src}
 	case *exec.VecSemiJoin:
 		kind := "semi"
 		if o.Anti {
 			kind = "anti"
 		}
-		return fmt.Sprintf("VecHashJoin[%s on .%s = %s]  -- vectorized",
-			kind, o.LAttr, o.RKey.Expr), []any{o.L, o.R}
+		return fmt.Sprintf("VecHashJoin[%s on .%s = %s%s]  -- vectorized",
+			kind, o.LAttr, o.RKey.Expr, residualNote(o.Residual)), []any{o.L, o.R}
 	case *exec.VecInnerJoin:
-		return fmt.Sprintf("VecHashJoin[inner on .%s = %s]  -- vectorized",
-			o.LAttr, o.RKey.Expr), []any{o.L, o.R}
+		kind := "inner"
+		if o.Outer {
+			kind = "outer"
+		}
+		return fmt.Sprintf("VecHashJoin[%s on .%s = %s%s]  -- vectorized",
+			kind, o.LAttr, o.RKey.Expr, residualNote(o.Residual)), []any{o.L, o.R}
+	case *exec.VecHashGroupJoin:
+		return fmt.Sprintf("VecHashGroupJoin[nestjoin as %s on .%s = %s%s]  -- vectorized",
+			o.As, o.LAttr, o.RKey.Expr, residualNote(o.Residual)), []any{o.L, o.R}
+	case *exec.VecPartitionedHashJoin:
+		return fmt.Sprintf("VecPartitionedHashJoin[%v on .%s = %s%s | workers %d]  -- parallel vectorized",
+			o.Kind, o.LAttr, o.RKey.Expr, residualNote(o.Residual),
+			exec.Parallelism(o.Partitions)), []any{o.L, o.R}
 	case *exec.VecNLJoin:
 		return fmt.Sprintf("VecNLJoin[%v on %s]  -- vectorized",
 			o.Kind, o.Pred.Expr), []any{o.L, o.R}
@@ -834,6 +848,12 @@ func describe(node any) (string, []any) {
 		}
 		return fmt.Sprintf("VecSetProbeJoin[%s on %s ∈ .%s]  -- vectorized",
 			kind, o.RKey.Expr, o.Attr), []any{o.L, o.R}
+	case *exec.VecSetGroupJoin:
+		return fmt.Sprintf("VecSetGroupJoin[nestjoin as %s on %s ∈ .%s]  -- vectorized",
+			o.As, o.RKey.Expr, o.Attr), []any{o.L, o.R}
+	case *exec.VecPNHL:
+		return fmt.Sprintf("VecPNHL[on .%s | budget %d rows]  -- vectorized segmented",
+			o.Attr, o.BudgetRows), []any{o.L, o.R}
 	}
 	switch o := node.(type) {
 	case *exec.Scan:
@@ -903,4 +923,12 @@ func describe(node any) (string, []any) {
 		return fmt.Sprintf("PNHL[.%s with budget %d rows]", o.Attr, o.BudgetRows), []any{o.L, o.R}
 	}
 	return fmt.Sprintf("%T", node), nil
+}
+
+// residualNote renders an optional residual predicate for a join line.
+func residualNote(res *exec.Scalar) string {
+	if res == nil {
+		return ""
+	}
+	return fmt.Sprintf(" if %s", res.Expr)
 }

@@ -1,11 +1,16 @@
 // Vectorized physical selection. Behind Config.Vectorized the planner
 // compiles eligible fragments to batch-at-a-time operators: extent scans
 // become columnar-projection scans, conjunctive selections become selection-
-// vector filters with typed comparison kernels, and single-key equi-joins
-// (inner, semi, anti) and set-probe joins probe flat hash tables batch by
-// batch. Ineligible shapes — computed or composite keys, residual
-// predicates, nestjoins, outer joins, non-extent sources — silently fall
-// through to the scalar operators, which remain the reference semantics.
+// vector filters with typed comparison kernels, and single-key equi-joins of
+// every kind (inner, semi, anti, outer, nestjoin — residual conjuncts
+// included) and set-probe joins (semi/anti pass-through and the nestjoin
+// grouping form) probe flat hash tables batch by batch. With workers
+// available (Config.Parallelism) the scan+filter pipeline additionally
+// lowers to the morsel-driven VecExchange and semi/anti/inner/outer
+// equi-joins to VecPartitionedHashJoin — the batch-native parallel pair,
+// priced in stats mode and size-thresholded otherwise. Ineligible shapes —
+// computed or composite keys, non-extent sources — silently fall through to
+// the scalar operators, which remain the reference semantics.
 package plan
 
 import (
@@ -146,6 +151,7 @@ func (p *planner) tryVecSelect(n *adl.Select) (exec.Operator, nodeEst, bool) {
 	if !ok {
 		return nil, unknownEst, false
 	}
+	pipe, est = p.maybeExchange(pipe, n, est)
 	op := &exec.VecAdapter{Src: pipe}
 	p.record(op, est)
 	return op, est, true
@@ -162,33 +168,89 @@ func (p *planner) tryVecProject(n *adl.Project) (exec.Operator, nodeEst, bool) {
 	if !ok {
 		return nil, unknownEst, false
 	}
+	pipe, se = p.maybeExchange(pipe, n.X, se)
 	op := &exec.VecAdapter{Src: pipe, Project: n.Attrs}
 	est := se.withOwn(se.rows, se.rows*cRow)
 	p.record(op, est)
 	return op, est, true
 }
 
+// maybeExchange converts a serial scan+filter batch pipeline into the
+// morsel-driven parallel exchange when workers are available and it pays:
+// priced against the serial pipeline in stats mode, size-thresholded (the
+// scalar planner's PartitionedHashJoin rule) otherwise. Non-convertible
+// pipelines and single-worker configurations pass through unchanged.
+func (p *planner) maybeExchange(pipe exec.VecOp, src adl.Expr, est nodeEst) (exec.VecOp, nodeEst) {
+	w := exec.Parallelism(p.cfg.Parallelism)
+	if w < 2 {
+		return pipe, est
+	}
+	ex, ok := exec.Exchange(pipe, p.cfg.Parallelism)
+	if !ok {
+		return pipe, est
+	}
+	if p.statsMode() {
+		rows := p.cfg.Statistics.RowCount(ex.Src.Extent)
+		if rows < 0 || !est.known {
+			return pipe, est
+		}
+		parOwn := costVecExchange(float64(rows), float64(len(ex.Kernels)), p.cfg.batchSize(), w)
+		if parOwn >= est.cost {
+			return pipe, est
+		}
+		est.cost = parOwn
+		est.note = "parallel vectorized"
+		return ex, est
+	}
+	if c := p.cfg.card(src); p.cfg.Stats != nil && c >= 0 && c >= p.cfg.threshold() {
+		return ex, est
+	}
+	return pipe, est
+}
+
 // tryVecJoin compiles eligible joins to batch operators behind the
-// Vectorized flag: set-probe and single-key equi-joins (semi/anti/inner
-// without residuals or right-tuple functions) whose left operand is a
-// vectorizable pipeline, plus the batch nested-loop reference for other
-// predicates over vectorizable left operands.
+// Vectorized flag: set-probe joins (semi/anti pass-through and the nestjoin
+// grouping form) and single-key equi-joins of every kind — semi, anti,
+// inner, outer and nestjoin, residual conjuncts included — whose left
+// operand is a vectorizable pipeline. Semi/anti/inner/outer equi-joins
+// above the parallel threshold (or priced cheaper in stats mode) lower to
+// the morsel-exchanged VecPartitionedHashJoin instead of the serial batch
+// operator.
 func (p *planner) tryVecJoin(j *adl.Join) (exec.Operator, nodeEst, bool) {
 	if !p.cfg.Vectorized {
 		return nil, unknownEst, false
 	}
 	cs := conjuncts(j.On)
 
-	if attr, rkeyExpr, ok := setProbeShape(j, cs); ok && j.Kind != adl.NestJ && j.RFun == nil {
+	if attr, rkeyExpr, ok := setProbeShape(j, cs); ok {
+		if j.RFun != nil && j.Kind != adl.NestJ {
+			return nil, unknownEst, false
+		}
+		switch j.Kind {
+		case adl.Semi, adl.Anti, adl.NestJ:
+		default:
+			return nil, unknownEst, false
+		}
 		pipe, scan, le, ok := p.vecSource(j.L)
 		if !ok {
 			return nil, unknownEst, false
 		}
 		r, re := p.compile(j.R)
 		scan.Attrs = addAttrs(scan.Attrs, []string{attr})
-		vj := &exec.VecSetProbeJoin{Anti: j.Kind == adl.Anti, L: pipe, R: r,
-			Attr: attr, RKey: exec.NewScalar(rkeyExpr, j.RVar)}
-		op := &exec.VecAdapter{Src: vj}
+		rkey := exec.NewScalar(rkeyExpr, j.RVar)
+		var op exec.Operator
+		if j.Kind == adl.NestJ {
+			var rfun *exec.Scalar
+			if j.RFun != nil {
+				s := exec.NewScalar(j.RFun, j.LVar, j.RVar)
+				rfun = &s
+			}
+			op = &exec.VecSetGroupJoin{L: pipe, R: r, Attr: attr, RKey: rkey,
+				As: j.As, RFun: rfun}
+		} else {
+			op = &exec.VecAdapter{Src: &exec.VecSetProbeJoin{Anti: j.Kind == adl.Anti,
+				L: pipe, R: r, Attr: attr, RKey: rkey}}
+		}
 		est := unknownEst
 		if p.statsMode() && le.known && re.known {
 			avg := p.card.avgSetSize(le, attr)
@@ -203,16 +265,19 @@ func (p *planner) tryVecJoin(j *adl.Join) (exec.Operator, nodeEst, bool) {
 	}
 
 	lkeys, rkeys, residual := splitEquiKeys(cs, j)
-	if len(lkeys) != 1 || len(residual) != 0 || j.RFun != nil {
+	if len(lkeys) != 1 {
+		return nil, unknownEst, false
+	}
+	if j.RFun != nil && j.Kind != adl.NestJ {
+		return nil, unknownEst, false
+	}
+	switch j.Kind {
+	case adl.Semi, adl.Anti, adl.Inner, adl.Outer, adl.NestJ:
+	default:
 		return nil, unknownEst, false
 	}
 	lattr := fieldAttr(lkeys[0], j.LVar)
 	if lattr == "" {
-		return nil, unknownEst, false
-	}
-	switch j.Kind {
-	case adl.Semi, adl.Anti, adl.Inner:
-	default:
 		return nil, unknownEst, false
 	}
 	pipe, scan, le, ok := p.vecSource(j.L)
@@ -223,26 +288,85 @@ func (p *planner) tryVecJoin(j *adl.Join) (exec.Operator, nodeEst, bool) {
 	scan.Attrs = addAttrs(scan.Attrs, []string{lattr})
 	lkey := exec.NewScalar(lkeys[0], j.LVar)
 	rkey := exec.NewScalar(rkeys[0], j.RVar)
-	var op exec.Operator
-	if j.Kind == adl.Inner {
-		op = &exec.VecInnerJoin{L: pipe, R: r, LAttr: lattr, LKey: lkey, RKey: rkey}
-	} else {
-		op = &exec.VecAdapter{Src: &exec.VecSemiJoin{Anti: j.Kind == adl.Anti,
-			L: pipe, R: r, LAttr: lattr, LKey: lkey, RKey: rkey}}
+	var res *exec.Scalar
+	if len(residual) > 0 {
+		s := exec.NewScalar(adl.AndE(residual...), j.LVar, j.RVar)
+		res = &s
 	}
-	est := unknownEst
-	if p.statsMode() && le.known && re.known {
+
+	batch := p.cfg.batchSize()
+	known := p.statsMode() && le.known && re.known
+	var out float64
+	if known {
 		ndvL := p.card.keyNDV(le, lkeys, j.LVar)
 		ndvR := p.card.keyNDV(re, rkeys, j.RVar)
 		eqSel := p.card.joinEqSelectivity(le, lkeys[0], j.LVar, re, rkeys[0], j.RVar)
 		inner := finite(le.rows * re.rows * eqSel)
-		out := joinOutRows(j.Kind, le.rows, re.rows, inner, ndvL, ndvR)
+		out = joinOutRows(j.Kind, le.rows, re.rows, inner, ndvL, ndvR)
+	}
+
+	if j.Kind != adl.NestJ && p.vecParallelJoin(j, le, re, out, known) {
+		// Parallel-vectorized: morsel-exchange the probe pipeline and
+		// partition the build across the same worker count.
+		pipe, le = p.maybeExchange(pipe, j.L, le)
+		op := &exec.VecPartitionedHashJoin{Kind: j.Kind, L: pipe, R: r,
+			LAttr: lattr, LKey: lkey, RKey: rkey, Residual: res,
+			Partitions: p.cfg.Parallelism}
+		est := unknownEst
+		if known {
+			w := float64(exec.Parallelism(p.cfg.Parallelism))
+			est = nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
+				cost: le.cost + re.cost + costVecPartHash(re.rows, le.rows, out, batch, w),
+				note: "parallel vectorized"}
+		}
+		p.record(op, est)
+		return op, est, true
+	}
+
+	var op exec.Operator
+	switch j.Kind {
+	case adl.Inner, adl.Outer:
+		op = &exec.VecInnerJoin{L: pipe, R: r, LAttr: lattr, LKey: lkey, RKey: rkey,
+			Residual: res, Outer: j.Kind == adl.Outer}
+	case adl.NestJ:
+		var rfun *exec.Scalar
+		if j.RFun != nil {
+			s := exec.NewScalar(j.RFun, j.LVar, j.RVar)
+			rfun = &s
+		}
+		op = &exec.VecHashGroupJoin{L: pipe, R: r, LAttr: lattr, LKey: lkey,
+			RKey: rkey, Residual: res, As: j.As, RFun: rfun}
+	default:
+		op = &exec.VecAdapter{Src: &exec.VecSemiJoin{Anti: j.Kind == adl.Anti,
+			L: pipe, R: r, LAttr: lattr, LKey: lkey, RKey: rkey, Residual: res}}
+	}
+	est := unknownEst
+	if known {
 		est = nodeEst{rows: out, known: true, extent: joinExtent(j.Kind, le),
-			cost: le.cost + re.cost + costVecHash(re.rows, le.rows, out, p.cfg.batchSize()),
+			cost: le.cost + re.cost + costVecHash(re.rows, le.rows, out, batch),
 			note: "vectorized"}
 	}
 	p.record(op, est)
 	return op, est, true
+}
+
+// vecParallelJoin decides whether a semi/anti/inner/outer equi-join lowers
+// to the partitioned batch join: in stats mode when the parallel variant
+// prices cheaper than the serial batch hash join, otherwise by the same
+// combined-size threshold the scalar planner uses for PartitionedHashJoin.
+// Single-worker configurations never parallelize.
+func (p *planner) vecParallelJoin(j *adl.Join, le, re nodeEst, out float64, known bool) bool {
+	if exec.Parallelism(p.cfg.Parallelism) < 2 {
+		return false
+	}
+	if known {
+		batch := p.cfg.batchSize()
+		w := float64(exec.Parallelism(p.cfg.Parallelism))
+		return costVecPartHash(re.rows, le.rows, out, batch, w) <
+			costVecHash(re.rows, le.rows, out, batch)
+	}
+	lc, rc := p.cfg.card(j.L), p.cfg.card(j.R)
+	return p.cfg.Stats != nil && lc >= 0 && rc >= 0 && lc+rc >= p.cfg.threshold()
 }
 
 // maxf is math.Max without the import noise in this file's hot path.

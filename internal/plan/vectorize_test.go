@@ -49,6 +49,13 @@ func TestVectorizedPlanShapes(t *testing.T) {
 	residual := adl.JoinE(adl.T("X"), "x", "y",
 		adl.AndE(equi, adl.CmpE(adl.Lt, adl.Dot(adl.V("x"), "b"), adl.Dot(adl.V("y"), "e"))),
 		adl.T("Y"))
+	outer := adl.JoinE(adl.T("X"), "x", "y", equi, adl.T("Y"))
+	outer.Kind = adl.Outer
+	nestj := adl.JoinE(adl.T("X"), "x", "y", equi, adl.T("Y"))
+	nestj.Kind, nestj.As = adl.NestJ, "g"
+	setnest := adl.JoinE(adl.T("X"), "x", "y",
+		adl.CmpE(adl.In, adl.SubT(adl.V("y"), "k"), adl.Dot(adl.V("x"), "c")), adl.T("Y"))
+	setnest.Kind, setnest.As = adl.NestJ, "g"
 
 	vec := Config{Vectorized: true}
 
@@ -95,15 +102,50 @@ func TestVectorizedPlanShapes(t *testing.T) {
 		t.Fatalf("set-probe pipeline is %T, want *exec.VecSetProbeJoin", ad.Src)
 	}
 
-	// Residual conjuncts are not vectorized: scalar fallback.
-	if op := vec.Compile(residual); true {
-		if strings.Contains(Explain(op), "Vec") {
-			t.Fatalf("residual join must stay scalar:\n%s", Explain(op))
-		}
+	// The widened kinds all vectorize: residual conjuncts ride along as a
+	// scalar predicate on the batch join, outer shares the inner operator,
+	// nestjoin gets the grouping forms.
+	rj, ok := vec.Compile(residual).(*exec.VecInnerJoin)
+	if !ok || rj.Residual == nil {
+		t.Fatalf("residual join compiled to %T, want *exec.VecInnerJoin with residual",
+			vec.Compile(residual))
+	}
+	oj, ok := vec.Compile(outer).(*exec.VecInnerJoin)
+	if !ok || !oj.Outer {
+		t.Fatalf("outer join compiled to %T, want *exec.VecInnerJoin{Outer}", vec.Compile(outer))
+	}
+	if _, ok := vec.Compile(nestj).(*exec.VecHashGroupJoin); !ok {
+		t.Fatalf("nestjoin compiled to %T, want *exec.VecHashGroupJoin", vec.Compile(nestj))
+	}
+	if _, ok := vec.Compile(setnest).(*exec.VecSetGroupJoin); !ok {
+		t.Fatalf("set-probe nestjoin compiled to %T, want *exec.VecSetGroupJoin", vec.Compile(setnest))
+	}
+
+	// Above the parallel threshold the equi-join lowers to the partitioned
+	// batch join over a morsel-exchanged probe pipeline.
+	par := Config{Vectorized: true, Parallelism: 4,
+		Stats: fakeStats{"X": 10000, "Y": 10000}}
+	pj, ok := par.Compile(semi).(*exec.VecPartitionedHashJoin)
+	if !ok {
+		t.Fatalf("large semi join compiled to %T, want *exec.VecPartitionedHashJoin",
+			par.Compile(semi))
+	}
+	if _, ok := pj.L.(*exec.VecExchange); !ok {
+		t.Fatalf("partitioned join probe pipeline is %T, want *exec.VecExchange", pj.L)
+	}
+	if _, ok := par.Compile(nestj).(*exec.VecHashGroupJoin); !ok {
+		t.Fatalf("nestjoin must stay on the serial grouping operator, got %T",
+			par.Compile(nestj))
+	}
+	// Below the threshold the serial batch operators stay.
+	small := Config{Vectorized: true, Parallelism: 4, Stats: fakeStats{"X": 10, "Y": 10}}
+	if _, ok := small.Compile(semi).(*exec.VecAdapter); !ok {
+		t.Fatalf("small semi join compiled to %T, want serial *exec.VecAdapter",
+			small.Compile(semi))
 	}
 
 	// The flag off must never emit a batch operator.
-	for _, q := range []adl.Expr{sel, proj, semi, inner, setprobe} {
+	for _, q := range []adl.Expr{sel, proj, semi, inner, setprobe, residual, outer, nestj, setnest} {
 		if out := Explain(Compile(q)); strings.Contains(out, "Vec") {
 			t.Fatalf("vectorized node without the flag:\n%s", out)
 		}
@@ -160,19 +202,23 @@ func randVecQuery(rng *rand.Rand) adl.Expr {
 			adl.EqE(xa(), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
 		j.Kind = []adl.JoinKind{adl.Inner, adl.Semi, adl.Anti}[rng.Intn(3)]
 		return j
-	case 4: // residual conjunct: scalar fallback, must still agree
+	case 4: // residual conjunct rides along on the batch join
 		j := adl.JoinE(src(), "x", "y",
 			adl.AndE(adl.EqE(xa(), adl.Dot(adl.V("y"), "d")),
 				adl.CmpE(adl.Lt, xb(), adl.Dot(adl.V("y"), "e"))), adl.T("Y"))
 		j.Kind = []adl.JoinKind{adl.Inner, adl.Semi, adl.Anti}[rng.Intn(3)]
 		return j
-	case 5: // membership predicate: the set-probe shape
+	case 5: // membership predicate: the set-probe shape (nestjoin grouping
+		// form included)
 		j := adl.JoinE(src(), "x", "y",
 			adl.CmpE(adl.In, adl.SubT(adl.V("y"), "k"), adl.Dot(adl.V("x"), "c")),
 			adl.T("Y"))
-		j.Kind = []adl.JoinKind{adl.Semi, adl.Anti}[rng.Intn(2)]
+		j.Kind = []adl.JoinKind{adl.Semi, adl.Anti, adl.NestJ}[rng.Intn(3)]
+		if j.Kind == adl.NestJ {
+			j.As = "g"
+		}
 		return j
-	default: // widening kinds: scalar fallback
+	default: // outer join and nestjoin grouping
 		j := adl.JoinE(src(), "x", "y",
 			adl.EqE(xa(), adl.Dot(adl.V("y"), "d")), adl.T("Y"))
 		j.Kind = adl.Outer
@@ -203,6 +249,8 @@ func TestDifferentialScalarVsVectorized(t *testing.T) {
 				"vec-batch1": {Vectorized: true, BatchSize: 1},
 				"vec-batch7": {Vectorized: true, BatchSize: 7},
 				"vec-costed": {Vectorized: true, Statistics: tableStatistics(x, y)},
+				"vec-parallel": {Vectorized: true, Parallelism: 4, ParallelThreshold: 1,
+					Stats: fakeStats{"X": x.Len(), "Y": y.Len()}},
 			}
 			for name, cfg := range arms {
 				got := collect(t, cfg.Compile(q), db)

@@ -3,6 +3,7 @@ package value
 import (
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Set is a finite set value built with the paper's { } constructor. Element
@@ -38,11 +39,38 @@ func NewSetCap(n int) *Set {
 // EmptySet returns a new empty set.
 func EmptySet() *Set { return NewSetCap(0) }
 
+// setScratch is the transient state of the bulk set builders: the element
+// hash slice and the per-hash bucket counts. Neither escapes into the
+// returned Set, so pooling them drops the fixed allocation floor a small
+// query pays per result-set materialization.
+type setScratch struct {
+	hashes []uint64
+	counts map[uint64]int32
+}
+
+var setScratchPool = sync.Pool{
+	New: func() any { return &setScratch{counts: make(map[uint64]int32, 64)} },
+}
+
+// hashBuf returns the scratch hash slice sized to n.
+func (sc *setScratch) hashBuf(n int) []uint64 {
+	if cap(sc.hashes) < n {
+		sc.hashes = make([]uint64, n)
+	}
+	return sc.hashes[:n]
+}
+
+// release clears the bucket counts and returns the scratch to the pool.
+func (sc *setScratch) release() {
+	clear(sc.counts)
+	setScratchPool.Put(sc)
+}
+
 // NewSetFromSlice builds a set from elems with full duplicate elimination
 // (same semantics as repeated Add) but a constant number of allocations:
-// element hashes are computed once into a scratch slice, per-hash bucket
-// sizes are counted up front, and every index bucket is carved out of one
-// shared arena instead of growing through per-bucket appends. The batch
+// element hashes are computed once into a pooled scratch slice, per-hash
+// bucket sizes are counted up front, and every index bucket is carved out of
+// one shared arena instead of growing through per-bucket appends. The batch
 // executor uses it to materialize result sets without Add's per-element
 // allocation cost; elems is not retained.
 func NewSetFromSlice(elems []Value) *Set {
@@ -50,13 +78,41 @@ func NewSetFromSlice(elems []Value) *Set {
 	if n == 0 {
 		return EmptySet()
 	}
-	s := &Set{elems: make([]Value, 0, n), index: make(map[uint64][]int, n)}
-	hashes := make([]uint64, n)
-	counts := make(map[uint64]int32, n)
+	sc := setScratchPool.Get().(*setScratch)
+	hashes := sc.hashBuf(n)
 	for i, e := range elems {
-		hashes[i] = Hash(e)
-		counts[hashes[i]]++
+		h := Hash(e)
+		hashes[i] = h
+		sc.counts[h]++
 	}
+	s := newSetHashed(elems, hashes, sc.counts)
+	sc.release()
+	return s
+}
+
+// NewSetFromSliceHashed is NewSetFromSlice for callers that already hold
+// each element's Hash — the parallel batch operators compute hashes inside
+// their workers so the serial set build no longer pays the deep-hash pass.
+// hashes[i] must equal Hash(elems[i]); neither slice is retained.
+func NewSetFromSliceHashed(elems []Value, hashes []uint64) *Set {
+	n := len(elems)
+	if n == 0 {
+		return EmptySet()
+	}
+	sc := setScratchPool.Get().(*setScratch)
+	for _, h := range hashes[:n] {
+		sc.counts[h]++
+	}
+	s := newSetHashed(elems, hashes, sc.counts)
+	sc.release()
+	return s
+}
+
+// newSetHashed is the shared core of the bulk builders: counts must hold the
+// number of occurrences of every hash in hashes[:len(elems)].
+func newSetHashed(elems []Value, hashes []uint64, counts map[uint64]int32) *Set {
+	n := len(elems)
+	s := &Set{elems: make([]Value, 0, n), index: make(map[uint64][]int, n)}
 	arena := make([]int, n)
 	off := 0
 next:
